@@ -1,0 +1,130 @@
+//! Named wall-clock phase timers.
+//!
+//! The treecode's per-step diagnostics report how long each phase took
+//! (decomposition, tree build, traversal, force evaluation, update, I/O);
+//! load-balance discussions in the paper are phrased in exactly these terms.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Accumulates elapsed time per named phase.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    acc: BTreeMap<&'static str, Duration>,
+    open: Option<(&'static str, Instant)>,
+}
+
+impl PhaseTimer {
+    /// Fresh timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a phase, ending any phase currently open.
+    pub fn start(&mut self, name: &'static str) {
+        self.stop();
+        self.open = Some((name, Instant::now()));
+    }
+
+    /// End the currently open phase, if any.
+    pub fn stop(&mut self) {
+        if let Some((name, t0)) = self.open.take() {
+            *self.acc.entry(name).or_default() += t0.elapsed();
+        }
+    }
+
+    /// Time a closure under `name` (leaves no phase open).
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        self.stop();
+        let t0 = Instant::now();
+        let r = f();
+        *self.acc.entry(name).or_default() += t0.elapsed();
+        r
+    }
+
+    /// Accumulated time for a phase (zero when never started).
+    pub fn elapsed(&self, name: &str) -> Duration {
+        self.acc.get(name).copied().unwrap_or_default()
+    }
+
+    /// Sum over every phase.
+    pub fn total(&self) -> Duration {
+        self.acc.values().sum()
+    }
+
+    /// Phases and durations, sorted by name.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.acc.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merge another timer's accumulated phases into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (&k, &v) in &other.acc {
+            *self.acc.entry(k).or_default() += v;
+        }
+    }
+
+    /// A one-line summary like `tree 1.2ms | walk 3.4ms`.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (name, d) in &self.acc {
+            parts.push(format!("{name} {:.3?}", d));
+        }
+        parts.join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn accumulates_phases() {
+        let mut t = PhaseTimer::new();
+        t.start("a");
+        sleep(Duration::from_millis(5));
+        t.start("b");
+        sleep(Duration::from_millis(5));
+        t.stop();
+        t.start("a");
+        sleep(Duration::from_millis(5));
+        t.stop();
+        assert!(t.elapsed("a") >= Duration::from_millis(9), "a = {:?}", t.elapsed("a"));
+        assert!(t.elapsed("b") >= Duration::from_millis(4));
+        assert_eq!(t.elapsed("c"), Duration::ZERO);
+        assert!(t.total() >= t.elapsed("a") + t.elapsed("b"));
+    }
+
+    #[test]
+    fn time_closure() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("work", || {
+            sleep(Duration::from_millis(3));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(t.elapsed("work") >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = PhaseTimer::new();
+        let mut b = PhaseTimer::new();
+        a.time("x", || sleep(Duration::from_millis(2)));
+        b.time("x", || sleep(Duration::from_millis(2)));
+        b.time("y", || sleep(Duration::from_millis(1)));
+        a.merge(&b);
+        assert!(a.elapsed("x") >= Duration::from_millis(3));
+        assert!(a.elapsed("y") > Duration::ZERO);
+    }
+
+    #[test]
+    fn summary_mentions_phases() {
+        let mut t = PhaseTimer::new();
+        t.time("tree", || {});
+        t.time("walk", || {});
+        let s = t.summary();
+        assert!(s.contains("tree") && s.contains("walk"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the interaction kernels (experiment H8): Karp's
+//! add/multiply-only reciprocal square root against the hardware
+//! `1/sqrt`, and the full gravity/vortex kernels built on it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use hot_base::rsqrt::{rsqrt, rsqrt_f32};
+use hot_base::{SymMat3, Vec3};
+use hot_gravity::kernels::{pc_quad_acc, pp_acc};
+use hot_vortex::kernel::velocity_and_stretching;
+
+fn bench_rsqrt(c: &mut Criterion) {
+    let inputs: Vec<f64> = (1..1000).map(|i| 0.001 + i as f64 * 0.37).collect();
+    let mut g = c.benchmark_group("rsqrt");
+    g.bench_function("karp_f64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &inputs {
+                acc += rsqrt(black_box(x));
+            }
+            acc
+        })
+    });
+    g.bench_function("hardware_f64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &inputs {
+                acc += 1.0 / black_box(x).sqrt();
+            }
+            acc
+        })
+    });
+    g.bench_function("karp_f32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &x in &inputs {
+                acc += rsqrt_f32(black_box(x as f32));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_interactions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interaction");
+    let d = Vec3::new(0.3, -0.2, 0.9);
+    g.bench_function("gravity_monopole_38flop", |b| {
+        b.iter(|| pp_acc(black_box(d), black_box(1.5), black_box(1e-6)))
+    });
+    let quad = SymMat3::new(0.1, 0.2, 0.3, 0.01, 0.02, 0.03);
+    g.bench_function("gravity_quadrupole", |b| {
+        b.iter(|| pc_quad_acc(black_box(d), black_box(1.5), black_box(&quad), black_box(1e-6)))
+    });
+    let ai = Vec3::new(0.1, 0.0, 0.2);
+    let aj = Vec3::new(0.0, 0.3, -0.1);
+    g.bench_function("vortex_velocity_stretching", |b| {
+        b.iter(|| velocity_and_stretching(black_box(d), black_box(ai), black_box(aj), black_box(0.01)))
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench_rsqrt, bench_interactions }
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Microbenchmarks of the key machinery: Morton encoding, key algebra and
+//! the hashed cell table — the per-access costs the "hashed oct-tree"
+//! design stands on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use hot_base::{Aabb, Vec3};
+use hot_core::htable::KeyTable;
+use hot_morton::Key;
+use rand::{Rng, SeedableRng};
+
+fn bench_keys(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let pts: Vec<Vec3> =
+        (0..1000).map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen())).collect();
+    let domain = Aabb::unit();
+    let mut g = c.benchmark_group("morton");
+    g.bench_function("key_from_point", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &pts {
+                acc ^= Key::from_point(black_box(p), &domain).0;
+            }
+            acc
+        })
+    });
+    let keys: Vec<Key> = pts.iter().map(|&p| Key::from_point(p, &domain)).collect();
+    g.bench_function("parent_chain_to_root", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                let mut k = k;
+                while k != Key::ROOT {
+                    k = k.parent();
+                }
+                acc ^= k.0;
+            }
+            acc
+        })
+    });
+    g.bench_function("cell_aabb", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &k in &keys {
+                acc += k.ancestor_at(8).cell_aabb(&domain).center().x;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let keys: Vec<Key> = (0..100_000)
+        .map(|_| Key((1u64 << 63) | (rng.gen::<u64>() >> 1)))
+        .collect();
+    let mut table = KeyTable::with_capacity(keys.len());
+    for (i, &k) in keys.iter().enumerate() {
+        table.insert(k, i as u32);
+    }
+    let mut g = c.benchmark_group("keytable");
+    g.bench_function("lookup_hit_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc += table.get(black_box(k)).expect("hit") as u64;
+            }
+            acc
+        })
+    });
+    g.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut t = KeyTable::with_capacity(keys.len());
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert(k, i as u32);
+            }
+            t.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench_keys, bench_table }
+criterion_main!(benches);

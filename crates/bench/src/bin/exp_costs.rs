@@ -1,0 +1,58 @@
+//! Experiments T1 & T2: Tables 1 and 2 (Loki's parts list, August-1997
+//! spot prices) and the paper's price/performance headlines.
+
+use hot_bench::{dollars, header};
+use hot_machine::cost::{
+    august_1997_system_total, dollars_per_mflop, gflops_per_million_dollars, loki_sept_1996,
+    sc96_combined_total, spot_prices_aug_1997, HYGLAC_TOTAL,
+};
+
+fn main() {
+    header("Table 1: Loki architecture and price (September, 1996)");
+    let t1 = loki_sept_1996();
+    println!("{:>4} {:>8} {:>10}  {}", "Qty.", "Price", "Ext.", "Description");
+    for item in &t1.items {
+        println!(
+            "{:>4} {:>8.0} {:>10.0}  {}",
+            item.qty,
+            item.unit_price,
+            item.extended(),
+            item.description
+        );
+    }
+    println!("{:>24.0}  Ethernet cables", t1.extra);
+    println!("Total {}", dollars(t1.total()));
+    println!("(paper: $51,379)");
+
+    header("Table 2: Spot prices for August, 1997");
+    let t2 = spot_prices_aug_1997();
+    for item in &t2.items {
+        println!("{:>8.0}  {}", item.unit_price, item.description);
+    }
+    println!(
+        "16-processor, 2 GB, 50 GB system with BayStack switch: {}",
+        dollars(august_1997_system_total())
+    );
+    println!("(paper: \"would be $28k\")");
+
+    header("Price/performance headlines");
+    let loki_total = t1.total();
+    println!("Hyglac total (incl. 8.75% tax):      {}", dollars(HYGLAC_TOTAL));
+    println!("SC'96 combined system:               {}", dollars(sc96_combined_total()));
+    println!(
+        "Loki 10-day treecode (879 Mflops):   {:>7.1} $/Mflop   (paper: $58/Mflop)",
+        dollars_per_mflop(loki_total, 879.0)
+    );
+    println!(
+        "SC'96 benchmark (2.19 Gflops):       {:>7.1} $/Mflop   (paper: $47/Mflop)",
+        dollars_per_mflop(103_000.0, 2_190.0)
+    );
+    println!(
+        "                                     {:>7.1} Gflops/M$ (paper: 21)",
+        gflops_per_million_dollars(103_000.0, 2_190.0)
+    );
+    println!(
+        "August-1997 rebuild at same speed:   {:>7.1} $/Mflop   (paper: \"factor of two better\")",
+        dollars_per_mflop(august_1997_system_total(), 1_190.0)
+    );
+}

@@ -1,0 +1,105 @@
+//! Experiment T3: Table 3's shape — sixteen-processor NPB performance on
+//! Loki vs. ASCI Red (Janus) vs. SGI Origin.
+//!
+//! The mini-NPB kernels run for real on the 16-rank simulated machine;
+//! measured operation counts and per-rank traffic feed the 1997 machine
+//! models. Per-processor stencil rates: Loki's Pentium Pro ≈ 25 Mop/s on
+//! NPB-style code (Table 3 row BT: 354.6/16 ≈ 22, LU: 428.6/16 ≈ 27);
+//! Janus gains the paper's measured 10–30% from memory bandwidth; the
+//! Origin's R10000 runs ≈ 2.5–4× faster per processor. What the *model*
+//! contributes is the network: IS and FT move the most bytes, which is why
+//! Loki falls furthest behind on exactly those rows — the paper's
+//! observation.
+
+use hot_bench::header;
+use hot_comm::{RunOutput, TrafficStats, World};
+use hot_machine::specs::{JANUS_16, LOKI};
+use hot_npb::common::BenchResult;
+
+struct Row {
+    name: &'static str,
+    ops: u64,
+    measured_mops: f64,
+    traffic: Vec<TrafficStats>,
+}
+
+fn collect(out: RunOutput<BenchResult>) -> Row {
+    let r = &out.results[0];
+    assert!(out.results.iter().all(|x| x.verified), "{} failed verification", r.name);
+    Row {
+        name: r.name,
+        ops: r.ops,
+        measured_mops: r.ops as f64 / out.elapsed.as_secs_f64() / 1e6,
+        traffic: out.stats.clone(),
+    }
+}
+
+/// Arithmetic-intensity fidelity factor (see exp_npb_scaling / DESIGN.md):
+/// our reduced pseudo-apps do k x fewer flops per point than real NPB.
+fn fidelity(name: &str) -> f64 {
+    match name {
+        "BT" => 25.0,
+        "SP" => 8.0,
+        "LU" => 15.0,
+        "MG" => 5.0,
+        _ => 1.0,
+    }
+}
+
+fn predict_mops(row: &Row, per_proc_mops: f64, np: u32, net: &hot_comm::NetworkModel) -> f64 {
+    let ops = row.ops as f64 * fidelity(row.name);
+    let compute_s = ops / (np as f64 * per_proc_mops * 1e6);
+    let comm_s = net.phase_comm_time(&row.traffic);
+    ops / (compute_s + comm_s) / 1e6
+}
+
+fn main() {
+    let np = 16u32;
+    let n = hot_bench::arg_usize(1, 32); // grid side for the grid kernels
+    header("Experiment T3 (Table 3): NPB-style kernels on 16 processors");
+    println!("(mini-NPB sizes; paper ran Class B — shapes, not magnitudes, compare)");
+
+    let rows = vec![
+        collect(World::run(np, |c| hot_npb::apps::run_bt(c, n, 2))),
+        collect(World::run(np, |c| hot_npb::apps::run_sp(c, n, 2))),
+        collect(World::run(np, |c| hot_npb::apps::run_lu(c, n, 4))),
+        collect(World::run(np, |c| hot_npb::mg::run_distributed(c, n, 2))),
+        collect(World::run(np, |c| hot_npb::ft::run(c, n, 2))),
+        collect(World::run(np, |c| hot_npb::ep::run(c, 18).0)),
+        collect(World::run(np, |c| hot_npb::is::run(c, 18, 16))),
+    ];
+
+    println!(
+        "\n{:>4} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "", "ops", "measured Mops", "Loki", "ASCI Red", "SGI Origin"
+    );
+    for row in &rows {
+        // Per-processor rates in each benchmark's own "Mops" convention:
+        // stencil/solver flops for the grid codes, random pairs for EP
+        // (PPro ≈ 0.55 Mop/s in NPB units), key ranks for IS (≈ 2.5).
+        let base: f64 = match row.name {
+            "EP" => 0.55,
+            "IS" => 2.5,
+            _ => 25.0,
+        };
+        let loki = predict_mops(row, base, np, &LOKI.network);
+        let red = predict_mops(row, base * 1.16, np, &JANUS_16.network);
+        let sgi = predict_mops(row, base * 3.0, np, &JANUS_16.network);
+        println!(
+            "{:>4} {:>12} {:>14.1} {:>12.1} {:>12.1} {:>12.1}",
+            row.name, row.ops, row.measured_mops, loki, red, sgi
+        );
+    }
+
+    println!("\nPaper's Table 3 (Class B, Mops): ");
+    println!("      Loki(PGI)  ASCI Red   SGI Origin");
+    println!("  BT     354.6     445.5       925.5");
+    println!("  SP     255.5     334.8       957.0");
+    println!("  LU     428.6     490.2      1317.4");
+    println!("  MG     296.8     363.7      1039.6");
+    println!("  FT     177.8       -         648.2");
+    println!("  EP       8.9       7.1        68.7");
+    println!("  IS      14.8      38.0        33.9");
+    println!("\nShape checks: Red/Loki within ~10-30% on compute-bound rows;");
+    println!("IS (bandwidth-bound) is Loki's worst ratio; SGI leads everywhere but IS/EP.");
+}

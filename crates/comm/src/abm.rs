@@ -1,0 +1,321 @@
+//! Asynchronous Batched Messages (ABM).
+//!
+//! From the paper: *"To avoid stalls during non-local data access, we
+//! effectively do explicit 'context switching'. In order to manage the
+//! complexities of the required asynchronous message traffic, we have
+//! developed a paradigm called 'asynchronous batched messages (ABM)' built
+//! from primitive send/recv functions whose interface is modeled after that
+//! of active messages."*
+//!
+//! An [`Abm`] endpoint lets a rank *post* many small logical messages
+//! (e.g. "send me cell K") that are packed into per-destination batches and
+//! shipped only when a batch fills or is explicitly flushed. Incoming
+//! batches are unpacked and dispatched to a handler, active-message style.
+//! [`Abm::complete`] runs the exchange to global quiescence with a
+//! double-count termination protocol, so irregular request/reply cascades
+//! (tree walks!) terminate correctly without any a-priori knowledge of the
+//! traffic pattern.
+
+use crate::runtime::Comm;
+use crate::wire::{to_bytes, Wire};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Internal tag for ABM batch traffic.
+const ABM_TAG: u32 = 0x9000_0000;
+
+/// Counters describing an ABM session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbmStats {
+    /// Logical messages posted by this rank.
+    pub posted: u64,
+    /// Logical messages handled by this rank.
+    pub delivered: u64,
+    /// Physical batches sent (each one point-to-point message).
+    pub batches_sent: u64,
+}
+
+/// An active-message endpoint over a [`Comm`].
+pub struct Abm<'a> {
+    comm: &'a mut Comm,
+    batch_capacity: usize,
+    out: Vec<BytesMut>,
+    stats: AbmStats,
+}
+
+impl<'a> Abm<'a> {
+    /// Create an endpoint. `batch_capacity` is the flush threshold in bytes;
+    /// the paper's motivation is that fast-ethernet latency (hundreds of µs)
+    /// dwarfs per-byte cost, so requests must be aggregated.
+    pub fn new(comm: &'a mut Comm, batch_capacity: usize) -> Self {
+        let np = comm.size() as usize;
+        Abm {
+            comm,
+            batch_capacity: batch_capacity.max(16),
+            out: (0..np).map(|_| BytesMut::new()).collect(),
+            stats: AbmStats::default(),
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> u32 {
+        self.comm.rank()
+    }
+
+    /// Machine size.
+    pub fn size(&self) -> u32 {
+        self.comm.size()
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> AbmStats {
+        self.stats
+    }
+
+    /// Direct access to the underlying communicator, for callers that
+    /// interleave collectives with ABM traffic (e.g. custom termination
+    /// protocols). Messages already queued in ABM batches are unaffected.
+    pub fn comm_mut(&mut self) -> &mut Comm {
+        self.comm
+    }
+
+    /// Post a logical message of `kind` to `dst`. Local destinations are
+    /// legal and loop back through the same dispatch path.
+    pub fn post<T: Wire>(&mut self, dst: u32, kind: u16, payload: &T) {
+        let data = to_bytes(payload);
+        let buf = &mut self.out[dst as usize];
+        buf.put_u16_le(kind);
+        buf.put_u32_le(data.len() as u32);
+        buf.put_slice(&data);
+        self.stats.posted += 1;
+        if buf.len() >= self.batch_capacity {
+            self.flush_one(dst);
+        }
+    }
+
+    /// Ship the pending batch for `dst`, if any.
+    pub fn flush_one(&mut self, dst: u32) {
+        let buf = &mut self.out[dst as usize];
+        if buf.is_empty() {
+            return;
+        }
+        let batch = buf.split().freeze();
+        self.stats.batches_sent += 1;
+        self.comm.send_bytes(dst, ABM_TAG, batch);
+    }
+
+    /// Ship every pending batch.
+    pub fn flush_all(&mut self) {
+        for dst in 0..self.size() {
+            self.flush_one(dst);
+        }
+    }
+
+    /// Dispatch at most one incoming batch through `handler`. Returns the
+    /// number of logical messages handled (0 when nothing was waiting).
+    ///
+    /// The handler receives `(endpoint, source, kind, payload)` and may post
+    /// replies — that is the active-message pattern the tree walk uses.
+    pub fn poll_once(
+        &mut self,
+        handler: &mut impl FnMut(&mut Abm<'_>, u32, u16, Bytes),
+    ) -> u64 {
+        let Some((src, batch)) = self.comm.try_recv_bytes(None, ABM_TAG) else {
+            return 0;
+        };
+        let mut handled = 0;
+        let mut cursor = batch;
+        while cursor.has_remaining() {
+            let kind = cursor.get_u16_le();
+            let len = cursor.get_u32_le() as usize;
+            let payload = cursor.split_to(len);
+            handler(self, src, kind, payload);
+            handled += 1;
+        }
+        self.stats.delivered += handled;
+        handled
+    }
+
+    /// Drain all immediately available batches.
+    pub fn poll(&mut self, handler: &mut impl FnMut(&mut Abm<'_>, u32, u16, Bytes)) -> u64 {
+        let mut n = 0;
+        loop {
+            let h = self.poll_once(handler);
+            if h == 0 {
+                return n;
+            }
+            n += h;
+        }
+    }
+
+    /// Run the exchange to global quiescence: flush, dispatch, and repeat
+    /// until every posted message (including those posted by handlers while
+    /// handling) has been delivered machine-wide and a full round passes
+    /// with no new traffic (double-count termination detection).
+    ///
+    /// Every rank must call `complete` with its own handler; the call
+    /// returns on all ranks together.
+    ///
+    /// Caveat: every rank must *enter* `complete` without requiring
+    /// further service from its peers first — `complete` blocks in a
+    /// collective between drain rounds, during which a rank serves
+    /// nothing. Callers whose progress depends on replies (like the tree
+    /// walk) must instead interleave their own work with the drain/count
+    /// rounds; see `hot-core::dwalk` for that pattern.
+    pub fn complete(&mut self, mut handler: impl FnMut(&mut Abm<'_>, u32, u16, Bytes)) {
+        let mut prev = (u64::MAX, u64::MAX);
+        loop {
+            // Dispatch until locally quiet, flushing replies as they are
+            // posted so partners can make progress.
+            loop {
+                self.flush_all();
+                if self.poll(&mut handler) == 0 {
+                    break;
+                }
+            }
+            let posted = self.stats.posted;
+            let delivered = self.stats.delivered;
+            let totals = self.comm.allreduce((posted, delivered), |a, b| (a.0 + b.0, a.1 + b.1));
+            if totals.0 == totals.1 && totals == prev {
+                return;
+            }
+            prev = totals;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::World;
+
+    /// Every rank asks every other rank to echo a value; replies must all
+    /// arrive before complete() returns.
+    #[test]
+    fn request_reply_to_quiescence() {
+        const REQ: u16 = 1;
+        const REP: u16 = 2;
+        for np in [1u32, 2, 4, 6] {
+            let out = World::run(np, |c| {
+                let rank = c.rank();
+                let np = c.size();
+                let mut got = vec![0u64; np as usize];
+                let mut abm = Abm::new(c, 64);
+                for dst in 0..np {
+                    abm.post(dst, REQ, &(rank as u64 * 1000));
+                }
+                {
+                    let got = &mut got;
+                    abm.complete(move |ep, src, kind, payload| match kind {
+                        REQ => {
+                            let v: u64 = crate::wire::from_bytes(payload);
+                            ep.post(src, REP, &(v + ep.rank() as u64));
+                        }
+                        REP => {
+                            let v: u64 = crate::wire::from_bytes(payload);
+                            got[src as usize] = v;
+                        }
+                        _ => unreachable!(),
+                    });
+                }
+                got
+            });
+            for (me, got) in out.results.iter().enumerate() {
+                for (src, &v) in got.iter().enumerate() {
+                    assert_eq!(v, me as u64 * 1000 + src as u64, "np={np} me={me} src={src}");
+                }
+            }
+        }
+    }
+
+    /// Handlers that spawn further requests (multi-hop cascades) still
+    /// terminate: rank 0 asks 1, 1 asks 2, ... n-1 answers.
+    #[test]
+    fn cascading_requests_terminate() {
+        const HOP: u16 = 7;
+        let np = 5u32;
+        let out = World::run(np, |c| {
+            let np = c.size();
+            let mut final_value = 0u64;
+            let mut abm = Abm::new(c, 32);
+            if abm.rank() == 0 {
+                abm.post(1 % np, HOP, &1u64);
+            }
+            {
+                let fv = &mut final_value;
+                abm.complete(move |ep, _src, kind, payload| {
+                    assert_eq!(kind, HOP);
+                    let v: u64 = crate::wire::from_bytes(payload);
+                    let next = (ep.rank() + 1) % ep.size();
+                    if v < 20 {
+                        ep.post(next, HOP, &(v + 1));
+                    } else {
+                        *fv = v;
+                    }
+                });
+            }
+            final_value
+        });
+        // The chain runs 1..=20; whoever handled hop 20 recorded it.
+        let total: u64 = out.results.iter().sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn batching_reduces_physical_messages() {
+        let np = 2u32;
+        let out = World::run(np, |c| {
+            let mut abm = Abm::new(c, 1 << 20); // huge batches: one flush
+            if abm.rank() == 0 {
+                for i in 0..1000u64 {
+                    abm.post(1, 3, &i);
+                }
+            }
+            let mut count = 0u64;
+            {
+                let count = &mut count;
+                abm.complete(move |_, _, _, _| *count += 1);
+            }
+            (abm.stats(), count)
+        });
+        let (s0, _) = out.results[0];
+        let (s1, c1) = out.results[1];
+        assert_eq!(c1, 1000);
+        assert_eq!(s0.posted, 1000);
+        assert_eq!(s0.batches_sent, 1, "all posts must ride one batch");
+        assert_eq!(s1.delivered, 1000);
+    }
+
+    #[test]
+    fn small_batch_capacity_flushes_eagerly() {
+        let out = World::run(2, |c| {
+            let mut abm = Abm::new(c, 16);
+            if abm.rank() == 0 {
+                for i in 0..10u64 {
+                    abm.post(1, 1, &i);
+                }
+            }
+            abm.complete(|_, _, _, _| {});
+            abm.stats()
+        });
+        assert!(out.results[0].batches_sent > 1, "tiny capacity must produce several batches");
+    }
+
+    #[test]
+    fn self_posts_loop_back() {
+        let out = World::run(1, |c| {
+            let mut seen = Vec::new();
+            let mut abm = Abm::new(c, 8);
+            abm.post(0, 9, &42u32);
+            abm.post(0, 9, &43u32);
+            {
+                let seen = &mut seen;
+                abm.complete(move |_, src, _, payload| {
+                    assert_eq!(src, 0);
+                    seen.push(crate::wire::from_bytes::<u32>(payload));
+                });
+            }
+            seen
+        });
+        assert_eq!(out.results[0], vec![42, 43]);
+    }
+}

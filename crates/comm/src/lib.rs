@@ -1,0 +1,42 @@
+//! # hot-comm
+//!
+//! A simulated distributed-memory message-passing machine, standing in for
+//! the paper's hardware substrates (ASCI Red's NX/MPI mesh, Loki/Hyglac's
+//! MPI-over-fast-ethernet).
+//!
+//! * [`runtime`] — ranks as OS threads, `(source, tag)`-matched send/recv,
+//!   per-rank traffic counters, panic-safe teardown.
+//! * [`collectives`] — barrier / bcast / reduce / allreduce / gather /
+//!   allgather / alltoall / prefix sums, all built from point-to-point
+//!   messages so the traffic counters reflect real wire activity.
+//! * [`abm`] — the paper's "asynchronous batched messages" active-message
+//!   layer with quiescence detection, used by the latency-hiding tree walk.
+//! * [`wire`] — explicit little-endian message encoding.
+//! * [`netmodel`] — latency/bandwidth cost model turning traffic counts
+//!   into predicted 1997 wall-clock.
+//!
+//! The SPMD entry point is [`World::run`]:
+//!
+//! ```
+//! use hot_comm::World;
+//! let out = World::run(4, |comm| {
+//!     let total = comm.allreduce_sum_u64(comm.rank() as u64);
+//!     total
+//! });
+//! assert!(out.results.iter().all(|&t| t == 6));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abm;
+pub mod collectives;
+pub mod netmodel;
+#[cfg(test)]
+mod proptests;
+pub mod runtime;
+pub mod wire;
+
+pub use abm::{Abm, AbmStats};
+pub use netmodel::NetworkModel;
+pub use runtime::{Comm, RunOutput, TrafficStats, World, MAX_USER_TAG};
+pub use wire::{from_bytes, to_bytes, Wire};

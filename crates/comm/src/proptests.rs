@@ -1,0 +1,56 @@
+//! Property-based tests of the wire codec (proptest).
+
+#![cfg(test)]
+
+use crate::wire::{from_bytes, to_bytes, Wire};
+use proptest::prelude::*;
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) -> bool {
+    let b = to_bytes(v);
+    b.len() == v.wire_size() && &from_bytes::<T>(b) == v
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert!(roundtrip(&v));
+    }
+
+    #[test]
+    fn f64_roundtrip_including_specials(bits in any::<u64>()) {
+        // Every bit pattern must survive, including NaNs (compare by bits).
+        let v = f64::from_bits(bits);
+        let back: f64 = from_bytes(to_bytes(&v));
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn vec_of_tuples_roundtrip(v in proptest::collection::vec((any::<u32>(), -1e9f64..1e9), 0..50)) {
+        prop_assert!(roundtrip(&v));
+    }
+
+    #[test]
+    fn nested_vecs_roundtrip(v in proptest::collection::vec(proptest::collection::vec(any::<u16>(), 0..8), 0..12)) {
+        prop_assert!(roundtrip(&v));
+    }
+
+    #[test]
+    fn vec3_roundtrip(x in -1e12f64..1e12, y in -1e12f64..1e12, z in -1e12f64..1e12) {
+        prop_assert!(roundtrip(&hot_base::Vec3::new(x, y, z)));
+    }
+
+    /// Concatenated encodings decode back in order (the batch property the
+    /// ABM layer depends on).
+    #[test]
+    fn sequential_decode(a in any::<u64>(), b in -1e9f64..1e9, c in any::<u32>()) {
+        let mut buf = bytes::BytesMut::new();
+        a.encode(&mut buf);
+        b.encode(&mut buf);
+        c.encode(&mut buf);
+        let mut cur = buf.freeze();
+        prop_assert_eq!(u64::decode(&mut cur), a);
+        prop_assert_eq!(f64::decode(&mut cur), b);
+        prop_assert_eq!(u32::decode(&mut cur), c);
+        prop_assert!(cur.is_empty());
+    }
+}

@@ -1,0 +1,484 @@
+//! The simulated parallel machine: one OS thread per rank, message passing
+//! with MPI-style `(source, tag)` matching.
+//!
+//! The paper's machines (ASCI Red, Loki, Hyglac) are distributed-memory
+//! message-passing systems programmed against NX/MPI. This module provides
+//! the equivalent substrate so the HOT algorithms run with their real
+//! communication structure: ranks share nothing, every byte crosses an
+//! explicit channel, and the per-rank [`TrafficStats`] feed the 1997 machine
+//! models in `hot-machine` that convert message counts into predicted
+//! wall-clock on the paper's networks.
+
+use crate::wire::{from_bytes, to_bytes, Wire};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Highest tag available to applications; larger tags are reserved for
+/// collectives and runtime control traffic.
+pub const MAX_USER_TAG: u32 = 0x7fff_ffff;
+
+/// Tag carried by teardown poison messages emitted when a rank panics.
+const POISON_TAG: u32 = u32::MAX;
+
+/// One message in flight.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: u32,
+    /// Message tag.
+    pub tag: u32,
+    /// Encoded payload.
+    pub data: Bytes,
+}
+
+/// Per-rank communication counters. The machine models consume these; the
+/// paper's own performance discussion is in exactly these terms (message
+/// counts, bytes, bandwidth-limited phases).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Point-to-point messages sent.
+    pub sends: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub recvs: u64,
+    /// Payload bytes received.
+    pub bytes_recvd: u64,
+    /// Largest single message sent.
+    pub max_message: u64,
+}
+
+impl TrafficStats {
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, o: &TrafficStats) {
+        self.sends += o.sends;
+        self.bytes_sent += o.bytes_sent;
+        self.recvs += o.recvs;
+        self.bytes_recvd += o.bytes_recvd;
+        self.max_message = self.max_message.max(o.max_message);
+    }
+
+    /// Difference since an earlier snapshot (for per-phase accounting).
+    pub fn since(&self, earlier: &TrafficStats) -> TrafficStats {
+        TrafficStats {
+            sends: self.sends - earlier.sends,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            recvs: self.recvs - earlier.recvs,
+            bytes_recvd: self.bytes_recvd - earlier.bytes_recvd,
+            max_message: self.max_message,
+        }
+    }
+}
+
+struct Shared {
+    np: u32,
+    senders: Vec<Sender<Envelope>>,
+}
+
+/// A rank's handle onto the simulated machine.
+///
+/// Not `Clone` and not `Sync`: exactly one thread drives each rank, as on
+/// the real machines.
+pub struct Comm {
+    rank: u32,
+    shared: Arc<Shared>,
+    rx: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+    stats: TrafficStats,
+}
+
+impl Comm {
+    /// This rank's id, `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Number of ranks in the machine.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.shared.np
+    }
+
+    /// Communication counters so far.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Send encoded bytes to `dst` with `tag`. Asynchronous: never blocks
+    /// (infinite buffering, like an eager-protocol MPI send of modest size).
+    pub fn send_bytes(&mut self, dst: u32, tag: u32, data: Bytes) {
+        assert!(dst < self.shared.np, "send to rank {dst} of {}", self.shared.np);
+        self.stats.sends += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        self.stats.max_message = self.stats.max_message.max(data.len() as u64);
+        let env = Envelope { src: self.rank, tag, data };
+        // The receiver only disappears after World::run joins every thread,
+        // or when tearing down after a panic; either way a failed send can
+        // only happen during collapse.
+        let _ = self.shared.senders[dst as usize].send(env);
+    }
+
+    /// Send a typed value.
+    pub fn send<T: Wire>(&mut self, dst: u32, tag: u32, v: &T) {
+        debug_assert!(tag <= MAX_USER_TAG || is_internal_tag(tag));
+        self.send_bytes(dst, tag, to_bytes(v));
+    }
+
+    /// Blocking receive matching `src` (or any source when `None`) and
+    /// `tag`. Returns the actual source and payload.
+    pub fn recv_bytes(&mut self, src: Option<u32>, tag: u32) -> (u32, Bytes) {
+        // First scan messages that arrived earlier but did not match.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.tag == tag && src.is_none_or(|s| s == e.src))
+        {
+            let e = self.pending.remove(pos).expect("indexed scan");
+            self.stats.recvs += 1;
+            self.stats.bytes_recvd += e.data.len() as u64;
+            return (e.src, e.data);
+        }
+        loop {
+            let e = self
+                .rx
+                .recv()
+                .expect("all peer ranks vanished while blocked in recv");
+            if e.tag == POISON_TAG {
+                panic!("rank {}: peer rank {} died (poison received)", self.rank, e.src);
+            }
+            if e.tag == tag && src.is_none_or(|s| s == e.src) {
+                self.stats.recvs += 1;
+                self.stats.bytes_recvd += e.data.len() as u64;
+                return (e.src, e.data);
+            }
+            self.pending.push_back(e);
+        }
+    }
+
+    /// Blocking typed receive from a specific source.
+    pub fn recv<T: Wire>(&mut self, src: u32, tag: u32) -> T {
+        let (_, data) = self.recv_bytes(Some(src), tag);
+        from_bytes(data)
+    }
+
+    /// Blocking typed receive from any source.
+    pub fn recv_any<T: Wire>(&mut self, tag: u32) -> (u32, T) {
+        let (src, data) = self.recv_bytes(None, tag);
+        (src, from_bytes(data))
+    }
+
+    /// Non-blocking probe: pull one matching message if immediately
+    /// available (pending queue or channel), else `None`.
+    pub fn try_recv_bytes(&mut self, src: Option<u32>, tag: u32) -> Option<(u32, Bytes)> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.tag == tag && src.is_none_or(|s| s == e.src))
+        {
+            let e = self.pending.remove(pos).expect("indexed scan");
+            self.stats.recvs += 1;
+            self.stats.bytes_recvd += e.data.len() as u64;
+            return Some((e.src, e.data));
+        }
+        while let Ok(e) = self.rx.try_recv() {
+            if e.tag == POISON_TAG {
+                panic!("rank {}: peer rank {} died (poison received)", self.rank, e.src);
+            }
+            let matches = e.tag == tag && src.is_none_or(|s| s == e.src);
+            if matches {
+                self.stats.recvs += 1;
+                self.stats.bytes_recvd += e.data.len() as u64;
+                return Some((e.src, e.data));
+            }
+            self.pending.push_back(e);
+        }
+        None
+    }
+
+    /// Typed non-blocking probe from any source.
+    pub fn try_recv_any<T: Wire>(&mut self, tag: u32) -> Option<(u32, T)> {
+        self.try_recv_bytes(None, tag).map(|(s, d)| (s, from_bytes(d)))
+    }
+
+    /// Exchange with a partner: send then receive (safe under the runtime's
+    /// unbounded buffering; mirrors `MPI_Sendrecv`).
+    pub fn sendrecv<T: Wire>(&mut self, dst: u32, src: u32, tag: u32, v: &T) -> T {
+        self.send(dst, tag, v);
+        self.recv(src, tag)
+    }
+}
+
+#[inline]
+fn is_internal_tag(tag: u32) -> bool {
+    tag > MAX_USER_TAG
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // If this rank is dying of a panic, wake every blocked peer so the
+        // whole machine tears down instead of deadlocking.
+        if std::thread::panicking() {
+            for dst in 0..self.shared.np {
+                if dst != self.rank {
+                    let _ = self.shared.senders[dst as usize].send(Envelope {
+                        src: self.rank,
+                        tag: POISON_TAG,
+                        data: Bytes::new(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Result of running an SPMD program on the simulated machine.
+#[derive(Debug)]
+pub struct RunOutput<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank communication counters, indexed by rank.
+    pub stats: Vec<TrafficStats>,
+    /// Wall-clock time for the whole run (spawn to last join).
+    pub elapsed: Duration,
+}
+
+impl<T> RunOutput<T> {
+    /// Aggregate traffic over all ranks.
+    pub fn total_traffic(&self) -> TrafficStats {
+        let mut t = TrafficStats::default();
+        for s in &self.stats {
+            t.merge(s);
+        }
+        t
+    }
+}
+
+/// The simulated machine: spawns `np` ranks and runs `f` on each.
+pub struct World;
+
+impl World {
+    /// Run an SPMD closure on `np` ranks and gather results.
+    ///
+    /// Each rank runs on its own OS thread (with an enlarged stack — tree
+    /// walks and FFTs recurse). A panic on any rank poisons the others and
+    /// propagates out of `run`.
+    pub fn run<T, F>(np: u32, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(np >= 1, "need at least one rank");
+        let mut senders = Vec::with_capacity(np as usize);
+        let mut receivers = Vec::with_capacity(np as usize);
+        for _ in 0..np {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared { np, senders });
+        let results: Vec<Mutex<Option<(T, TrafficStats)>>> =
+            (0..np).map(|_| Mutex::new(None)).collect();
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(np as usize);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let shared = shared.clone();
+                let f = &f;
+                let slot = &results[rank];
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(16 << 20)
+                    .spawn_scoped(scope, move || {
+                        let mut comm = Comm {
+                            rank: rank as u32,
+                            shared,
+                            rx,
+                            pending: VecDeque::new(),
+                            stats: TrafficStats::default(),
+                        };
+                        let out = f(&mut comm);
+                        *slot.lock() = Some((out, comm.stats()));
+                    })
+                    .expect("spawn rank thread");
+                handles.push(handle);
+            }
+            let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    panic_payload.get_or_insert(p);
+                }
+            }
+            if let Some(p) = panic_payload {
+                std::panic::resume_unwind(p);
+            }
+        });
+        let elapsed = t0.elapsed();
+
+        let mut out_results = Vec::with_capacity(np as usize);
+        let mut out_stats = Vec::with_capacity(np as usize);
+        for slot in results {
+            let (r, s) = slot.into_inner().expect("rank finished without result");
+            out_results.push(r);
+            out_stats.push(s);
+        }
+        RunOutput { results: out_results, stats: out_stats, elapsed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank() {
+        let out = World::run(1, |c| {
+            assert_eq!(c.rank(), 0);
+            assert_eq!(c.size(), 1);
+            7u64
+        });
+        assert_eq!(out.results, vec![7]);
+        assert_eq!(out.stats[0], TrafficStats::default());
+    }
+
+    #[test]
+    fn ping_pong() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, &123u64);
+                c.recv::<u64>(1, 6)
+            } else {
+                let v: u64 = c.recv(0, 5);
+                c.send(0, 6, &(v * 2));
+                v
+            }
+        });
+        assert_eq!(out.results, vec![246, 123]);
+        assert_eq!(out.stats[0].sends, 1);
+        assert_eq!(out.stats[0].bytes_sent, 8);
+        assert_eq!(out.stats[1].recvs, 1);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                c.send(1, 2, &20u32);
+                c.send(1, 1, &10u32);
+                0
+            } else {
+                let a: u32 = c.recv(0, 1);
+                let b: u32 = c.recv(0, 2);
+                assert_eq!((a, b), (10, 20));
+                1
+            }
+        });
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn recv_any_source() {
+        let out = World::run(4, |c| {
+            if c.rank() == 0 {
+                let mut sum = 0u64;
+                for _ in 0..3 {
+                    let (_, v) = c.recv_any::<u64>(9);
+                    sum += v;
+                }
+                sum
+            } else {
+                c.send(0, 9, &(c.rank() as u64));
+                0
+            }
+        });
+        assert_eq!(out.results[0], 1 + 2 + 3);
+    }
+
+    #[test]
+    fn try_recv_polls() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, &55u8);
+                0u8
+            } else {
+                loop {
+                    if let Some((src, v)) = c.try_recv_any::<u8>(3) {
+                        assert_eq!(src, 0);
+                        return v;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        assert_eq!(out.results[1], 55);
+    }
+
+    #[test]
+    fn sendrecv_ring() {
+        let np = 5;
+        let out = World::run(np, |c| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.sendrecv::<u32>(right, left, 7, &c.rank())
+        });
+        for r in 0..np {
+            assert_eq!(out.results[r as usize], (r + np - 1) % np);
+        }
+    }
+
+    #[test]
+    fn traffic_stats_track_bytes() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                let payload = vec![0u64; 100];
+                c.send(1, 1, &payload);
+            } else {
+                let _: Vec<u64> = c.recv(0, 1);
+            }
+        });
+        assert_eq!(out.stats[0].bytes_sent, 808);
+        assert_eq!(out.stats[0].max_message, 808);
+        assert_eq!(out.stats[1].bytes_recvd, 808);
+        assert_eq!(out.total_traffic().sends, 1);
+    }
+
+    #[test]
+    fn panicking_rank_tears_down_machine() {
+        let result = std::panic::catch_unwind(|| {
+            World::run(2, |c| {
+                if c.rank() == 0 {
+                    // Would block forever without poison teardown.
+                    let _: u64 = c.recv(1, 1);
+                } else {
+                    panic!("rank 1 exploded");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn stats_since_snapshot() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &1u8);
+                let snap = c.stats();
+                c.send(1, 1, &2u8);
+                c.send(1, 1, &3u8);
+                c.stats().since(&snap).sends
+            } else {
+                for _ in 0..3 {
+                    let _: u8 = c.recv(0, 1);
+                }
+                0
+            }
+        });
+        assert_eq!(out.results[0], 2);
+    }
+}

@@ -1,0 +1,276 @@
+//! Explicit byte-level message encoding.
+//!
+//! Inter-rank messages in an HPC transport should have explicit, predictable
+//! layouts — the original HOT code shipped C structs over NX/MPI. We encode
+//! little-endian through the `bytes` crate rather than pulling in a serde
+//! format; every transferred type spells out its layout here.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A type with a defined little-endian wire format.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode one value, advancing `buf`. Panics on malformed input —
+    /// messages are produced by our own encoder, so corruption is a bug,
+    /// not an error to recover from.
+    fn decode(buf: &mut Bytes) -> Self;
+    /// Exact number of bytes `encode` will append, used to pre-size buffers.
+    fn wire_size(&self) -> usize;
+}
+
+macro_rules! impl_wire_prim {
+    ($t:ty, $put:ident, $get:ident, $n:expr) => {
+        impl Wire for $t {
+            #[inline]
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            #[inline]
+            fn decode(buf: &mut Bytes) -> Self {
+                buf.$get()
+            }
+            #[inline]
+            fn wire_size(&self) -> usize {
+                $n
+            }
+        }
+    };
+}
+
+impl_wire_prim!(u8, put_u8, get_u8, 1);
+impl_wire_prim!(u16, put_u16_le, get_u16_le, 2);
+impl_wire_prim!(u32, put_u32_le, get_u32_le, 4);
+impl_wire_prim!(u64, put_u64_le, get_u64_le, 8);
+impl_wire_prim!(i32, put_i32_le, get_i32_le, 4);
+impl_wire_prim!(i64, put_i64_le, get_i64_le, 8);
+impl_wire_prim!(f32, put_f32_le, get_f32_le, 4);
+impl_wire_prim!(f64, put_f64_le, get_f64_le, 8);
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        buf.get_u8() != 0
+    }
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for usize {
+    /// Encoded as `u64`: the paper itself hit the 32-bit limit ("several I/O
+    /// routines in our code had to be extended to support 64-bit integers").
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        buf.get_u64_le() as usize
+    }
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _: &mut BytesMut) {}
+    fn decode(_: &mut Bytes) -> Self {}
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        let n = buf.get_u64_le() as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(buf));
+        }
+        out
+    }
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(Wire::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: Wire, const N: usize> Wire for [T; N] {
+    fn encode(&self, buf: &mut BytesMut) {
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        std::array::from_fn(|_| T::decode(buf))
+    }
+    fn wire_size(&self) -> usize {
+        self.iter().map(Wire::wire_size).sum()
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        (A::decode(buf), B::decode(buf))
+    }
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        (A::decode(buf), B::decode(buf), C::decode(buf))
+    }
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        (A::decode(buf), B::decode(buf), C::decode(buf), D::decode(buf))
+    }
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size() + self.3.wire_size()
+    }
+}
+
+impl Wire for hot_base::Vec3 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(self.x);
+        buf.put_f64_le(self.y);
+        buf.put_f64_le(self.z);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        let z = buf.get_f64_le();
+        hot_base::Vec3::new(x, y, z)
+    }
+    fn wire_size(&self) -> usize {
+        24
+    }
+}
+
+impl Wire for hot_base::SymMat3 {
+    fn encode(&self, buf: &mut BytesMut) {
+        for v in self.m {
+            buf.put_f64_le(v);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        let mut m = [0.0; 6];
+        for v in &mut m {
+            *v = buf.get_f64_le();
+        }
+        hot_base::SymMat3 { m }
+    }
+    fn wire_size(&self) -> usize {
+        48
+    }
+}
+
+/// Encode a value into a standalone buffer.
+pub fn to_bytes<T: Wire>(v: &T) -> Bytes {
+    let mut buf = BytesMut::with_capacity(v.wire_size());
+    v.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decode a value that occupies the entire buffer.
+///
+/// # Panics
+///
+/// Panics when trailing bytes remain — a mismatched send/recv type pair is
+/// a protocol bug that must not pass silently.
+pub fn from_bytes<T: Wire>(mut b: Bytes) -> T {
+    let v = T::decode(&mut b);
+    assert!(b.is_empty(), "wire decode left {} trailing bytes", b.len());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_base::{SymMat3, Vec3};
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let b = to_bytes(&v);
+        assert_eq!(b.len(), v.wire_size(), "wire_size mismatch for {v:?}");
+        let back: T = from_bytes(b);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives() {
+        roundtrip(0xABu8);
+        roundtrip(0xBEEFu16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(0x0123_4567_89AB_CDEFu64);
+        roundtrip(-42i32);
+        roundtrip(-(1i64 << 40));
+        roundtrip(3.25f32);
+        roundtrip(-2.2250738585072014e-308f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(123_456_789_012usize);
+        roundtrip(());
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let b = to_bytes(&0x0102_0304u32);
+        assert_eq!(&b[..], &[0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn compounds() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip([1.5f64, -2.5, 0.0]);
+        roundtrip((42u32, -1.5f64));
+        roundtrip((1u8, 2u16, vec![3u32]));
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn math_types() {
+        roundtrip(Vec3::new(1.0, -2.0, 3.5));
+        roundtrip(SymMat3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn trailing_bytes_detected() {
+        let b = to_bytes(&(1u32, 2u32));
+        let _: u32 = from_bytes(b);
+    }
+
+    #[test]
+    fn nested_vec_size_accounting() {
+        let v = vec![vec![1.0f64; 3]; 4];
+        assert_eq!(v.wire_size(), 8 + 4 * (8 + 24));
+    }
+}

@@ -1,0 +1,337 @@
+//! Work-weighted domain decomposition.
+//!
+//! From the paper: *"The domain decomposition is obtained by splitting this
+//! \[Morton-ordered\] list into Np pieces. The implementation of the domain
+//! decomposition is practically identical to a parallel sorting algorithm,
+//! with the modification that the amount of data that ends up in each
+//! processor is weighted by the work associated with each item."*
+//!
+//! This module implements exactly that: a weighted parallel sample sort.
+//! Each rank samples its local key distribution at work quantiles, samples
+//! are all-gathered, every rank deterministically derives the same `Np − 1`
+//! splitting keys at global work quantiles, and an all-to-all exchange
+//! moves each body to its owner. Per-body work weights come from the
+//! previous step's interaction counts, so expensive (clustered) regions
+//! spread over more processors — the load-balancing mechanism the paper
+//! credits for surviving "probably more severe \[imbalance\] than any other
+//! conventional computational physics algorithm".
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hot_base::Vec3;
+use hot_comm::{Comm, Wire};
+use hot_morton::Key;
+
+/// A particle in flight between ranks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Body<C> {
+    /// Morton key at maximum depth.
+    pub key: Key,
+    /// Position.
+    pub pos: Vec3,
+    /// Source strength (mass, vortex strength, …).
+    pub charge: C,
+    /// Relative cost of this body in the previous step (1.0 if unknown).
+    pub work: f32,
+    /// Stable global identifier.
+    pub id: u64,
+}
+
+impl<C: Wire> Wire for Body<C> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.key.0);
+        crate::wirevec::put_vec3(buf, self.pos);
+        self.charge.encode(buf);
+        buf.put_f32_le(self.work);
+        buf.put_u64_le(self.id);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        let key = Key(buf.get_u64_le());
+        let pos = crate::wirevec::get_vec3(buf);
+        let charge = C::decode(buf);
+        let work = buf.get_f32_le();
+        let id = buf.get_u64_le();
+        Body { key, pos, charge, work, id }
+    }
+    fn wire_size(&self) -> usize {
+        8 + 24 + self.charge.wire_size() + 4 + 8
+    }
+}
+
+/// The key intervals owned by each rank: rank `r` owns raw keys in
+/// `[bounds[r], bounds[r+1])`; `bounds[0] = 0`, `bounds[np] = u64::MAX`
+/// (the maximal key `u64::MAX` itself is owned by the last rank).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyIntervals {
+    /// `np + 1` interval boundaries in raw key space.
+    pub bounds: Vec<u64>,
+}
+
+impl KeyIntervals {
+    /// Owner rank of a key.
+    pub fn owner(&self, key: Key) -> u32 {
+        // partition_point: first boundary > key; minus one = owning interval.
+        let i = self.bounds.partition_point(|&b| b <= key.0);
+        (i.saturating_sub(1)).min(self.bounds.len() - 2) as u32
+    }
+
+    /// Number of ranks.
+    pub fn np(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Raw interval `[lo, hi)` of `rank`. The last rank's `hi` is
+    /// `u64::MAX` and, exceptionally, inclusive.
+    pub fn interval(&self, rank: u32) -> (u64, u64) {
+        (self.bounds[rank as usize], self.bounds[rank as usize + 1])
+    }
+
+    /// Does `rank` own `key`?
+    pub fn owns(&self, rank: u32, key: Key) -> bool {
+        self.owner(key) == rank
+    }
+}
+
+/// Decompose bodies across the machine by weighted parallel sample sort.
+///
+/// Returns this rank's bodies sorted by key, plus the global key intervals.
+/// `oversample` controls splitter quality (samples per rank; 32–128 is
+/// plenty for the load tolerances the tree cares about).
+pub fn decompose<C: Wire + Copy + Send>(
+    comm: &mut Comm,
+    mut bodies: Vec<Body<C>>,
+    oversample: usize,
+) -> (Vec<Body<C>>, KeyIntervals) {
+    let np = comm.size() as usize;
+    bodies.sort_unstable_by_key(|b| b.key);
+    if np == 1 {
+        return (bodies, KeyIntervals { bounds: vec![0, u64::MAX] });
+    }
+    let oversample = oversample.max(4);
+
+    // Local work and its global total.
+    let local_work: f64 = bodies.iter().map(|b| b.work as f64).sum();
+    // Sample keys at regular *work* quantiles of the local list. Each
+    // sample represents local_work / oversample units of work.
+    let mut samples: Vec<(u64, f64)> = Vec::with_capacity(oversample);
+    if !bodies.is_empty() && local_work > 0.0 {
+        let step = local_work / oversample as f64;
+        let mut next = step * 0.5;
+        let mut acc = 0.0;
+        for b in &bodies {
+            acc += b.work as f64;
+            while acc > next && samples.len() < oversample {
+                samples.push((b.key.0, step));
+                next += step;
+            }
+        }
+        while samples.len() < oversample {
+            samples.push((bodies.last().expect("nonempty").key.0, step));
+        }
+    }
+
+    // Everyone sees every sample and derives identical splitters.
+    let all: Vec<Vec<(u64, f64)>> = comm.allgather(samples);
+    let mut flat: Vec<(u64, f64)> = all.into_iter().flatten().collect();
+    flat.sort_unstable_by_key(|&(k, _)| k);
+    let total_weight: f64 = flat.iter().map(|&(_, w)| w).sum();
+
+    let mut bounds = Vec::with_capacity(np + 1);
+    bounds.push(0u64);
+    if total_weight > 0.0 {
+        let mut acc = 0.0;
+        let mut next_cut = total_weight / np as f64;
+        for &(k, w) in &flat {
+            acc += w;
+            while acc >= next_cut && bounds.len() < np {
+                bounds.push(k.saturating_add(1));
+                next_cut += total_weight / np as f64;
+            }
+        }
+    }
+    while bounds.len() < np {
+        bounds.push(u64::MAX);
+    }
+    bounds.push(u64::MAX);
+    // Monotonicity can be violated by duplicate sample keys; repair.
+    for i in 1..bounds.len() {
+        if bounds[i] < bounds[i - 1] {
+            bounds[i] = bounds[i - 1];
+        }
+    }
+    let intervals = KeyIntervals { bounds };
+
+    // Route every body to its owner.
+    let mut buckets: Vec<Vec<Body<C>>> = (0..np).map(|_| Vec::new()).collect();
+    for b in bodies {
+        buckets[intervals.owner(b.key) as usize].push(b);
+    }
+    let received = comm.alltoall(buckets);
+    let mut mine: Vec<Body<C>> = received.into_iter().flatten().collect();
+    mine.sort_unstable_by_key(|b| b.key);
+    (mine, intervals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_base::Aabb;
+    use hot_comm::World;
+    use rand::{Rng, SeedableRng};
+
+    fn make_bodies(rank: u32, n: usize, seed: u64) -> Vec<Body<f64>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + rank as u64);
+        (0..n)
+            .map(|i| {
+                let pos = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+                Body {
+                    key: Key::from_point(pos, &Aabb::unit()),
+                    pos,
+                    charge: 1.0,
+                    work: 1.0,
+                    id: rank as u64 * 1_000_000 + i as u64,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn body_wire_roundtrip() {
+        let b = Body { key: Key(123), pos: Vec3::new(1.0, 2.0, 3.0), charge: 4.5f64, work: 2.0, id: 99 };
+        let back: Body<f64> = hot_comm::from_bytes(hot_comm::to_bytes(&b));
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn interval_owner_logic() {
+        let iv = KeyIntervals { bounds: vec![0, 100, 200, u64::MAX] };
+        assert_eq!(iv.np(), 3);
+        assert_eq!(iv.owner(Key(0)), 0);
+        assert_eq!(iv.owner(Key(99)), 0);
+        assert_eq!(iv.owner(Key(100)), 1);
+        assert_eq!(iv.owner(Key(199)), 1);
+        assert_eq!(iv.owner(Key(200)), 2);
+        assert_eq!(iv.owner(Key(u64::MAX)), 2, "max key belongs to last rank");
+        assert!(iv.owns(1, Key(150)));
+        assert!(!iv.owns(0, Key(150)));
+    }
+
+    #[test]
+    fn decompose_preserves_and_sorts() {
+        for np in [1u32, 2, 4, 7] {
+            let per_rank = 500;
+            let out = World::run(np, move |c| {
+                let bodies = make_bodies(c.rank(), per_rank, 42);
+                let (mine, iv) = decompose(c, bodies, 32);
+                // Sorted and all owned by me.
+                assert!(mine.windows(2).all(|w| w[0].key <= w[1].key));
+                for b in &mine {
+                    assert!(iv.owns(c.rank(), b.key), "body {b:?} not owned");
+                }
+                (mine.len(), mine.iter().map(|b| b.id).collect::<Vec<_>>(), iv)
+            });
+            // Global conservation of bodies.
+            let total: usize = out.results.iter().map(|(n, _, _)| n).sum();
+            assert_eq!(total, np as usize * per_rank, "np={np}");
+            let mut all_ids: Vec<u64> =
+                out.results.iter().flat_map(|(_, ids, _)| ids.clone()).collect();
+            all_ids.sort_unstable();
+            all_ids.dedup();
+            assert_eq!(all_ids.len(), np as usize * per_rank, "ids lost or duplicated");
+            // All ranks agree on the intervals.
+            let iv0 = &out.results[0].2;
+            for (_, _, iv) in &out.results {
+                assert_eq!(iv, iv0);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_work_is_balanced() {
+        let np = 4u32;
+        let per_rank = 2000;
+        let out = World::run(np, move |c| {
+            let bodies = make_bodies(c.rank(), per_rank, 7);
+            let (mine, _) = decompose(c, bodies, 64);
+            mine.len()
+        });
+        let avg = per_rank as f64;
+        for &n in &out.results {
+            assert!(
+                (n as f64) > avg * 0.7 && (n as f64) < avg * 1.3,
+                "imbalanced: {n} vs avg {avg}: {:?}",
+                out.results
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_work_region_gets_fewer_bodies() {
+        // Bodies in the low-key octant carry 10x work. The rank(s) owning
+        // that region should end up with substantially fewer bodies.
+        let np = 4u32;
+        let per_rank = 2000;
+        let out = World::run(np, move |c| {
+            let mut bodies = make_bodies(c.rank(), per_rank, 3);
+            for b in &mut bodies {
+                // Octant 0 of the root = top 3 digit bits are 000.
+                if (b.key.0 >> 60) & 7 == 0 {
+                    b.work = 10.0;
+                }
+            }
+            let (mine, _) = decompose(c, bodies, 64);
+            let work: f64 = mine.iter().map(|b| b.work as f64).sum();
+            (mine.len(), work)
+        });
+        // Work should be balanced...
+        let works: Vec<f64> = out.results.iter().map(|&(_, w)| w).collect();
+        let avg_w: f64 = works.iter().sum::<f64>() / np as f64;
+        for &w in &works {
+            assert!(w > avg_w * 0.6 && w < avg_w * 1.4, "work imbalance: {works:?}");
+        }
+        // ...which forces body-count imbalance.
+        let counts: Vec<usize> = out.results.iter().map(|&(n, _)| n).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max as f64 > 1.5 * min as f64, "counts should skew: {counts:?}");
+    }
+
+    #[test]
+    fn empty_ranks_tolerated() {
+        // Rank 0 holds everything initially.
+        let np = 3u32;
+        let out = World::run(np, |c| {
+            let bodies =
+                if c.rank() == 0 { make_bodies(0, 900, 5) } else { Vec::new() };
+            let (mine, _) = decompose(c, bodies, 32);
+            mine.len()
+        });
+        let total: usize = out.results.iter().sum();
+        assert_eq!(total, 900);
+        // Everyone got a decent share.
+        for &n in &out.results {
+            assert!(n > 100, "rank starved: {:?}", out.results);
+        }
+    }
+
+    #[test]
+    fn all_identical_keys_degenerate() {
+        // Every body at the same point: splitters collapse; one rank owns
+        // them all, nothing is lost, nobody deadlocks.
+        let np = 3u32;
+        let out = World::run(np, |c| {
+            let bodies: Vec<Body<f64>> = (0..100)
+                .map(|i| Body {
+                    key: Key::from_point(Vec3::splat(0.5), &Aabb::unit()),
+                    pos: Vec3::splat(0.5),
+                    charge: 1.0,
+                    work: 1.0,
+                    id: c.rank() as u64 * 1000 + i,
+                })
+                .collect();
+            let (mine, _) = decompose(c, bodies, 16);
+            mine.len()
+        });
+        let total: usize = out.results.iter().sum();
+        assert_eq!(total, 300);
+    }
+}

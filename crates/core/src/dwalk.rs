@@ -1,0 +1,505 @@
+//! Distributed tree traversal with latency hiding.
+//!
+//! The paper: *"An efficient mechanism for latency hiding in the tree
+//! traversal phase of the algorithm is critical. To avoid stalls during
+//! non-local data access, we effectively do explicit 'context switching'."*
+//!
+//! Each sink group carries an independent walk (an explicit stack of node
+//! references). When a walk needs data that is not resident — the children
+//! of a remote cell, or the bodies of a remote leaf — it posts a request
+//! through the [`Abm`] active-message layer and is *parked*; the rank
+//! switches to another group's walk instead of stalling. Replies install
+//! the fetched cells into the global view (so later walks hit them for
+//! free) and re-activate the parked walks. The whole exchange runs to
+//! quiescence with ABM's termination protocol, with every rank also serving
+//! its peers' fetch requests from its local tree throughout.
+
+use crate::dtree::{CellRecord, DChildren, DistTree};
+use crate::mac::Mac;
+use crate::moments::Moments;
+use crate::walk::{Evaluator, WalkStats};
+use bytes::Bytes;
+use hot_base::Vec3;
+use hot_comm::{from_bytes, Abm, Comm};
+use std::collections::HashMap;
+
+/// Message kinds on the ABM channel.
+const K_REQ_CHILDREN: u16 = 1;
+const K_REP_CHILDREN: u16 = 2;
+const K_REQ_BODIES: u16 = 3;
+const K_REP_BODIES: u16 = 4;
+
+/// A reference into the hybrid tree: either a local cell or a global node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ref {
+    /// Index into `DistTree::local.cells`.
+    Local(u32),
+    /// Index into `DistTree::nodes`.
+    Node(u32),
+}
+
+/// One sink group's suspended traversal.
+struct GroupWalk {
+    /// Index of the group cell in the local tree.
+    gi: u32,
+    /// Remaining node references to process.
+    stack: Vec<Ref>,
+}
+
+/// Why a walk parked.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Want {
+    Children(u64),
+    Bodies(u64),
+}
+
+/// Statistics of one rank's distributed walk.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DwalkStats {
+    /// Interaction counts (paper units).
+    pub walk: WalkStats,
+    /// Cell-fetch requests sent.
+    pub cell_requests: u64,
+    /// Body-fetch requests sent.
+    pub body_requests: u64,
+    /// Times a walk parked (the "context switches").
+    pub parks: u64,
+}
+
+/// Run the distributed traversal. Collective: every rank calls with its
+/// [`DistTree`] and its own evaluator; returns when the machine-wide
+/// exchange is quiescent.
+///
+/// `group_size` is the sink-group particle bound (see
+/// [`crate::walk::default_group_size`]).
+pub fn dwalk<M: Moments, E: Evaluator<M>>(
+    comm: &mut Comm,
+    dt: &mut DistTree<M>,
+    mac: &Mac,
+    eval: &mut E,
+    group_size: usize,
+) -> DwalkStats {
+    let mut stats = DwalkStats::default();
+    let root = Ref::Node(dt.root);
+    let mut active: Vec<GroupWalk> = dt
+        .local
+        .groups(group_size)
+        .into_iter()
+        .map(|gi| GroupWalk { gi, stack: vec![root] })
+        .collect();
+    let mut parked: HashMap<Want, Vec<GroupWalk>> = HashMap::new();
+    let mut abm = Abm::new(comm, 4096);
+
+    // Main service loop, structured as globally synchronized rounds so
+    // that termination detection can use blocking collectives without
+    // deadlock: a rank must never block in the consensus while a peer
+    // still needs its data to make progress, so every rank (1) drains its
+    // runnable walks, (2) serves/absorbs every message available right
+    // now, and only then (3) joins the round's count exchange. Parked
+    // walks simply wait out the round. The exchange terminates when the
+    // machine-wide (posted, delivered, runnable+parked) triple is stable
+    // at (n, n, 0) for two consecutive rounds (double-count termination
+    // detection, as in the ABM layer).
+    let mut prev = (u64::MAX, u64::MAX, u64::MAX);
+    loop {
+        loop {
+            while let Some(mut w) = active.pop() {
+                match run_walk(dt, mac, eval, &mut w, &mut abm, &mut stats, &mut parked) {
+                    WalkOutcome::Done => {}
+                    WalkOutcome::Parked => stats.parks += 1,
+                }
+            }
+            abm.flush_all();
+            let mut handler = make_handler(dt, &mut active, &mut parked);
+            let handled = abm.poll(&mut handler);
+            drop(handler);
+            if active.is_empty() && handled == 0 {
+                break;
+            }
+        }
+        let pending = parked.values().map(|v| v.len() as u64).sum::<u64>();
+        let s = abm.stats();
+        let totals = abm
+            .comm_mut()
+            .allreduce((s.posted, s.delivered, pending), |a, b| {
+                (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+            });
+        if totals.0 == totals.1 && totals.2 == 0 && totals == prev {
+            break;
+        }
+        prev = totals;
+    }
+    debug_assert!(active.is_empty() && parked.is_empty());
+    stats
+}
+
+enum WalkOutcome {
+    Done,
+    Parked,
+}
+
+/// Drive one walk until it completes or blocks on non-resident data.
+fn run_walk<M: Moments, E: Evaluator<M>>(
+    dt: &DistTree<M>,
+    mac: &Mac,
+    eval: &mut E,
+    w: &mut GroupWalk,
+    abm: &mut Abm<'_>,
+    stats: &mut DwalkStats,
+    parked: &mut HashMap<Want, Vec<GroupWalk>>,
+) -> WalkOutcome {
+    let g = &dt.local.cells[w.gi as usize];
+    let gc = g.center;
+    let gr = g.bmax;
+    let sinks = g.span();
+    let gn = g.n as u64;
+
+    while let Some(r) = w.stack.pop() {
+        match r {
+            Ref::Local(ci) => {
+                if ci == w.gi {
+                    eval.particle_particle(
+                        &dt.local,
+                        sinks.clone(),
+                        &dt.local.pos[sinks.clone()],
+                        &dt.local.charge[sinks.clone()],
+                        Some(sinks.start),
+                    );
+                    stats.walk.pp += gn * (gn - 1);
+                    continue;
+                }
+                let c = &dt.local.cells[ci as usize];
+                if c.n == 0 {
+                    continue;
+                }
+                if mac.accepts(c, gc, gr) {
+                    eval.particle_cell(&dt.local, sinks.clone(), c.center, &c.moments);
+                    stats.walk.pc += gn;
+                } else if c.is_leaf() {
+                    eval.particle_particle(
+                        &dt.local,
+                        sinks.clone(),
+                        &dt.local.pos[c.span()],
+                        &dt.local.charge[c.span()],
+                        Some(c.first as usize),
+                    );
+                    stats.walk.pp += gn * c.n as u64;
+                } else {
+                    stats.walk.opened += 1;
+                    w.stack.extend(dt.local.children(c).map(|k| Ref::Local(k as u32)));
+                }
+            }
+            Ref::Node(ni) => {
+                let node = &dt.nodes[ni as usize];
+                if node.n == 0 {
+                    continue;
+                }
+                if mac.accepts_raw(node.center, node.bmax, node.moments.b2(), gc, gr) {
+                    eval.particle_cell(&dt.local, sinks.clone(), node.center, &node.moments);
+                    stats.walk.pc += gn;
+                    continue;
+                }
+                match &node.children {
+                    DChildren::Nodes(kids) => {
+                        stats.walk.opened += 1;
+                        w.stack.extend(kids.iter().map(|&k| Ref::Node(k)));
+                    }
+                    DChildren::LocalSubtree => {
+                        // Graft into the local cell structure. Virtual
+                        // branches (no resident cell) fall back to a direct
+                        // span evaluation.
+                        if let Some(ci) = dt.local.table.get(node.key) {
+                            w.stack.push(Ref::Local(ci));
+                        } else {
+                            // Virtual branch: its particles live in a span
+                            // of the local arrays (possibly aliasing the
+                            // sink span — src_start lets the evaluator
+                            // exclude self pairs).
+                            let span = dt.span_of(node.key);
+                            if !span.is_empty() {
+                                eval.particle_particle(
+                                    &dt.local,
+                                    sinks.clone(),
+                                    &dt.local.pos[span.clone()],
+                                    &dt.local.charge[span.clone()],
+                                    Some(span.start),
+                                );
+                                stats.walk.pp += gn * span.len() as u64;
+                            }
+                        }
+                    }
+                    DChildren::RemoteLeaf => {
+                        if let Some((bp, bq)) = dt.body_cache.get(&ni) {
+                            eval.particle_particle(&dt.local, sinks.clone(), bp, bq, None);
+                            stats.walk.pp += gn * bp.len() as u64;
+                        } else {
+                            let want = Want::Bodies(node.key.0);
+                            let owner = node.owner;
+                            let first = !parked.contains_key(&want);
+                            if first {
+                                abm.post(owner, K_REQ_BODIES, &node.key.0);
+                                stats.body_requests += 1;
+                            }
+                            // Park: remember the blocking node by pushing it
+                            // back; the resume path re-pops it with the
+                            // cache filled.
+                            w.stack.push(Ref::Node(ni));
+                            parked
+                                .entry(want)
+                                .or_default()
+                                .push(GroupWalk { gi: w.gi, stack: std::mem::take(&mut w.stack) });
+                            return WalkOutcome::Parked;
+                        }
+                    }
+                    DChildren::RemoteUnfetched => {
+                        let want = Want::Children(node.key.0);
+                        let owner = node.owner;
+                        let first = !parked.contains_key(&want);
+                        if first {
+                            abm.post(owner, K_REQ_CHILDREN, &node.key.0);
+                            stats.cell_requests += 1;
+                        }
+                        w.stack.push(Ref::Node(ni));
+                        parked
+                            .entry(want)
+                            .or_default()
+                            .push(GroupWalk { gi: w.gi, stack: std::mem::take(&mut w.stack) });
+                        return WalkOutcome::Parked;
+                    }
+                }
+            }
+        }
+    }
+    WalkOutcome::Done
+}
+
+/// Build the ABM handler that serves peers and absorbs replies.
+fn make_handler<'h, M: Moments>(
+    dt: &'h mut DistTree<M>,
+    active: &'h mut Vec<GroupWalk>,
+    parked: &'h mut HashMap<Want, Vec<GroupWalk>>,
+) -> impl FnMut(&mut Abm<'_>, u32, u16, Bytes) + 'h {
+    move |ep, src, kind, payload| match kind {
+        K_REQ_CHILDREN => {
+            let key: u64 = from_bytes(payload);
+            let records = dt
+                .children_records(hot_morton::Key(key))
+                .unwrap_or_default();
+            ep.post(src, K_REP_CHILDREN, &(key, records));
+        }
+        K_REQ_BODIES => {
+            let key: u64 = from_bytes(payload);
+            let (pos, charge) =
+                dt.bodies_of(hot_morton::Key(key)).unwrap_or_default();
+            let pairs: Vec<(Vec3, M::Charge)> =
+                pos.into_iter().zip(charge).collect();
+            ep.post(src, K_REP_BODIES, &(key, pairs));
+        }
+        K_REP_CHILDREN => {
+            let (key, records): (u64, Vec<CellRecord<M>>) = from_bytes(payload);
+            dt.install_children(hot_morton::Key(key), &records);
+            if let Some(walks) = parked.remove(&Want::Children(key)) {
+                active.extend(walks);
+            }
+        }
+        K_REP_BODIES => {
+            let (key, pairs): (u64, Vec<(Vec3, M::Charge)>) = from_bytes(payload);
+            let ni = dt
+                .table
+                .get(hot_morton::Key(key))
+                .expect("body reply for unknown node");
+            let mut pos = Vec::with_capacity(pairs.len());
+            let mut charge = Vec::with_capacity(pairs.len());
+            for (p, q) in pairs {
+                pos.push(p);
+                charge.push(q);
+            }
+            dt.body_cache.insert(ni, (pos, charge));
+            if let Some(walks) = parked.remove(&Want::Bodies(key)) {
+                active.extend(walks);
+            }
+        }
+        other => panic!("unknown ABM message kind {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::{decompose, Body};
+    use crate::moments::MassMoments;
+    use crate::tree::Tree;
+    use hot_base::Aabb;
+    use hot_comm::World;
+    use hot_morton::Key;
+    use rand::{Rng, SeedableRng};
+    use std::ops::Range;
+
+    /// Mass-coverage evaluator, distributed flavour: tracks per-sink seen
+    /// mass plus each sink's id for global assembly.
+    struct MassCoverage {
+        seen: Vec<f64>,
+    }
+
+    impl Evaluator<MassMoments> for MassCoverage {
+        fn particle_cell(
+            &mut self,
+            _t: &Tree<MassMoments>,
+            sinks: Range<usize>,
+            _c: Vec3,
+            m: &MassMoments,
+        ) {
+            for i in sinks {
+                self.seen[i] += m.mass;
+            }
+        }
+        fn particle_particle(
+            &mut self,
+            _t: &Tree<MassMoments>,
+            sinks: Range<usize>,
+            _sp: &[Vec3],
+            sq: &[f64],
+            _src_start: Option<usize>,
+        ) {
+            let total: f64 = sq.iter().sum();
+            for i in sinks {
+                self.seen[i] += total;
+            }
+        }
+    }
+
+    fn coverage_run(np: u32, n_per: usize, theta: f64, clustered: bool) {
+        let out = World::run(np, move |c| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1234 + c.rank() as u64);
+            let bodies: Vec<Body<f64>> = (0..n_per)
+                .map(|i| {
+                    let pos = if clustered && i % 2 == 0 {
+                        Vec3::new(
+                            0.1 + rng.gen::<f64>() * 0.01,
+                            0.1 + rng.gen::<f64>() * 0.01,
+                            0.1 + rng.gen::<f64>() * 0.01,
+                        )
+                    } else {
+                        Vec3::new(rng.gen(), rng.gen(), rng.gen())
+                    };
+                    Body {
+                        key: Key::from_point(pos, &Aabb::unit()),
+                        pos,
+                        charge: 1.0 + (i % 4) as f64 * 0.5,
+                        work: 1.0,
+                        id: c.rank() as u64 * 1_000_000 + i as u64,
+                    }
+                })
+                .collect();
+            let (mine, iv) = decompose(c, bodies, 32);
+            let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
+            let q: Vec<f64> = mine.iter().map(|b| b.charge).collect();
+            let tree = Tree::<MassMoments>::build(Aabb::unit(), &pos, &q, 8);
+            let mut dt = DistTree::build(c, tree, iv);
+            let total_mass = c.allreduce_sum_f64(q.iter().sum());
+            let mut cov = MassCoverage { seen: vec![0.0; dt.local.n_particles()] };
+            let stats = dwalk(c, &mut dt, &Mac::BarnesHut { theta }, &mut cov, 16);
+            (cov.seen, total_mass, stats.walk.interactions(), stats.parks)
+        });
+        let mut total_parks = 0;
+        for (rank, (seen, total_mass, inter, parks)) in out.results.iter().enumerate() {
+            for (i, &s) in seen.iter().enumerate() {
+                assert!(
+                    (s - total_mass).abs() < 1e-9 * total_mass,
+                    "np={np} rank={rank} sink={i}: saw {s} of {total_mass}"
+                );
+            }
+            if seen.len() > 1 {
+                assert!(*inter > 0);
+            }
+            total_parks += parks;
+        }
+        if np > 1 {
+            // With several ranks the walks must actually have context
+            // switched at least somewhere.
+            assert!(total_parks > 0, "np={np}: no latency hiding exercised");
+        }
+    }
+
+    #[test]
+    fn coverage_single_rank() {
+        coverage_run(1, 500, 0.7, false);
+    }
+
+    #[test]
+    fn coverage_two_ranks() {
+        coverage_run(2, 400, 0.7, false);
+    }
+
+    #[test]
+    fn coverage_five_ranks() {
+        coverage_run(5, 300, 0.6, false);
+    }
+
+    #[test]
+    fn coverage_clustered() {
+        coverage_run(4, 400, 0.8, true);
+    }
+
+    #[test]
+    fn coverage_tight_mac() {
+        // A very tight theta forces deep descent into remote trees and
+        // plenty of body fetches.
+        coverage_run(3, 200, 0.25, false);
+    }
+
+    /// The distributed walk must agree with a serial walk over the union of
+    /// all particles — same MAC, same bucket — on the *interaction counts*
+    /// seen per rank in aggregate (they partition the sinks).
+    #[test]
+    fn matches_serial_interaction_totals() {
+        let np = 3u32;
+        let n_total = 600usize;
+        // Deterministic global particle set.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let all_pos: Vec<Vec3> =
+            (0..n_total).map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen())).collect();
+        let all_q = vec![1.0f64; n_total];
+
+        // Serial reference.
+        let tree = Tree::<MassMoments>::build(Aabb::unit(), &all_pos, &all_q, 8);
+        let mut cov = MassCoverage { seen: vec![0.0; n_total] };
+        let mut serial_total = 0.0;
+        for gi in tree.groups(16) {
+            let s = crate::walk::walk_group(&tree, &Mac::BarnesHut { theta: 0.7 }, gi, &mut cov);
+            serial_total += s.interactions() as f64;
+        }
+
+        let pos_clone = all_pos.clone();
+        let out = World::run(np, move |c| {
+            let per = n_total / np as usize;
+            let lo = c.rank() as usize * per;
+            let hi = if c.rank() == np - 1 { n_total } else { lo + per };
+            let bodies: Vec<Body<f64>> = (lo..hi)
+                .map(|i| Body {
+                    key: Key::from_point(pos_clone[i], &Aabb::unit()),
+                    pos: pos_clone[i],
+                    charge: 1.0,
+                    work: 1.0,
+                    id: i as u64,
+                })
+                .collect();
+            let (mine, iv) = decompose(c, bodies, 32);
+            let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
+            let q: Vec<f64> = mine.iter().map(|b| b.charge).collect();
+            let tree = Tree::<MassMoments>::build(Aabb::unit(), &pos, &q, 8);
+            let mut dt = DistTree::build(c, tree, iv);
+            let mut cov = MassCoverage { seen: vec![0.0; dt.local.n_particles()] };
+            let stats = dwalk(c, &mut dt, &Mac::BarnesHut { theta: 0.7 }, &mut cov, 16);
+            stats.walk.interactions()
+        });
+        let dist_total: u64 = out.results.iter().sum();
+        // Not identical (the decomposition changes group shapes), but the
+        // same order: within 40% of the serial count.
+        let ratio = dist_total as f64 / serial_total;
+        assert!(
+            (0.6..1.67).contains(&ratio),
+            "distributed {dist_total} vs serial {serial_total} (ratio {ratio})"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the tree layer (proptest).
+
+#![cfg(test)]
+
+use crate::htable::KeyTable;
+use crate::moments::MassMoments;
+use crate::tree::Tree;
+use hot_base::{Aabb, Vec3};
+use hot_morton::Key;
+use proptest::prelude::*;
+
+fn unit_points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec3>> {
+    proptest::collection::vec(
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tree structural invariants hold for arbitrary point sets and bucket
+    /// sizes (including duplicates and tiny buckets).
+    #[test]
+    fn tree_validates_for_arbitrary_inputs(
+        mut pts in unit_points(1..300),
+        bucket in 1usize..40,
+        dup in 0usize..5,
+    ) {
+        // Inject duplicates to stress the max-depth path.
+        for k in 0..dup.min(pts.len()) {
+            let p = pts[k];
+            pts.push(p);
+        }
+        let masses = vec![1.0; pts.len()];
+        let tree = Tree::<MassMoments>::build(Aabb::unit(), &pts, &masses, bucket);
+        tree.validate();
+        prop_assert_eq!(tree.n_particles(), pts.len());
+        prop_assert!((tree.root().moments.mass - pts.len() as f64).abs() < 1e-9);
+    }
+
+    /// Groups partition the particles for any group bound.
+    #[test]
+    fn groups_partition(pts in unit_points(1..300), gs in 1usize..64) {
+        let masses = vec![1.0; pts.len()];
+        let tree = Tree::<MassMoments>::build(Aabb::unit(), &pts, &masses, 8);
+        let mut seen = vec![false; pts.len()];
+        for gi in tree.groups(gs) {
+            for i in tree.cells[gi as usize].span() {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Mass coverage: every sink sees total mass once, for arbitrary point
+    /// sets, bucket sizes and angles — the treecode's fundamental
+    /// conservation property, fuzzed.
+    #[test]
+    fn walk_mass_coverage(
+        pts in unit_points(2..200),
+        bucket in 1usize..24,
+        theta in 0.2f64..1.2,
+    ) {
+        use crate::walk::{walk, Evaluator};
+        use std::ops::Range;
+        struct Cov(Vec<f64>);
+        impl Evaluator<MassMoments> for Cov {
+            fn particle_cell(&mut self, _t: &Tree<MassMoments>, s: Range<usize>, _c: Vec3, m: &MassMoments) {
+                for i in s { self.0[i] += m.mass; }
+            }
+            fn particle_particle(&mut self, _t: &Tree<MassMoments>, s: Range<usize>, _p: &[Vec3], q: &[f64], _o: Option<usize>) {
+                let total: f64 = q.iter().sum();
+                for i in s { self.0[i] += total; }
+            }
+        }
+        let masses = vec![1.0; pts.len()];
+        let tree = Tree::<MassMoments>::build(Aabb::unit(), &pts, &masses, bucket);
+        let mut cov = Cov(vec![0.0; pts.len()]);
+        walk(&tree, &crate::Mac::BarnesHut { theta }, &mut cov);
+        let n = pts.len() as f64;
+        for &s in &cov.0 {
+            prop_assert!((s - n).abs() < 1e-9 * n, "saw {s}, want {n}");
+        }
+    }
+
+    /// The KeyTable behaves exactly like a reference map under arbitrary
+    /// operation sequences.
+    #[test]
+    fn keytable_model_check(ops in proptest::collection::vec((1u64..500, 0u32..100), 1..500)) {
+        let mut table = KeyTable::with_capacity(4);
+        let mut model = std::collections::HashMap::new();
+        for (raw, val) in ops {
+            let k = Key(raw);
+            prop_assert_eq!(table.insert(k, val), model.insert(k, val));
+            prop_assert_eq!(table.len(), model.len());
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+        // Absent keys miss.
+        for raw in 500..520 {
+            prop_assert_eq!(table.get(Key(raw)), None);
+        }
+    }
+
+    /// Cell bmax bounds are respected against brute force for arbitrary
+    /// input (a tight invariant the MAC correctness rests on).
+    #[test]
+    fn bmax_really_bounds(pts in unit_points(1..150)) {
+        let masses = vec![1.0; pts.len()];
+        let tree = Tree::<MassMoments>::build(Aabb::unit(), &pts, &masses, 6);
+        for c in &tree.cells {
+            for i in c.span() {
+                let d = (tree.pos[i] - c.center).norm();
+                prop_assert!(d <= c.bmax * (1.0 + 1e-12) + 1e-300);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Small encode/decode helpers shared by the tree's wire formats.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hot_base::Vec3;
+
+/// Append a `Vec3` (3 × little-endian f64).
+#[inline]
+pub fn put_vec3(buf: &mut BytesMut, v: Vec3) {
+    buf.put_f64_le(v.x);
+    buf.put_f64_le(v.y);
+    buf.put_f64_le(v.z);
+}
+
+/// Read a `Vec3`.
+#[inline]
+pub fn get_vec3(buf: &mut Bytes) -> Vec3 {
+    let x = buf.get_f64_le();
+    let y = buf.get_f64_le();
+    let z = buf.get_f64_le();
+    Vec3::new(x, y, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = BytesMut::new();
+        put_vec3(&mut buf, Vec3::new(1.5, -2.5, 1e-300));
+        let mut b = buf.freeze();
+        assert_eq!(get_vec3(&mut b), Vec3::new(1.5, -2.5, 1e-300));
+        assert!(b.is_empty());
+    }
+}

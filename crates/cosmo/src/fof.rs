@@ -1,0 +1,246 @@
+//! Friends-of-friends (FoF) halo finding.
+//!
+//! The paper's science case: *"Our ability to identify galaxies which can
+//! be compared to observational results requires that each galaxy contain
+//! hundreds or thousands of particles"*. The standard identification tool
+//! is friends-of-friends: particles closer than a linking length belong to
+//! the same group; groups above a size threshold are dark-matter halos.
+//! Implemented with a cell-list neighbour search and union–find.
+
+use hot_base::Vec3;
+
+/// Union–find with path halving and union by size.
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// One identified group.
+#[derive(Clone, Debug)]
+pub struct Halo {
+    /// Member particle indices.
+    pub members: Vec<u32>,
+    /// Mass-weighted centre.
+    pub center: Vec3,
+    /// Total mass.
+    pub mass: f64,
+}
+
+/// Run friends-of-friends with linking length `link` and keep groups with
+/// at least `min_members` members.
+pub fn friends_of_friends(
+    pos: &[Vec3],
+    mass: &[f64],
+    link: f64,
+    min_members: usize,
+) -> Vec<Halo> {
+    let n = pos.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(link > 0.0);
+    // Cell list with cell edge = link: neighbours are within the 27-cell
+    // stencil.
+    let mut minc = pos[0];
+    let mut maxc = pos[0];
+    for &p in pos {
+        minc = minc.min(p);
+        maxc = maxc.max(p);
+    }
+    let inv = 1.0 / link;
+    let dims = [
+        (((maxc.x - minc.x) * inv).floor() as i64 + 1).max(1),
+        (((maxc.y - minc.y) * inv).floor() as i64 + 1).max(1),
+        (((maxc.z - minc.z) * inv).floor() as i64 + 1).max(1),
+    ];
+    let cell_of = |p: Vec3| -> (i64, i64, i64) {
+        (
+            (((p.x - minc.x) * inv).floor() as i64).min(dims[0] - 1),
+            (((p.y - minc.y) * inv).floor() as i64).min(dims[1] - 1),
+            (((p.z - minc.z) * inv).floor() as i64).min(dims[2] - 1),
+        )
+    };
+    let key_of = |c: (i64, i64, i64)| -> i64 { (c.2 * dims[1] + c.1) * dims[0] + c.0 };
+
+    let mut buckets: std::collections::HashMap<i64, Vec<u32>> = std::collections::HashMap::new();
+    for (i, &p) in pos.iter().enumerate() {
+        buckets.entry(key_of(cell_of(p))).or_default().push(i as u32);
+    }
+
+    let link2 = link * link;
+    let mut dsu = Dsu::new(n);
+    for (i, &p) in pos.iter().enumerate() {
+        let c = cell_of(p);
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let nb = (c.0 + dx, c.1 + dy, c.2 + dz);
+                    if nb.0 < 0 || nb.1 < 0 || nb.2 < 0 || nb.0 >= dims[0] || nb.1 >= dims[1] || nb.2 >= dims[2] {
+                        continue;
+                    }
+                    if let Some(list) = buckets.get(&key_of(nb)) {
+                        for &j in list {
+                            if (j as usize) > i && (pos[j as usize] - p).norm2() <= link2 {
+                                dsu.union(i as u32, j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect groups.
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for i in 0..n as u32 {
+        let r = dsu.find(i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut halos: Vec<Halo> = groups
+        .into_values()
+        .filter(|members| members.len() >= min_members)
+        .map(|members| {
+            let mut m = 0.0;
+            let mut c = Vec3::ZERO;
+            for &i in &members {
+                m += mass[i as usize];
+                c += pos[i as usize] * mass[i as usize];
+            }
+            Halo { center: c / m, mass: m, members }
+        })
+        .collect();
+    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite masses"));
+    halos
+}
+
+/// The halo mass function: counts in logarithmic mass bins, for comparing
+/// clustering statistics between runs.
+pub fn mass_function(halos: &[Halo], bins: usize, m_min: f64, m_max: f64) -> Vec<(f64, usize)> {
+    let lmin = m_min.ln();
+    let lmax = m_max.ln();
+    let mut out: Vec<(f64, usize)> = (0..bins)
+        .map(|b| {
+            let lc = lmin + (b as f64 + 0.5) / bins as f64 * (lmax - lmin);
+            (lc.exp(), 0)
+        })
+        .collect();
+    for h in halos {
+        if h.mass <= 0.0 {
+            continue;
+        }
+        let f = (h.mass.ln() - lmin) / (lmax - lmin);
+        if (0.0..1.0).contains(&f) {
+            out[(f * bins as f64) as usize].1 += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn two_clusters_and_noise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut pos = Vec::new();
+        // Cluster A: 100 particles within 0.05 of (1,1,1).
+        for _ in 0..100 {
+            pos.push(Vec3::splat(1.0) + Vec3::new(rng.gen::<f64>(), rng.gen(), rng.gen()) * 0.05);
+        }
+        // Cluster B: 60 particles near (3,3,3).
+        for _ in 0..60 {
+            pos.push(Vec3::splat(3.0) + Vec3::new(rng.gen::<f64>(), rng.gen(), rng.gen()) * 0.05);
+        }
+        // Sparse noise.
+        for _ in 0..50 {
+            pos.push(Vec3::new(rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0));
+        }
+        let mass = vec![1.0; pos.len()];
+        let halos = friends_of_friends(&pos, &mass, 0.1, 20);
+        assert_eq!(halos.len(), 2, "expected exactly the two clusters");
+        assert_eq!(halos[0].members.len(), 100);
+        assert_eq!(halos[1].members.len(), 60);
+        assert!((halos[0].center - Vec3::splat(1.025)).norm() < 0.05);
+    }
+
+    #[test]
+    fn linking_length_controls_merging() {
+        // Two blobs 0.5 apart merge when the linking length bridges them.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut pos = Vec::new();
+        for _ in 0..50 {
+            pos.push(Vec3::ZERO + Vec3::new(rng.gen::<f64>(), rng.gen(), rng.gen()) * 0.1);
+        }
+        for _ in 0..50 {
+            pos.push(Vec3::new(0.5, 0.0, 0.0) + Vec3::new(rng.gen::<f64>(), rng.gen(), rng.gen()) * 0.1);
+        }
+        let mass = vec![1.0; 100];
+        let small = friends_of_friends(&pos, &mass, 0.05, 10);
+        let large = friends_of_friends(&pos, &mass, 0.6, 10);
+        assert_eq!(small.len(), 2);
+        assert_eq!(large.len(), 1);
+        assert_eq!(large[0].members.len(), 100);
+    }
+
+    #[test]
+    fn chain_percolates() {
+        // A line of particles spaced 0.9·link must form one group.
+        let pos: Vec<Vec3> = (0..30).map(|i| Vec3::new(i as f64 * 0.9, 0.0, 0.0)).collect();
+        let mass = vec![2.0; 30];
+        let halos = friends_of_friends(&pos, &mass, 1.0, 5);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].members.len(), 30);
+        assert!((halos[0].mass - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_minimum_filters() {
+        assert!(friends_of_friends(&[], &[], 1.0, 1).is_empty());
+        let pos = vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)];
+        let mass = vec![1.0; 2];
+        // Two singletons, threshold 2 → nothing survives.
+        assert!(friends_of_friends(&pos, &mass, 1.0, 2).is_empty());
+        assert_eq!(friends_of_friends(&pos, &mass, 1.0, 1).len(), 2);
+    }
+
+    #[test]
+    fn mass_function_bins() {
+        let halos = vec![
+            Halo { members: vec![], center: Vec3::ZERO, mass: 10.0 },
+            Halo { members: vec![], center: Vec3::ZERO, mass: 12.0 },
+            Halo { members: vec![], center: Vec3::ZERO, mass: 1000.0 },
+        ];
+        let mf = mass_function(&halos, 4, 1.0, 10_000.0);
+        let total: usize = mf.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+        assert!(mf[1].1 == 2, "two halos near 10: {mf:?}");
+    }
+}

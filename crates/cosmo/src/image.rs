@@ -1,0 +1,151 @@
+//! Projected-density imaging — Figures 1 and 2 of the paper.
+//!
+//! *"the color of each pixel represents the logarithm of the projected
+//! particle density along the line of sight"*. We render the same
+//! quantity: particles are binned onto a pixel grid along the z axis, the
+//! log of the column density is stretched to 8 bits, and the result is
+//! written as a portable graymap (PGM) — no image libraries required.
+
+use hot_base::Vec3;
+use std::io::Write;
+
+/// A grayscale image.
+pub struct GrayImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major 8-bit pixels.
+    pub pixels: Vec<u8>,
+}
+
+/// Project particle mass along z onto a `width × height` grid covering
+/// `[x0, x1) × [y0, y1)`, then log-stretch.
+pub fn project_log_density(
+    pos: &[Vec3],
+    mass: &[f64],
+    width: usize,
+    height: usize,
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+) -> GrayImage {
+    assert!(width > 0 && height > 0 && x1 > x0 && y1 > y0);
+    let mut grid = vec![0.0f64; width * height];
+    let sx = width as f64 / (x1 - x0);
+    let sy = height as f64 / (y1 - y0);
+    for (p, &m) in pos.iter().zip(mass) {
+        let ix = ((p.x - x0) * sx).floor();
+        let iy = ((p.y - y0) * sy).floor();
+        if ix >= 0.0 && iy >= 0.0 && (ix as usize) < width && (iy as usize) < height {
+            grid[iy as usize * width + ix as usize] += m;
+        }
+    }
+    // Log stretch between the occupied minimum and the maximum.
+    let max = grid.iter().copied().fold(0.0f64, f64::max);
+    let min_occupied = grid
+        .iter()
+        .copied()
+        .filter(|&v| v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let pixels = if max <= 0.0 {
+        vec![0; width * height]
+    } else {
+        let lo = min_occupied.ln();
+        let hi = max.ln().max(lo + 1e-12);
+        grid.iter()
+            .map(|&v| {
+                if v <= 0.0 {
+                    0
+                } else {
+                    let t = (v.ln() - lo) / (hi - lo);
+                    (16.0 + t * 239.0) as u8
+                }
+            })
+            .collect()
+    };
+    GrayImage { width, height, pixels }
+}
+
+impl GrayImage {
+    /// Serialize as binary PGM (P5).
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() + 32);
+        write!(out, "P5\n{} {}\n255\n", self.width, self.height).expect("write to Vec");
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Write a PGM file.
+    pub fn save_pgm(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_pgm())
+    }
+
+    /// Fraction of pixels that received any mass.
+    pub fn coverage(&self) -> f64 {
+        self.pixels.iter().filter(|&&p| p > 0).count() as f64 / self.pixels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clump_is_brighter_than_field() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut pos = Vec::new();
+        // Uniform background.
+        for _ in 0..2000 {
+            pos.push(Vec3::new(rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0, rng.gen()));
+        }
+        // Dense clump at (2.5, 7.5).
+        for _ in 0..2000 {
+            pos.push(Vec3::new(
+                2.5 + rng.gen::<f64>() * 0.2,
+                7.5 + rng.gen::<f64>() * 0.2,
+                rng.gen(),
+            ));
+        }
+        let mass = vec![1.0; pos.len()];
+        let img = project_log_density(&pos, &mass, 64, 64, 0.0, 10.0, 0.0, 10.0);
+        // Pixel at the clump.
+        let cx = (2.5 / 10.0 * 64.0) as usize;
+        let cy = (7.5 / 10.0 * 64.0) as usize;
+        let clump = img.pixels[cy * 64 + cx];
+        let field = img.pixels[5 * 64 + 40];
+        assert!(clump > field, "clump {clump} vs field {field}");
+        assert!(clump > 200, "clump should be near white: {clump}");
+        // 2000 background particles over 4096 pixels: Poisson coverage
+        // 1 − e^{−0.49} ≈ 0.39.
+        assert!(img.coverage() > 0.3);
+    }
+
+    #[test]
+    fn pgm_header() {
+        let img = GrayImage { width: 3, height: 2, pixels: vec![0, 128, 255, 1, 2, 3] };
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(pgm.len(), 11 + 6);
+    }
+
+    #[test]
+    fn empty_image_is_black() {
+        let img = project_log_density(&[], &[], 8, 8, 0.0, 1.0, 0.0, 1.0);
+        assert!(img.pixels.iter().all(|&p| p == 0));
+        assert_eq!(img.coverage(), 0.0);
+    }
+
+    #[test]
+    fn out_of_window_particles_ignored() {
+        let pos = vec![Vec3::new(-5.0, 0.5, 0.0), Vec3::new(0.5, 0.5, 0.0)];
+        let mass = vec![1.0, 1.0];
+        let img = project_log_density(&pos, &mass, 4, 4, 0.0, 1.0, 0.0, 1.0);
+        let lit: Vec<usize> =
+            img.pixels.iter().enumerate().filter(|(_, &p)| p > 0).map(|(i, _)| i).collect();
+        assert_eq!(lit.len(), 1);
+        assert_eq!(lit[0], 2 * 4 + 2);
+    }
+}

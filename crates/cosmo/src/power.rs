@@ -1,0 +1,123 @@
+//! The Cold Dark Matter power spectrum.
+//!
+//! The paper's simulations start from "a Cold Dark Matter power spectrum of
+//! density fluctuations". We use the standard BBKS (Bardeen, Bond, Kaiser &
+//! Szalay 1986) transfer function with a Harrison–Zel'dovich primordial
+//! slope — the canonical 1990s CDM spectrum the original runs were drawn
+//! from — normalized by σ₈.
+
+/// CDM power spectrum parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CdmSpectrum {
+    /// Shape parameter Γ ≈ Ω h (0.25 was the mid-90s "standard CDM" remnant
+    /// after COBE; the paper's own earlier work used similar values).
+    pub gamma: f64,
+    /// Primordial spectral index (1 = Harrison–Zel'dovich).
+    pub n_s: f64,
+    /// Normalization amplitude (set via [`CdmSpectrum::normalized_to_sigma8`]).
+    pub amplitude: f64,
+}
+
+impl Default for CdmSpectrum {
+    fn default() -> Self {
+        CdmSpectrum { gamma: 0.25, n_s: 1.0, amplitude: 1.0 }
+    }
+}
+
+impl CdmSpectrum {
+    /// BBKS transfer function.
+    pub fn transfer(&self, k: f64) -> f64 {
+        if k <= 0.0 {
+            return 1.0;
+        }
+        let q = k / self.gamma;
+        let ln_term = (1.0 + 2.34 * q).ln() / (2.34 * q);
+        let poly = 1.0 + 3.89 * q + (16.1 * q).powi(2) + (5.46 * q).powi(3) + (6.71 * q).powi(4);
+        ln_term * poly.powf(-0.25)
+    }
+
+    /// Power `P(k) = A kⁿ T²(k)` (k in h/Mpc).
+    pub fn power(&self, k: f64) -> f64 {
+        if k <= 0.0 {
+            return 0.0;
+        }
+        let t = self.transfer(k);
+        self.amplitude * k.powf(self.n_s) * t * t
+    }
+
+    /// σ² of the density field smoothed with a top-hat of radius `r` Mpc/h
+    /// (numerical quadrature; the standard normalization integral).
+    pub fn sigma2_tophat(&self, r: f64) -> f64 {
+        // ∫ dk/k · k³P(k)/(2π²) · W²(kr), W(x) = 3(sin x − x cos x)/x³.
+        let mut sum = 0.0;
+        let nstep = 4000;
+        let (lk_min, lk_max) = (-4.0f64, 3.0f64);
+        let dlk = (lk_max - lk_min) / nstep as f64;
+        for i in 0..nstep {
+            let lk = lk_min + (i as f64 + 0.5) * dlk;
+            let k = 10f64.powf(lk);
+            let x = k * r;
+            let w = if x < 1e-4 {
+                1.0 - x * x / 10.0
+            } else {
+                3.0 * (x.sin() - x * x.cos()) / (x * x * x)
+            };
+            sum += k * k * k * self.power(k) * w * w * dlk * std::f64::consts::LN_10;
+        }
+        sum / (2.0 * std::f64::consts::PI * std::f64::consts::PI)
+    }
+
+    /// Return a copy normalized so that σ(8 Mpc/h) = `sigma8`.
+    pub fn normalized_to_sigma8(mut self, sigma8: f64) -> Self {
+        let cur = self.sigma2_tophat(8.0);
+        self.amplitude *= sigma8 * sigma8 / cur;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_limits() {
+        let s = CdmSpectrum::default();
+        // T(k→0) → 1.
+        assert!((s.transfer(1e-6) - 1.0).abs() < 1e-3);
+        // T decreases monotonically over the interesting range.
+        let mut prev = s.transfer(1e-4);
+        for i in 1..100 {
+            let k = 1e-4 * 10f64.powf(i as f64 * 0.06);
+            let t = s.transfer(k);
+            assert!(t <= prev + 1e-12, "not monotone at k={k}");
+            prev = t;
+        }
+        // Strong small-scale suppression.
+        assert!(s.transfer(10.0) < 1e-2);
+    }
+
+    #[test]
+    fn power_has_turnover() {
+        // CDM P(k) rises ∝ k at large scales and falls at small scales —
+        // there is a peak near k ~ Γ/15-ish.
+        let s = CdmSpectrum::default();
+        let p_large = s.power(1e-3);
+        let p_peak: f64 = (1..200)
+            .map(|i| s.power(0.001 * 1.05f64.powi(i)))
+            .fold(0.0, f64::max);
+        let p_small = s.power(30.0);
+        // (The BBKS turnover is broad: the peak is ~9-10x above k = 1e-3.)
+        assert!(p_peak > p_large * 5.0, "rising branch");
+        assert!(p_peak > p_small * 100.0, "falling branch");
+    }
+
+    #[test]
+    fn sigma8_normalization() {
+        let s = CdmSpectrum::default().normalized_to_sigma8(0.7);
+        let sig = s.sigma2_tophat(8.0).sqrt();
+        assert!((sig - 0.7).abs() < 1e-6, "sigma8 = {sig}");
+        // Hierarchical: more power on smaller smoothing scales.
+        assert!(s.sigma2_tophat(2.0) > s.sigma2_tophat(8.0));
+        assert!(s.sigma2_tophat(8.0) > s.sigma2_tophat(32.0));
+    }
+}

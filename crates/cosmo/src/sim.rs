@@ -1,0 +1,349 @@
+//! Comoving cosmological N-body integration (Einstein–de Sitter).
+//!
+//! The paper's production runs evolve a spherical high-resolution region
+//! (plus an 8× mass buffer shell) in comoving coordinates from CDM initial
+//! conditions. This module implements that setup for Ω = 1:
+//!
+//! * comoving positions `x`, canonical momenta `w = a² dx/dt`
+//!   (`ẇ = g_pec/a`, which absorbs the `−2Hẋ` Hubble drag analytically),
+//! * EdS background: `a(t) = (3 H₀ t / 2)^{2/3}`, `H(a) = H₀ a^{−3/2}`,
+//! * peculiar force `g_pec = g_tree + (4πG/3) ρ̄_c (x − x_c)`: by Birkhoff's
+//!   theorem the uniform background inside the sphere cancels against the
+//!   cosmological deceleration, so the treecode's vacuum-boundary force
+//!   plus this linear correction reproduces homogeneous expansion exactly.
+//!
+//! Units: G = 1, H₀ = 1 ⇒ comoving background density ρ̄ = 3/(8π).
+
+use hot_base::flops::FlopCounter;
+use hot_base::{Aabb, Vec3};
+use hot_gravity::treecode::{tree_accelerations_parallel, TreecodeOptions};
+use hot_gravity::ForceResult;
+
+/// Comoving background density for Ω = 1, G = 1, H₀ = 1.
+pub const RHO_BAR: f64 = 3.0 / (8.0 * std::f64::consts::PI);
+
+/// Hubble rate at scale factor `a` (EdS, H₀ = 1).
+pub fn hubble(a: f64) -> f64 {
+    a.powf(-1.5)
+}
+
+/// Cosmic time at scale factor `a` (EdS, H₀ = 1): `t = (2/3) a^{3/2}`.
+pub fn cosmic_time(a: f64) -> f64 {
+    2.0 / 3.0 * a.powf(1.5)
+}
+
+/// Linear growth factor, normalized to `D(a=1) = 1` (EdS: `D = a`).
+pub fn growth_factor(a: f64) -> f64 {
+    a
+}
+
+/// Zel'dovich velocity prefactor: `u = H(a) · D(a) ψ` for displacements
+/// already scaled by `D(a)`, i.e. multiply displacements by `H(a)`.
+pub fn zeldovich_velocity_factor(a: f64) -> f64 {
+    hubble(a)
+}
+
+/// A comoving cosmological simulation state.
+pub struct CosmoSim {
+    /// Comoving positions.
+    pub pos: Vec<Vec3>,
+    /// Canonical momenta `w = a² dx/dt`.
+    pub mom: Vec<Vec3>,
+    /// Particle masses.
+    pub mass: Vec<f64>,
+    /// Current scale factor.
+    pub a: f64,
+    /// Center of the high-resolution sphere (for the background
+    /// correction).
+    pub center: Vec3,
+    /// Treecode settings.
+    pub opts: TreecodeOptions,
+    /// Steps taken.
+    pub steps: u64,
+}
+
+impl CosmoSim {
+    /// Build from positions, *peculiar coordinate velocities* `u = dx/dt`,
+    /// and masses at scale factor `a0`.
+    pub fn new(
+        pos: Vec<Vec3>,
+        vel: Vec<Vec3>,
+        mass: Vec<f64>,
+        a0: f64,
+        center: Vec3,
+        opts: TreecodeOptions,
+    ) -> Self {
+        assert_eq!(pos.len(), vel.len());
+        assert_eq!(pos.len(), mass.len());
+        let mom = vel.iter().map(|&u| u * (a0 * a0)).collect();
+        CosmoSim { pos, mom, mass, a: a0, center, opts, steps: 0 }
+    }
+
+    /// Peculiar accelerations at the current positions: treecode force
+    /// plus the uniform-background correction.
+    pub fn accelerations(&self, counter: &FlopCounter) -> ForceResult {
+        let domain = domain_for(&self.pos);
+        let mut res = tree_accelerations_parallel(
+            domain,
+            &self.pos,
+            &self.mass,
+            &self.opts,
+            counter,
+            false,
+        );
+        let k = 4.0 * std::f64::consts::PI / 3.0 * RHO_BAR;
+        for (acc, &p) in res.acc.iter_mut().zip(&self.pos) {
+            *acc += (p - self.center) * k;
+        }
+        res
+    }
+
+    /// One KDK step from `a` to `a + da`. Returns the walk's interaction
+    /// count for diagnostics.
+    pub fn step(&mut self, da: f64, counter: &FlopCounter) -> u64 {
+        let a0 = self.a;
+        let a1 = a0 + da;
+        let t0 = cosmic_time(a0);
+        let t1 = cosmic_time(a1);
+        let dt = t1 - t0;
+        let a_mid = ((t0 + 0.5 * dt) * 1.5).powf(2.0 / 3.0);
+
+        // Kick (half, at a0).
+        let f0 = self.accelerations(counter);
+        for (w, acc) in self.mom.iter_mut().zip(&f0.acc) {
+            *w += *acc * (0.5 * dt / a0);
+        }
+        // Drift (full, with a at midpoint).
+        let inv_a2 = 1.0 / (a_mid * a_mid);
+        for (x, w) in self.pos.iter_mut().zip(&self.mom) {
+            *x += *w * (dt * inv_a2);
+        }
+        // Kick (half, at a1).
+        self.a = a1;
+        let f1 = self.accelerations(counter);
+        for (w, acc) in self.mom.iter_mut().zip(&f1.acc) {
+            *w += *acc * (0.5 * dt / a1);
+        }
+        self.steps += 1;
+        f0.stats.interactions() + f1.stats.interactions()
+    }
+
+    /// Current coordinate velocities `u = w/a²`.
+    pub fn velocities(&self) -> Vec<Vec3> {
+        let inv_a2 = 1.0 / (self.a * self.a);
+        self.mom.iter().map(|&w| w * inv_a2).collect()
+    }
+
+    /// Checkpoint to a (stripe-0) snapshot file. The paper's production
+    /// runs leaned on exactly this ("no crashes, no restarts" was worth
+    /// reporting because restarts were routine elsewhere).
+    pub fn save_checkpoint(&self, base: &std::path::Path) -> std::io::Result<u64> {
+        let snap = crate::snapshot::Snapshot {
+            a: self.a,
+            pos: self.pos.clone(),
+            vel: self.velocities(),
+            mass: self.mass.clone(),
+            id: (0..self.pos.len() as u64).collect(),
+        };
+        crate::snapshot::write_stripe(base, 0, &snap)
+    }
+
+    /// Restore from a checkpoint written by [`CosmoSim::save_checkpoint`].
+    /// `center` and `opts` are not stored in the snapshot and must be
+    /// re-supplied.
+    pub fn load_checkpoint(
+        base: &std::path::Path,
+        center: Vec3,
+        opts: TreecodeOptions,
+    ) -> std::io::Result<Self> {
+        let snap = crate::snapshot::read_stripe(base, 0)?;
+        Ok(CosmoSim::new(snap.pos, snap.vel, snap.mass, snap.a, center, opts))
+    }
+}
+
+/// Cubic domain comfortably containing all positions.
+pub fn domain_for(pos: &[Vec3]) -> Aabb {
+    Aabb::containing(pos.iter().copied()).bounding_cube().scaled(1.01 + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A cold uniform comoving sphere must stay (nearly) at rest in
+    /// comoving coordinates: the background correction exactly cancels the
+    /// mean self-gravity (Birkhoff). Discreteness noise causes only small
+    /// drifts over a modest integration.
+    #[test]
+    fn uniform_sphere_stays_comoving() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 3000;
+        let radius = 10.0;
+        let center = Vec3::splat(50.0);
+        let mut pos = Vec::with_capacity(n);
+        while pos.len() < n {
+            let p = Vec3::new(
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+            );
+            if p.norm2() <= 1.0 {
+                pos.push(center + p * radius);
+            }
+        }
+        let vol = 4.0 / 3.0 * std::f64::consts::PI * radius.powi(3);
+        let m = RHO_BAR * vol / n as f64;
+        let start = pos.clone();
+        let opts = TreecodeOptions {
+            eps2: 0.04, // soften below the interparticle spacing
+            ..Default::default()
+        };
+        let mut sim = CosmoSim::new(pos, vec![Vec3::ZERO; n], vec![m; n], 0.3, center, opts);
+        let counter = FlopCounter::new();
+        for _ in 0..10 {
+            sim.step(0.01, &counter);
+        }
+        // Inner particles (r < radius/2) move much less than the
+        // interparticle spacing.
+        let spacing = radius * (4.19 / n as f64).cbrt();
+        let mut moved = 0.0;
+        let mut count = 0;
+        for (p0, p1) in start.iter().zip(&sim.pos) {
+            if (*p0 - center).norm() < radius * 0.5 {
+                moved += (*p1 - *p0).norm();
+                count += 1;
+            }
+        }
+        let mean_move = moved / count as f64;
+        assert!(
+            mean_move < 0.3 * spacing,
+            "comoving drift {mean_move} vs spacing {spacing}"
+        );
+    }
+
+    /// Zel'dovich displacements in the linear regime grow like D ∝ a:
+    /// integrating from a=0.2 to a=0.4 should double the displacement of
+    /// inner particles.
+    #[test]
+    fn linear_growth_matches_eds() {
+        use crate::ics::{gaussian_field, zeldovich};
+        use crate::power::CdmSpectrum;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 16;
+        let box_size = 64.0;
+        let spec = CdmSpectrum::default().normalized_to_sigma8(0.6);
+        let field = gaussian_field(&mut rng, n, box_size, &spec);
+        let a0 = 0.2;
+        let ics = zeldovich(&field, growth_factor(a0), zeldovich_velocity_factor(a0));
+
+        // Carve a sphere (with the rest as is — vacuum outside; we measure
+        // only well inside).
+        let center = Vec3::splat(box_size / 2.0);
+        let cell = box_size / n as f64;
+        let m = RHO_BAR * cell * cell * cell;
+        let lattice: Vec<Vec3> = {
+            let mut v = Vec::new();
+            for iz in 0..n {
+                for iy in 0..n {
+                    for ix in 0..n {
+                        v.push(Vec3::new(
+                            (ix as f64 + 0.5) * cell,
+                            (iy as f64 + 0.5) * cell,
+                            (iz as f64 + 0.5) * cell,
+                        ));
+                    }
+                }
+            }
+            v
+        };
+        let keep: Vec<usize> = (0..ics.pos.len())
+            .filter(|&i| (lattice[i] - center).norm() <= box_size * 0.45)
+            .collect();
+        let pos: Vec<Vec3> = keep.iter().map(|&i| ics.pos[i]).collect();
+        let vel: Vec<Vec3> = keep.iter().map(|&i| ics.vel[i]).collect();
+        let lat: Vec<Vec3> = keep.iter().map(|&i| lattice[i]).collect();
+        let nn = pos.len();
+
+        // Initial displacements off the lattice, before integration.
+        let d0: Vec<Vec3> = pos.iter().zip(&lat).map(|(&p, &l)| p - l).collect();
+
+        let opts = TreecodeOptions { eps2: (0.2 * cell) * (0.2 * cell), ..Default::default() };
+        let mut sim = CosmoSim::new(pos, vel, vec![m; nn], a0, center, opts);
+        let counter = FlopCounter::new();
+        let steps = 40;
+        let da = (0.4 - a0) / steps as f64;
+        for _ in 0..steps {
+            sim.step(da, &counter);
+        }
+        // The linear growing mode doubles between a = 0.2 and a = 0.4.
+        // Measure well inside the sphere to dodge edge effects.
+        let mut ratio_sum = 0.0;
+        let mut count = 0;
+        for i in 0..nn {
+            if (lat[i] - center).norm() < box_size * 0.25 && d0[i].norm() > 1e-3 {
+                let d1 = (sim.pos[i] - lat[i]).norm();
+                ratio_sum += d1 / d0[i].norm();
+                count += 1;
+            }
+        }
+        let mean_ratio = ratio_sum / count as f64;
+        assert!(
+            (mean_ratio - 2.0).abs() < 0.5,
+            "growth ratio {mean_ratio}, want ≈ 2 (D ∝ a), n={count}"
+        );
+    }
+
+    /// Checkpoint → restore → continue must equal an uninterrupted run.
+    #[test]
+    fn checkpoint_restart_is_transparent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 300;
+        let center = Vec3::splat(5.0);
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| center + Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5) * 4.0)
+            .collect();
+        let vel = vec![Vec3::ZERO; n];
+        let mass = vec![RHO_BAR * 0.1; n];
+        let opts = TreecodeOptions { eps2: 0.01, ..Default::default() };
+        let counter = FlopCounter::new();
+
+        // Uninterrupted: 4 steps.
+        let mut a_run = CosmoSim::new(pos.clone(), vel.clone(), mass.clone(), 0.3, center, opts);
+        for _ in 0..4 {
+            a_run.step(0.01, &counter);
+        }
+
+        // Interrupted: 2 steps, checkpoint, restore, 2 more.
+        let mut b_run = CosmoSim::new(pos, vel, mass, 0.3, center, opts);
+        for _ in 0..2 {
+            b_run.step(0.01, &counter);
+        }
+        let dir = std::env::temp_dir().join("hot97_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("ckpt");
+        b_run.save_checkpoint(&base).unwrap();
+        let mut b2 = CosmoSim::load_checkpoint(&base, center, opts).unwrap();
+        for _ in 0..2 {
+            b2.step(0.01, &counter);
+        }
+        assert!((b2.a - a_run.a).abs() < 1e-12);
+        for (x, y) in a_run.pos.iter().zip(&b2.pos) {
+            assert!((*x - *y).norm() < 1e-9, "positions diverged: {x:?} vs {y:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_functions() {
+        assert!((hubble(1.0) - 1.0).abs() < 1e-14);
+        assert!((hubble(0.25) - 8.0).abs() < 1e-12);
+        assert!((cosmic_time(1.0) - 2.0 / 3.0).abs() < 1e-14);
+        // a(t(a)) consistency.
+        for &a in &[0.1, 0.5, 1.0, 2.0] {
+            let t = cosmic_time(a);
+            let back = (1.5 * t).powf(2.0 / 3.0);
+            assert!((back - a).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Gravitational interaction kernels.
+//!
+//! The particle–particle kernel is the paper's 38-flop interaction: a
+//! Plummer-softened inverse-square attraction whose reciprocal square root
+//! is computed with Karp's add/multiply-only algorithm ([`hot_base::rsqrt`]).
+//! The particle–cell kernels evaluate the multipole expansion of Eqn. (1)
+//! of the paper: monopole ("known to Newton"), optionally with the
+//! quadrupole correction (the dipole vanishes because expansions are formed
+//! about cell centers of mass).
+//!
+//! Units: G = 1 throughout.
+
+use hot_base::rsqrt::rsqrt;
+use hot_base::{SymMat3, Vec3};
+
+/// Acceleration at a sink displaced by `d = x_sink − x_src` from a point
+/// mass `m`, with Plummer softening `eps2 = ε²`.
+#[inline(always)]
+pub fn pp_acc(d: Vec3, m: f64, eps2: f64) -> Vec3 {
+    let r2 = d.norm2() + eps2;
+    let rinv = rsqrt(r2);
+    let rinv3 = rinv * rinv * rinv;
+    d * (-m * rinv3)
+}
+
+/// Acceleration and potential of a softened point mass.
+#[inline(always)]
+pub fn pp_acc_pot(d: Vec3, m: f64, eps2: f64) -> (Vec3, f64) {
+    let r2 = d.norm2() + eps2;
+    let rinv = rsqrt(r2);
+    let rinv3 = rinv * rinv * rinv;
+    (d * (-m * rinv3), -m * rinv)
+}
+
+/// Monopole particle–cell interaction: identical to [`pp_acc`] with the
+/// cell's total mass at its center of mass.
+#[inline(always)]
+pub fn pc_mono_acc(d: Vec3, m: f64, eps2: f64) -> Vec3 {
+    pp_acc(d, m, eps2)
+}
+
+/// Monopole + quadrupole particle–cell interaction.
+///
+/// `quad` is the *raw* second-moment tensor `Σ mᵢ rᵢ rᵢᵀ` about the cell
+/// center (as accumulated by
+/// [`hot_core::MassMoments`](hot_core::moments::MassMoments)); the traceless
+/// combination is formed here. `d` points from the cell center to the sink.
+///
+/// Derivation (with `Q` raw, `T = tr Q`):
+/// `φ(d) = −m/|d| − (3 dᵀQd − |d|²T) / (2|d|⁵)`, `a = −∇φ`:
+/// `a = −m d/|d|³ + (3Qd − Td)/|d|⁵ − (5/2)(3 dᵀQd − |d|²T) d/|d|⁷`.
+#[inline]
+pub fn pc_quad_acc(d: Vec3, m: f64, quad: &SymMat3, eps2: f64) -> Vec3 {
+    let r2 = d.norm2() + eps2;
+    let rinv = rsqrt(r2);
+    let rinv2 = rinv * rinv;
+    let rinv3 = rinv2 * rinv;
+    let rinv5 = rinv3 * rinv2;
+    let rinv7 = rinv5 * rinv2;
+    let tr = quad.trace();
+    let qd = quad.mul_vec(d);
+    let dqd = d.dot(qd);
+    d * (-m * rinv3)
+        + (qd * 3.0 - d * tr) * rinv5
+        - d * (2.5 * (3.0 * dqd - r2 * tr) * rinv7)
+}
+
+/// Potential of the monopole + quadrupole expansion.
+#[inline]
+pub fn pc_quad_pot(d: Vec3, m: f64, quad: &SymMat3, eps2: f64) -> f64 {
+    let r2 = d.norm2() + eps2;
+    let rinv = rsqrt(r2);
+    let rinv2 = rinv * rinv;
+    let rinv5 = rinv * rinv2 * rinv2;
+    let tr = quad.trace();
+    let dqd = d.dot(quad.mul_vec(d));
+    -m * rinv - 0.5 * (3.0 * dqd - r2 * tr) * rinv5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pp_matches_newton() {
+        // Unit masses 1 apart: |a| = 1, attractive.
+        let d = Vec3::new(1.0, 0.0, 0.0);
+        let a = pp_acc(d, 1.0, 0.0);
+        assert!((a.x + 1.0).abs() < 1e-14);
+        assert!(a.y.abs() < 1e-15 && a.z.abs() < 1e-15);
+        // Inverse square: at distance 2, |a| = 1/4.
+        let a2 = pp_acc(Vec3::new(2.0, 0.0, 0.0), 1.0, 0.0);
+        assert!((a2.norm() - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn softening_regularizes_origin() {
+        // At zero separation the softened force vanishes by symmetry and
+        // the potential is finite: -m/eps.
+        let (a, p) = pp_acc_pot(Vec3::ZERO, 2.0, 0.25);
+        assert_eq!(a, Vec3::ZERO);
+        assert!((p + 2.0 / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pp_acc_is_gradient_of_potential() {
+        // Numerical gradient check of the softened potential.
+        let d0 = Vec3::new(0.7, -0.3, 0.5);
+        let m = 1.7;
+        let eps2 = 0.01;
+        let h = 1e-6;
+        let a = pp_acc(d0, m, eps2);
+        for axis in 0..3 {
+            let mut dp = d0;
+            let mut dm = d0;
+            dp[axis] += h;
+            dm[axis] -= h;
+            let (_, pp) = pp_acc_pot(dp, m, eps2);
+            let (_, pm) = pp_acc_pot(dm, m, eps2);
+            let grad = (pp - pm) / (2.0 * h);
+            assert!((a[axis] + grad).abs() < 1e-7, "axis {axis}: {} vs {}", a[axis], -grad);
+        }
+    }
+
+    #[test]
+    fn quadrupole_improves_far_field() {
+        // Two separated point masses; compare direct force with the
+        // monopole and mono+quad expansions about their center of mass.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut worse = 0;
+        for _ in 0..50 {
+            let p1 = Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5) * 0.2;
+            let p2 = -p1 * 0.7;
+            let (m1, m2) = (1.0, 1.4);
+            let com = (p1 * m1 + p2 * m2) / (m1 + m2);
+            let quad = SymMat3::outer(p1 - com) * m1 + SymMat3::outer(p2 - com) * m2;
+            // A sink well outside the pair.
+            let sink = Vec3::new(2.0 + rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>());
+            let exact = pp_acc(sink - p1, m1, 0.0) + pp_acc(sink - p2, m2, 0.0);
+            let d = sink - com;
+            let mono = pc_mono_acc(d, m1 + m2, 0.0);
+            let withq = pc_quad_acc(d, m1 + m2, &quad, 0.0);
+            let err_mono = (mono - exact).norm();
+            let err_quad = (withq - exact).norm();
+            if err_quad >= err_mono {
+                worse += 1;
+            }
+        }
+        assert!(worse <= 2, "quadrupole made {worse}/50 cases worse");
+    }
+
+    #[test]
+    fn quad_acc_is_gradient_of_quad_pot() {
+        let quad = SymMat3::new(0.3, 0.1, 0.2, 0.05, -0.02, 0.07);
+        let d0 = Vec3::new(1.5, -0.8, 1.1);
+        let m = 2.0;
+        let h = 1e-6;
+        let a = pc_quad_acc(d0, m, &quad, 0.0);
+        for axis in 0..3 {
+            let mut dp = d0;
+            let mut dm = d0;
+            dp[axis] += h;
+            dm[axis] -= h;
+            let grad =
+                (pc_quad_pot(dp, m, &quad, 0.0) - pc_quad_pot(dm, m, &quad, 0.0)) / (2.0 * h);
+            assert!((a[axis] + grad).abs() < 1e-6, "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn traceless_invariance() {
+        // Adding c·I to the quadrupole must not change the force (the
+        // trace terms cancel by construction).
+        let quad = SymMat3::new(0.3, 0.1, 0.2, 0.05, -0.02, 0.07);
+        let mut shifted = quad;
+        shifted.m[0] += 5.0;
+        shifted.m[1] += 5.0;
+        shifted.m[2] += 5.0;
+        let d = Vec3::new(1.0, 2.0, -0.5);
+        let a1 = pc_quad_acc(d, 1.0, &quad, 0.0);
+        let a2 = pc_quad_acc(d, 1.0, &shifted, 0.0);
+        assert!((a1 - a2).norm() < 1e-12, "{a1:?} vs {a2:?}");
+    }
+}

@@ -1,0 +1,234 @@
+//! High-level treecode force evaluation, serial and shared-memory parallel.
+
+use crate::evaluator::GravityEvaluator;
+use hot_base::flops::FlopCounter;
+use hot_base::{Aabb, Vec3};
+use hot_core::moments::MassMoments;
+use hot_core::tree::Tree;
+use hot_core::walk::{default_group_size, walk_group, WalkStats};
+use hot_core::Mac;
+use rayon::prelude::*;
+
+/// Options for a treecode force evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct TreecodeOptions {
+    /// Acceptance criterion.
+    pub mac: Mac,
+    /// Leaf bucket size.
+    pub bucket: usize,
+    /// Plummer softening squared.
+    pub eps2: f64,
+    /// Include the quadrupole term.
+    pub quadrupole: bool,
+}
+
+impl Default for TreecodeOptions {
+    fn default() -> Self {
+        TreecodeOptions {
+            mac: Mac::BarnesHut { theta: 0.7 },
+            bucket: 16,
+            eps2: 0.0,
+            quadrupole: true,
+        }
+    }
+}
+
+/// Result of a treecode force evaluation, in the *original* particle order.
+#[derive(Debug)]
+pub struct ForceResult {
+    /// Accelerations.
+    pub acc: Vec<Vec3>,
+    /// Potentials (if requested; else empty).
+    pub pot: Vec<f64>,
+    /// Per-particle interaction counts, usable as the next decomposition's
+    /// work weights.
+    pub work: Vec<f32>,
+    /// Walk statistics.
+    pub stats: WalkStats,
+}
+
+/// Serial treecode evaluation of the accelerations of every particle.
+pub fn tree_accelerations(
+    domain: Aabb,
+    pos: &[Vec3],
+    mass: &[f64],
+    opts: &TreecodeOptions,
+    counter: &FlopCounter,
+    want_pot: bool,
+) -> ForceResult {
+    let tree = Tree::<MassMoments>::build(domain, pos, mass, opts.bucket);
+    let n = pos.len();
+    let mut acc_sorted = vec![Vec3::ZERO; n];
+    let mut pot_sorted = vec![0.0f64; n];
+    let mut work_sorted = vec![0.0f32; n];
+    let mut stats = WalkStats::default();
+    {
+        let mut ev = GravityEvaluator {
+            acc: &mut acc_sorted,
+            pot: want_pot.then_some(&mut pot_sorted[..]),
+            eps2: opts.eps2,
+            quadrupole: opts.quadrupole,
+            counter,
+            work: &mut work_sorted,
+        };
+        for gi in tree.groups(default_group_size(opts.bucket)) {
+            stats.merge(&walk_group(&tree, &opts.mac, gi, &mut ev));
+        }
+    }
+    unsort(&tree, acc_sorted, pot_sorted, work_sorted, stats, want_pot)
+}
+
+/// Shared-memory parallel treecode evaluation: sink groups are walked on
+/// the rayon pool (the "both processors per node compute" configuration).
+pub fn tree_accelerations_parallel(
+    domain: Aabb,
+    pos: &[Vec3],
+    mass: &[f64],
+    opts: &TreecodeOptions,
+    counter: &FlopCounter,
+    want_pot: bool,
+) -> ForceResult {
+    let tree = Tree::<MassMoments>::build(domain, pos, mass, opts.bucket);
+    let n = pos.len();
+    let groups = tree.groups(default_group_size(opts.bucket));
+
+    // Each group owns a disjoint sink span; walk groups in parallel into
+    // per-group buffers, then scatter.
+    let results: Vec<(std::ops::Range<usize>, Vec<Vec3>, Vec<f64>, Vec<f32>, WalkStats)> = groups
+        .par_iter()
+        .map(|&gi| {
+            let span = tree.cells[gi as usize].span();
+            let len = span.len();
+            let mut acc = vec![Vec3::ZERO; n];
+            let mut pot = vec![0.0f64; n];
+            let mut work = vec![0.0f32; n];
+            let stats = {
+                let mut ev = GravityEvaluator {
+                    acc: &mut acc,
+                    pot: want_pot.then_some(&mut pot[..]),
+                    eps2: opts.eps2,
+                    quadrupole: opts.quadrupole,
+                    counter,
+                    work: &mut work,
+                };
+                walk_group(&tree, &opts.mac, gi, &mut ev)
+            };
+            let acc_span = acc[span.clone()].to_vec();
+            let pot_span = pot[span.clone()].to_vec();
+            let work_span = work[span.clone()].to_vec();
+            debug_assert_eq!(acc_span.len(), len);
+            (span, acc_span, pot_span, work_span, stats)
+        })
+        .collect();
+
+    let mut acc_sorted = vec![Vec3::ZERO; n];
+    let mut pot_sorted = vec![0.0f64; n];
+    let mut work_sorted = vec![0.0f32; n];
+    let mut stats = WalkStats::default();
+    for (span, a, p, w, s) in results {
+        acc_sorted[span.clone()].copy_from_slice(&a);
+        pot_sorted[span.clone()].copy_from_slice(&p);
+        work_sorted[span].copy_from_slice(&w);
+        stats.merge(&s);
+    }
+    unsort(&tree, acc_sorted, pot_sorted, work_sorted, stats, want_pot)
+}
+
+fn unsort(
+    tree: &Tree<MassMoments>,
+    acc_sorted: Vec<Vec3>,
+    pot_sorted: Vec<f64>,
+    work_sorted: Vec<f32>,
+    stats: WalkStats,
+    want_pot: bool,
+) -> ForceResult {
+    let n = acc_sorted.len();
+    let mut acc = vec![Vec3::ZERO; n];
+    let mut pot = if want_pot { vec![0.0; n] } else { Vec::new() };
+    let mut work = vec![0.0f32; n];
+    for (sorted_i, &orig) in tree.order.iter().enumerate() {
+        acc[orig as usize] = acc_sorted[sorted_i];
+        if want_pot {
+            pot[orig as usize] = pot_sorted[sorted_i];
+        }
+        work[orig as usize] = work_sorted[sorted_i];
+    }
+    ForceResult { acc, pot, work, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::direct_serial;
+    use rand::{Rng, SeedableRng};
+
+    fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pos = (0..n).map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen())).collect();
+        let mass = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
+        (pos, mass)
+    }
+
+    #[test]
+    fn tree_approximates_direct() {
+        let (pos, mass) = random_system(800, 10);
+        let counter = FlopCounter::new();
+        let exact = direct_serial(&pos, &mass, 1e-6, &counter);
+        let opts = TreecodeOptions {
+            mac: Mac::BarnesHut { theta: 0.5 },
+            bucket: 8,
+            eps2: 1e-6,
+            quadrupole: true,
+            ..Default::default()
+        };
+        let res = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+        let mut rms = 0.0;
+        for (a, e) in res.acc.iter().zip(&exact) {
+            let rel = (*a - *e).norm() / e.norm().max(1e-12);
+            rms += rel * rel;
+        }
+        let rms = (rms / pos.len() as f64).sqrt();
+        assert!(rms < 5e-3, "rms relative force error {rms}");
+        assert!(res.stats.interactions() < (800 * 799) as u64 / 2);
+        assert!(res.work.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let (pos, mass) = random_system(1200, 11);
+        let counter = FlopCounter::new();
+        let opts = TreecodeOptions::default();
+        let a = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, true);
+        let b = tree_accelerations_parallel(Aabb::unit(), &pos, &mass, &opts, &counter, true);
+        assert_eq!(a.stats, b.stats, "same traversal, same counts");
+        for i in 0..pos.len() {
+            assert!((a.acc[i] - b.acc[i]).norm() < 1e-12);
+            assert!((a.pot[i] - b.pot[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadrupole_beats_monopole_accuracy() {
+        let (pos, mass) = random_system(600, 12);
+        let counter = FlopCounter::new();
+        let exact = direct_serial(&pos, &mass, 0.0, &counter);
+        let rms_of = |quad: bool| {
+            let opts = TreecodeOptions {
+                mac: Mac::BarnesHut { theta: 0.8 },
+                bucket: 8,
+                eps2: 0.0,
+                quadrupole: quad,
+            };
+            let res = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+            let mut rms = 0.0;
+            for (a, e) in res.acc.iter().zip(&exact) {
+                let rel = (*a - *e).norm() / e.norm().max(1e-12);
+                rms += rel * rel;
+            }
+            (rms / pos.len() as f64).sqrt()
+        };
+        let mono = rms_of(false);
+        let quad = rms_of(true);
+        assert!(quad < mono, "quad {quad} must beat mono {mono}");
+    }
+}

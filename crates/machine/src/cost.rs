@@ -1,0 +1,154 @@
+//! Component cost tables — Tables 1 and 2 of the paper, plus the derived
+//! system prices the price/performance prize entry quotes.
+
+/// One line item of a parts list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostItem {
+    /// Quantity purchased.
+    pub qty: u32,
+    /// Unit price in dollars.
+    pub unit_price: f64,
+    /// Description as printed in the paper.
+    pub description: &'static str,
+}
+
+impl CostItem {
+    /// Extended price (qty × unit).
+    pub fn extended(&self) -> f64 {
+        self.qty as f64 * self.unit_price
+    }
+}
+
+/// A parts list with a name and date.
+#[derive(Clone, Debug)]
+pub struct CostTable {
+    /// Machine / quote name.
+    pub name: &'static str,
+    /// Line items.
+    pub items: Vec<CostItem>,
+    /// Additional fixed costs (e.g. cables) not itemized per unit.
+    pub extra: f64,
+}
+
+impl CostTable {
+    /// Total system price.
+    pub fn total(&self) -> f64 {
+        self.items.iter().map(CostItem::extended).sum::<f64>() + self.extra
+    }
+}
+
+/// Table 1: Loki architecture and price (September 1996). Total $51,379.
+pub fn loki_sept_1996() -> CostTable {
+    CostTable {
+        name: "Loki (September 1996)",
+        items: vec![
+            CostItem { qty: 16, unit_price: 595.0, description: "Intel Pentium Pro 200 MHz CPU/256k cache" },
+            CostItem { qty: 16, unit_price: 15.0, description: "Heat Sink and Fan" },
+            CostItem { qty: 16, unit_price: 295.0, description: "Intel VS440FX (Venus) motherboard" },
+            CostItem { qty: 64, unit_price: 235.0, description: "8x36 60ns parity FPM SIMMs (128 MB per node)" },
+            CostItem { qty: 16, unit_price: 359.0, description: "Quantum Fireball 3240 MB IDE Hard Drive" },
+            CostItem { qty: 16, unit_price: 85.0, description: "D-Link DFE-500TX 100 Mb Fast Ethernet PCI Card" },
+            CostItem { qty: 16, unit_price: 129.0, description: "SMC EtherPower 10/100 Fast Ethernet PCI Card" },
+            CostItem { qty: 16, unit_price: 59.0, description: "S3 Trio-64 1MB PCI Video Card" },
+            CostItem { qty: 16, unit_price: 119.0, description: "ATX Case" },
+            CostItem { qty: 2, unit_price: 4794.0, description: "3Com SuperStack II Switch 3000, 8-port Fast Ethernet" },
+        ],
+        extra: 255.0, // Ethernet cables
+    }
+}
+
+/// Hyglac's total as quoted (including 8.75% sales tax).
+pub const HYGLAC_TOTAL: f64 = 50_498.0;
+
+/// The combined SC'96 system: Loki + Hyglac + $3k of connecting hardware,
+/// quoted as $103k.
+pub fn sc96_combined_total() -> f64 {
+    loki_sept_1996().total() + HYGLAC_TOTAL + 3_000.0
+}
+
+/// Table 2: spot prices for August 1997.
+pub fn spot_prices_aug_1997() -> CostTable {
+    CostTable {
+        name: "Spot prices (August 1997)",
+        items: vec![
+            CostItem { qty: 1, unit_price: 220.0, description: "ASUS P/I-XP6NP5 motherboard" },
+            CostItem { qty: 1, unit_price: 467.0, description: "Pentium Pro 200 MHz, 256k L2" },
+            CostItem { qty: 1, unit_price: 204.0, description: "Pentium Pro 150 MHz, 256k L2" },
+            CostItem { qty: 1, unit_price: 112.0, description: "SIMM FPM 8x36x60, 32 MB" },
+            CostItem { qty: 1, unit_price: 215.0, description: "Disk Quantum Fireball 3.2GB EIDE" },
+            CostItem { qty: 1, unit_price: 53.0, description: "Fast Ethernet DFE-500TX 21140 PCI" },
+            CostItem { qty: 1, unit_price: 150.0, description: "Misc. Case, Floppy, Heat Sink" },
+            CostItem { qty: 1, unit_price: 2500.0, description: "BayStack 350T 16 port 10/100 Mbit switch" },
+        ],
+        extra: 0.0,
+    }
+}
+
+/// A 16-processor, 2 GB, 50 GB system at August-1997 spot prices with the
+/// BayStack switch — the paper says "$28k".
+pub fn august_1997_system_total() -> f64 {
+    let t = spot_prices_aug_1997();
+    let p = |desc: &str| {
+        t.items
+            .iter()
+            .find(|i| i.description.contains(desc))
+            .expect("item present")
+            .unit_price
+    };
+    16.0 * (p("motherboard") + p("200 MHz, 256k") + 4.0 * p("SIMM") + p("Fireball") + p("DFE-500TX") + p("Misc"))
+        + p("BayStack")
+}
+
+/// Dollars per Mflop.
+pub fn dollars_per_mflop(total_cost: f64, mflops: f64) -> f64 {
+    total_cost / mflops
+}
+
+/// Gflops per million dollars (the inverse figure the paper also quotes).
+pub fn gflops_per_million_dollars(total_cost: f64, mflops: f64) -> f64 {
+    (mflops / 1000.0) / (total_cost / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_total_matches_paper() {
+        let t = loki_sept_1996();
+        assert_eq!(t.total(), 51_379.0, "Table 1 total");
+        assert_eq!(t.items.len(), 10);
+        // Spot-check the big extended lines from the table.
+        let simms = t.items.iter().find(|i| i.description.contains("SIMM")).unwrap();
+        assert_eq!(simms.extended(), 15_040.0);
+        let cpus = t.items.iter().find(|i| i.description.contains("Pentium Pro")).unwrap();
+        assert_eq!(cpus.extended(), 9_520.0);
+    }
+
+    #[test]
+    fn sc96_total_matches_paper() {
+        assert_eq!(sc96_combined_total(), 51_379.0 + 50_498.0 + 3_000.0);
+        assert!((sc96_combined_total() - 104_877.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn august_1997_system_under_30k() {
+        let total = august_1997_system_total();
+        // Paper: "A 16 processor 200MHz-2 Gbyte memory-50 Gbyte disk system
+        // with BayStack switch would be $28k".
+        assert!((27_000.0..29_500.0).contains(&total), "got {total}");
+    }
+
+    #[test]
+    fn price_performance_headlines() {
+        // Loki 10-day run: 879 Mflops on a $51,379 machine → $58/Mflop.
+        let loki = dollars_per_mflop(loki_sept_1996().total(), 879.0);
+        assert!((loki - 58.0).abs() < 1.0, "Loki $/Mflop = {loki}");
+        // SC'96: 2.19 Gflops on the $103k combined system → $47/Mflop.
+        let sc96 = dollars_per_mflop(103_000.0, 2_190.0);
+        assert!((sc96 - 47.0).abs() < 0.5, "SC96 $/Mflop = {sc96}");
+        // Equivalently 21 Gflops per million dollars.
+        let gpm = gflops_per_million_dollars(103_000.0, 2_190.0);
+        assert!((gpm - 21.0).abs() < 0.5, "Gflops/M$ = {gpm}");
+    }
+}

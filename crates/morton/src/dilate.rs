@@ -1,0 +1,107 @@
+//! Bit dilation: spread the low 21 bits of an integer so that consecutive
+//! input bits land three positions apart. Interleaving three dilated
+//! coordinates produces a Morton code with five shift/mask rounds per axis —
+//! the standard "magic number" construction.
+
+/// Mask selecting the 21 low bits that can be dilated into 63 bits.
+pub const COORD_MASK: u64 = (1 << 21) - 1;
+
+/// Spread the low 21 bits of `x` so bit `i` moves to bit `3i`.
+#[inline(always)]
+pub const fn dilate3(x: u64) -> u64 {
+    let mut x = x & COORD_MASK;
+    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`dilate3`]: gather every third bit back into the low 21 bits.
+#[inline(always)]
+pub const fn undilate3(x: u64) -> u64 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
+    x = (x | (x >> 32)) & COORD_MASK;
+    x
+}
+
+/// Interleave three 21-bit coordinates into a 63-bit Morton code with
+/// x in bit 0, y in bit 1, z in bit 2 of each digit.
+#[inline(always)]
+pub const fn interleave3(x: u64, y: u64, z: u64) -> u64 {
+    dilate3(x) | (dilate3(y) << 1) | (dilate3(z) << 2)
+}
+
+/// Recover `(x, y, z)` from a 63-bit Morton code.
+#[inline(always)]
+pub const fn deinterleave3(m: u64) -> (u64, u64, u64) {
+    (undilate3(m), undilate3(m >> 1), undilate3(m >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dilate_small_values() {
+        assert_eq!(dilate3(0), 0);
+        assert_eq!(dilate3(1), 1);
+        assert_eq!(dilate3(0b10), 0b1000);
+        assert_eq!(dilate3(0b11), 0b1001);
+        assert_eq!(dilate3(0b111), 0b1001001);
+    }
+
+    #[test]
+    fn dilate_top_bit() {
+        // Bit 20 must land on bit 60.
+        assert_eq!(dilate3(1 << 20), 1u64 << 60);
+        assert_eq!(dilate3(COORD_MASK).count_ones(), 21);
+    }
+
+    #[test]
+    fn interleave_axes_do_not_collide() {
+        let m = interleave3(COORD_MASK, 0, 0);
+        let n = interleave3(0, COORD_MASK, 0);
+        let p = interleave3(0, 0, COORD_MASK);
+        assert_eq!(m & n, 0);
+        assert_eq!(m & p, 0);
+        assert_eq!(n & p, 0);
+        assert_eq!(m | n | p, (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn known_interleave() {
+        // (x=1, y=1, z=1) => digit 0b111 = 7
+        assert_eq!(interleave3(1, 1, 1), 7);
+        // (x=1, y=0, z=0) => 1 ; (0,1,0) => 2 ; (0,0,1) => 4
+        assert_eq!(interleave3(1, 0, 0), 1);
+        assert_eq!(interleave3(0, 1, 0), 2);
+        assert_eq!(interleave3(0, 0, 1), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn dilate_roundtrip(x in 0u64..(1 << 21)) {
+            prop_assert_eq!(undilate3(dilate3(x)), x);
+        }
+
+        #[test]
+        fn interleave_roundtrip(x in 0u64..(1 << 21), y in 0u64..(1 << 21), z in 0u64..(1 << 21)) {
+            let (a, b, c) = deinterleave3(interleave3(x, y, z));
+            prop_assert_eq!((a, b, c), (x, y, z));
+        }
+
+        #[test]
+        fn dilation_is_monotone(a in 0u64..(1 << 21), b in 0u64..(1 << 21)) {
+            // Dilation preserves order (each bit moves to a strictly
+            // increasing position).
+            prop_assert_eq!(a < b, dilate3(a) < dilate3(b));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! EP — the embarrassingly parallel benchmark.
+//!
+//! Generate `2n` uniform deviates, form pairs `(2x−1, 2y−1)`, accept those
+//! inside the unit circle, transform by Marsaglia's polar method, and
+//! accumulate the Gaussian sums `Σ|Xk|`, `Σ|Yk|` plus counts in ten
+//! concentric square annuli. Communication is a single reduction at the
+//! end — hence the name, and hence the paper's Table 3 row where even
+//! fast ethernet keeps up with ASCI Red.
+
+use crate::common::{BenchResult, NpbRng, NPB_SEED};
+use hot_comm::Comm;
+use std::time::Instant;
+
+/// Result payload for verification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpSums {
+    /// Σ Xk over accepted pairs.
+    pub sx: f64,
+    /// Σ Yk.
+    pub sy: f64,
+    /// Accepted-pair count.
+    pub accepted: u64,
+    /// Annulus counts.
+    pub q: [u64; 10],
+}
+
+/// Run EP with `2^m` pairs distributed over the machine. Returns the
+/// result record plus the global sums (identical on every rank).
+pub fn run(comm: &mut Comm, m: u32) -> (BenchResult, EpSums) {
+    let np = comm.size() as u64;
+    let total_pairs: u64 = 1 << m;
+    let per = total_pairs / np + u64::from(total_pairs % np != 0);
+    let lo = comm.rank() as u64 * per;
+    let hi = (lo + per).min(total_pairs);
+
+    let t0 = Instant::now();
+    // Each pair consumes two deviates; jump straight to our slice.
+    let mut rng = NpbRng::skip(NPB_SEED, 2 * lo);
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut q = [0u64; 10];
+    let mut accepted = 0u64;
+    for _ in lo..hi {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let t = x * x + y * y;
+        if t <= 1.0 {
+            let f = (-2.0 * t.ln() / t).sqrt();
+            let xk = x * f;
+            let yk = y * f;
+            let bin = (xk.abs().max(yk.abs()) as usize).min(9);
+            q[bin] += 1;
+            sx += xk;
+            sy += yk;
+            accepted += 1;
+        }
+    }
+    // One reduction, as in the reference code.
+    let sums = comm.allreduce(
+        (sx, sy, accepted, q.to_vec()),
+        |a, b| {
+            let mut q = a.3;
+            for (x, y) in q.iter_mut().zip(&b.3) {
+                *x += *y;
+            }
+            (a.0 + b.0, a.1 + b.1, a.2 + b.2, q)
+        },
+    );
+    let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+    let mut qq = [0u64; 10];
+    qq.copy_from_slice(&sums.3);
+    let out = EpSums { sx: sums.0, sy: sums.1, accepted: sums.2, q: qq };
+
+    // Verification: counts must tally, acceptance ratio must match π/4,
+    // and the Gaussian sums must be small relative to the sample size.
+    let count_ok = out.q.iter().sum::<u64>() == out.accepted;
+    let ratio = out.accepted as f64 / total_pairs as f64;
+    let ratio_ok = (ratio - std::f64::consts::FRAC_PI_4).abs() < 0.01;
+    let sums_ok = out.sx.abs() < 5.0 * (out.accepted as f64).sqrt()
+        && out.sy.abs() < 5.0 * (out.accepted as f64).sqrt();
+
+    // NPB counts ~10 flops per pair for the EP kernel.
+    let result = BenchResult {
+        name: "EP",
+        class: class_label(m),
+        np: comm.size(),
+        ops: total_pairs * 10,
+        seconds,
+        verified: count_ok && ratio_ok && sums_ok,
+    };
+    (result, out)
+}
+
+fn class_label(m: u32) -> &'static str {
+    match m {
+        16 => "T",
+        24 => "S",
+        25 => "W",
+        28 => "A",
+        30 => "B",
+        _ => "custom",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_comm::World;
+
+    #[test]
+    fn verifies_and_is_np_invariant() {
+        // The accepted pairs and annulus counts must be identical for any
+        // rank count (stream jumping guarantees it); the float sums agree
+        // to reduction-order tolerance.
+        let mut reference: Option<EpSums> = None;
+        for np in [1u32, 2, 4, 5] {
+            let out = World::run(np, |c| run(c, 16));
+            let (res, sums) = &out.results[0];
+            assert!(res.verified, "np={np} verification failed: {sums:?}");
+            // Every rank agrees.
+            for (_, s) in &out.results {
+                assert_eq!(s, sums);
+            }
+            match &reference {
+                None => reference = Some(*sums),
+                Some(r) => {
+                    // Same pairs, same counts; the float sums differ only
+                    // by reduction order.
+                    assert_eq!(r.accepted, sums.accepted, "np={np}");
+                    assert_eq!(r.q, sums.q, "np={np}");
+                    assert!((r.sx - sums.sx).abs() < 1e-9 * r.sx.abs().max(1.0));
+                    assert!((r.sy - sums.sy).abs() < 1e-9 * r.sy.abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acceptance_near_pi_over_4() {
+        let out = World::run(2, |c| run(c, 16));
+        let (_, sums) = &out.results[0];
+        let ratio = sums.accepted as f64 / (1u64 << 16) as f64;
+        assert!((ratio - 0.7854).abs() < 0.01, "ratio {ratio}");
+        // Essentially all accepted pairs land in the first few annuli.
+        assert!(sums.q[0] > sums.q[3]);
+    }
+}

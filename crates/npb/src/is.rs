@@ -1,0 +1,100 @@
+//! IS — the integer sort benchmark.
+//!
+//! Random integer keys are ranked by a distributed bucket sort: count
+//! local keys per bucket, all-to-all the buckets to their owners, sort
+//! locally. IS is the NPB kernel most hungry for message bandwidth, which
+//! is exactly why it is Loki's worst row in Table 3 (14.8 Mop/s vs 38 on
+//! ASCI Red) — the benchmark that shows where fast ethernet hurts.
+
+use crate::common::{BenchResult, NpbRng, NPB_SEED};
+use hot_comm::Comm;
+use std::time::Instant;
+
+/// Run IS with `2^m` keys in `[0, 2^b)` distributed over the machine.
+pub fn run(comm: &mut Comm, m: u32, b: u32) -> BenchResult {
+    let np = comm.size() as u64;
+    let total: u64 = 1 << m;
+    let key_max: u64 = 1 << b;
+    let per = total / np + u64::from(total % np != 0);
+    let lo = comm.rank() as u64 * per;
+    let hi = (lo + per).min(total);
+
+    let t0 = Instant::now();
+    // NPB key generation: average of 4 deviates, scaled — produces a
+    // binomial-ish hump like the reference.
+    let mut rng = NpbRng::skip(NPB_SEED, 4 * lo);
+    let mut keys: Vec<u64> = Vec::with_capacity((hi - lo) as usize);
+    for _ in lo..hi {
+        let v = (rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64()) / 4.0;
+        keys.push((v * key_max as f64) as u64 % key_max);
+    }
+
+    // Bucket per destination rank by key range.
+    let range_per_rank = key_max / np + u64::from(key_max % np != 0);
+    let mut buckets: Vec<Vec<u64>> = (0..np).map(|_| Vec::new()).collect();
+    for &k in &keys {
+        buckets[(k / range_per_rank) as usize].push(k);
+    }
+    let received = comm.alltoall(buckets);
+    let mut mine: Vec<u64> = received.into_iter().flatten().collect();
+    mine.sort_unstable();
+    let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Verification: locally sorted, within my key range, and globally
+    // ordered across rank boundaries with the global count preserved.
+    let sorted = mine.windows(2).all(|w| w[0] <= w[1]);
+    let in_range = mine.iter().all(|&k| k / range_per_rank == comm.rank() as u64);
+    let my_min = mine.first().copied().unwrap_or(u64::MAX);
+    let my_max = mine.last().copied().unwrap_or(0);
+    let maxes = comm.allgather((my_max, my_min, mine.len() as u64));
+    let mut boundary_ok = true;
+    let mut global_count = 0;
+    let mut prev_max = 0u64;
+    for (i, &(mx, mn, cnt)) in maxes.iter().enumerate() {
+        global_count += cnt;
+        if cnt > 0 {
+            if i > 0 && mn < prev_max {
+                boundary_ok = false;
+            }
+            prev_max = mx;
+        }
+    }
+    BenchResult {
+        name: "IS",
+        class: if m == 23 { "A" } else if m == 25 { "B" } else { "custom" },
+        np: comm.size(),
+        // IS reports Mop/s as keys ranked per second.
+        ops: total,
+        seconds,
+        verified: sorted && in_range && boundary_ok && global_count == total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_comm::World;
+
+    #[test]
+    fn sorts_and_verifies() {
+        for np in [1u32, 2, 4, 7] {
+            let out = World::run(np, |c| run(c, 14, 16));
+            for r in &out.results {
+                assert!(r.verified, "np={np}: {r:?}");
+                assert_eq!(r.ops, 1 << 14);
+            }
+        }
+    }
+
+    #[test]
+    fn is_moves_serious_traffic() {
+        // The defining property: all-to-all traffic ~ the full key volume.
+        let out = World::run(4, |c| {
+            let r = run(c, 14, 16);
+            (r, c.stats())
+        });
+        let total_bytes: u64 = out.results.iter().map(|(_, s)| s.bytes_sent).sum();
+        // 16k keys x 8 bytes, most leave their origin rank.
+        assert!(total_bytes > 16_384 * 8 / 2, "bytes {total_bytes}");
+    }
+}

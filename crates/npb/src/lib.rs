@@ -1,0 +1,25 @@
+//! # hot-npb
+//!
+//! Reduced-scale re-implementations of the NAS Parallel Benchmarks on the
+//! `hot-comm` substrate, regenerating the shape of the paper's Tables 3 & 4
+//! and Figure 3 (NPB 2.2 on Loki / ASCI Red / SGI Origin).
+//!
+//! Kernels: [`ep`] (embarrassingly parallel), [`is`] (integer sort, the
+//! bandwidth hog), [`mg`] (multigrid with halo exchanges), [`ft`] (3-D FFT
+//! with global transposes). Pseudo-applications ([`apps`]): BT and SP as
+//! distributed ADI solvers with block-size work multipliers, LU as a
+//! z-pipelined SSOR wavefront — reduced-fidelity stand-ins whose
+//! communication patterns match the originals (substitution recorded in
+//! DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod common;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod mg;
+
+pub use apps::{run_bt, run_lu, run_sp};
+pub use common::{BenchResult, NpbRng};

@@ -1,0 +1,139 @@
+//! SPH smoothing kernels.
+//!
+//! The paper lists smoothed particle hydrodynamics among the modules built
+//! on the HOT library ("implemented with 3000 lines interfaced to exactly
+//! the same library", citing Warren & Salmon 1995, *A portable parallel
+//! particle program*). The workhorse kernel is the Monaghan–Lattanzio
+//! cubic spline with compact support `2h`, here with the standard 1-D,
+//! 2-D and 3-D normalizations (the 1-D form drives the shock-tube
+//! validation problem).
+
+/// Spatial dimensionality of a kernel evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dim {
+    /// One-dimensional.
+    One,
+    /// Two-dimensional.
+    Two,
+    /// Three-dimensional.
+    Three,
+}
+
+impl Dim {
+    /// Cubic-spline normalization constant σ (so that ∫W = 1).
+    #[inline]
+    pub fn sigma(self) -> f64 {
+        match self {
+            Dim::One => 2.0 / 3.0,
+            Dim::Two => 10.0 / (7.0 * std::f64::consts::PI),
+            Dim::Three => 1.0 / std::f64::consts::PI,
+        }
+    }
+
+    /// Dimension as an integer.
+    pub fn n(self) -> u32 {
+        match self {
+            Dim::One => 1,
+            Dim::Two => 2,
+            Dim::Three => 3,
+        }
+    }
+}
+
+/// Cubic-spline kernel `W(r, h)`.
+#[inline]
+pub fn w(r: f64, h: f64, dim: Dim) -> f64 {
+    debug_assert!(r >= 0.0 && h > 0.0);
+    let q = r / h;
+    let sigma = dim.sigma() / h.powi(dim.n() as i32);
+    if q < 1.0 {
+        sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q)
+    } else if q < 2.0 {
+        sigma * 0.25 * (2.0 - q).powi(3)
+    } else {
+        0.0
+    }
+}
+
+/// Radial derivative `∂W/∂r`.
+#[inline]
+pub fn dw_dr(r: f64, h: f64, dim: Dim) -> f64 {
+    let q = r / h;
+    let sigma = dim.sigma() / h.powi(dim.n() as i32 + 1);
+    if q < 1.0 {
+        sigma * (-3.0 * q + 2.25 * q * q)
+    } else if q < 2.0 {
+        sigma * (-0.75 * (2.0 - q) * (2.0 - q))
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_support() {
+        for dim in [Dim::One, Dim::Two, Dim::Three] {
+            assert_eq!(w(2.0001, 1.0, dim), 0.0);
+            assert_eq!(dw_dr(2.0001, 1.0, dim), 0.0);
+            assert!(w(1.9999, 1.0, dim) > 0.0);
+        }
+    }
+
+    #[test]
+    fn normalization_3d() {
+        // ∫ W 4πr² dr = 1.
+        let h = 0.7;
+        let n = 100_000;
+        let dr = 2.0 * h / n as f64;
+        let mut total = 0.0;
+        for i in 0..n {
+            let r = (i as f64 + 0.5) * dr;
+            total += w(r, h, Dim::Three) * 4.0 * std::f64::consts::PI * r * r * dr;
+        }
+        assert!((total - 1.0).abs() < 1e-5, "3D integral {total}");
+    }
+
+    #[test]
+    fn normalization_1d() {
+        let h = 1.3;
+        let n = 100_000;
+        let dr = 2.0 * h / n as f64;
+        let mut total = 0.0;
+        for i in 0..n {
+            let r = (i as f64 + 0.5) * dr;
+            total += 2.0 * w(r, h, Dim::One) * dr; // both sides
+        }
+        assert!((total - 1.0).abs() < 1e-5, "1D integral {total}");
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 0.9;
+        for &r in &[0.1, 0.5, 0.89, 1.2, 1.7] {
+            let e = 1e-7;
+            for dim in [Dim::One, Dim::Three] {
+                let num = (w(r + e, h, dim) - w(r - e, h, dim)) / (2.0 * e);
+                let ana = dw_dr(r, h, dim);
+                assert!((num - ana).abs() < 1e-5 * ana.abs().max(1e-3), "r={r} {dim:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_monotone_decreasing() {
+        let mut prev = w(0.0, 1.0, Dim::Three);
+        for i in 1..200 {
+            let r = i as f64 * 0.01;
+            let cur = w(r, 1.0, Dim::Three);
+            assert!(cur <= prev + 1e-15);
+            prev = cur;
+        }
+        // Gradient non-positive everywhere.
+        for i in 0..200 {
+            assert!(dw_dr(i as f64 * 0.01, 1.0, Dim::Three) <= 0.0);
+        }
+    }
+}

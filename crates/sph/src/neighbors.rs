@@ -1,0 +1,93 @@
+//! Neighbour search on the hashed oct-tree.
+//!
+//! SPH needs all particles within `2h` of each sink. The same tree that
+//! drives the multipole walk answers range queries: descend cells whose
+//! boxes intersect the search sphere, collect leaf particles inside it.
+
+use hot_base::Vec3;
+use hot_core::moments::Moments;
+use hot_core::tree::Tree;
+
+/// Indices (tree order) of all particles within `radius` of `center`.
+pub fn range_query<M: Moments>(tree: &Tree<M>, center: Vec3, radius: f64) -> Vec<u32> {
+    let mut out = Vec::new();
+    if tree.n_particles() == 0 {
+        return out;
+    }
+    let r2 = radius * radius;
+    let mut stack = vec![0usize];
+    while let Some(ci) = stack.pop() {
+        let c = &tree.cells[ci];
+        if c.n == 0 {
+            continue;
+        }
+        let cell_box = c.key.cell_aabb(&tree.domain);
+        if cell_box.distance2_to_point(center) > r2 {
+            continue;
+        }
+        if c.is_leaf() {
+            for i in c.span() {
+                if (tree.pos[i] - center).norm2() <= r2 {
+                    out.push(i as u32);
+                }
+            }
+        } else {
+            stack.extend(tree.children(c));
+        }
+    }
+    out
+}
+
+/// All-neighbour lists for every particle (tree order), radius `2h` each.
+pub fn neighbor_lists<M: Moments>(tree: &Tree<M>, h: &[f64]) -> Vec<Vec<u32>> {
+    (0..tree.n_particles())
+        .map(|i| range_query(tree, tree.pos[i], 2.0 * h[i]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_base::Aabb;
+    use hot_core::moments::MonoMoments;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pos: Vec<Vec3> =
+            (0..800).map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen())).collect();
+        let q = vec![1.0f64; 800];
+        let tree = Tree::<MonoMoments>::build(Aabb::unit(), &pos, &q, 8);
+        for trial in 0..20 {
+            let c = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+            let r = 0.05 + 0.15 * rng.gen::<f64>();
+            let mut got = range_query(&tree, c, r);
+            got.sort_unstable();
+            let mut want: Vec<u32> = (0..800u32)
+                .filter(|&i| (tree.pos[i as usize] - c).norm2() <= r * r)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_and_all() {
+        let pos = vec![Vec3::splat(0.5)];
+        let tree = Tree::<MonoMoments>::build(Aabb::unit(), &pos, &[1.0], 8);
+        assert!(range_query(&tree, Vec3::splat(0.1), 0.05).is_empty());
+        assert_eq!(range_query(&tree, Vec3::splat(0.5), 0.01), vec![0]);
+        // Radius covering everything.
+        assert_eq!(range_query(&tree, Vec3::ZERO, 10.0).len(), 1);
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let pos = vec![Vec3::new(0.2, 0.5, 0.5), Vec3::new(0.8, 0.5, 0.5)];
+        let tree = Tree::<MonoMoments>::build(Aabb::unit(), &pos, &[1.0, 1.0], 1);
+        // Exactly at distance 0.6 / 2 = 0.3 from midpoint.
+        let found = range_query(&tree, Vec3::new(0.5, 0.5, 0.5), 0.3 + 1e-12);
+        assert_eq!(found.len(), 2);
+    }
+}

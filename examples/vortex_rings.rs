@@ -1,0 +1,80 @@
+//! The fusion of two vortex rings — the Hyglac demonstration that the HOT
+//! library "can solve a very general class of problems": same tree, same
+//! walk, vector charges instead of masses.
+//!
+//! Run: `cargo run --release --example vortex_rings [n_phi] [steps]`
+
+use hot_base::flops::FlopCounter;
+use hot_base::Vec3;
+use hot_vortex::ring::{linear_impulse, make_ring, total_vorticity, RingSpec};
+use hot_vortex::sim::VortexSim;
+
+fn arg(idx: usize, default: usize) -> usize {
+    std::env::args().nth(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let n_phi = arg(1, 40);
+    let steps = arg(2, 16);
+
+    // Two rings side by side, tilted toward each other: they attract,
+    // collide and reconnect ("fusion").
+    let spec_a = RingSpec {
+        center: Vec3::new(-0.7, 0.0, 0.0),
+        normal: Vec3::new(0.2, 0.0, 1.0),
+        radius: 1.0,
+        core: 0.15,
+        circulation: 1.0,
+        n_phi,
+        n_core: 2,
+    };
+    let spec_b = RingSpec {
+        center: Vec3::new(0.7, 0.0, 0.0),
+        normal: Vec3::new(-0.2, 0.0, 1.0),
+        ..spec_a
+    };
+    let (mut pos, mut alpha) = make_ring(&spec_a);
+    let (pb, ab) = make_ring(&spec_b);
+    pos.extend(pb);
+    alpha.extend(ab);
+    println!("two vortex rings, {} particles (paper started with 57,000)", pos.len());
+
+    let mut sim = VortexSim::new(pos, alpha, 0.15);
+    sim.theta = 0.5;
+    let counter = FlopCounter::new();
+    let imp0 = linear_impulse(&sim.pos, &sim.alpha);
+    let om0 = total_vorticity(&sim.alpha);
+
+    for s in 1..=steps {
+        sim.step_rk2(0.05, &counter);
+        // Ring separation diagnostic: x-spread of the vorticity centroid.
+        let mean_x: f64 = sim.pos.iter().map(|p| p.x.abs()).sum::<f64>() / sim.len() as f64;
+        if s % 4 == 0 {
+            println!(
+                "  t = {:>5.2}: <|x|> = {:.3} (rings approaching), {} particles",
+                sim.time, mean_x, sim.len()
+            );
+        }
+        if s % 8 == 0 {
+            let before = sim.len();
+            sim.remesh_now(0.11, 0.02);
+            println!("  remesh: {} -> {} particles (core overlap maintained)", before, sim.len());
+        }
+    }
+
+    let imp1 = linear_impulse(&sim.pos, &sim.alpha);
+    let om1 = total_vorticity(&sim.alpha);
+    println!("\ninvariants over the run:");
+    println!("  total vorticity drift |dOmega| = {:.2e}", (om1 - om0).norm());
+    println!(
+        "  linear impulse drift = {:.2e} (relative {:.1e})",
+        (imp1 - imp0).norm(),
+        (imp1 - imp0).norm() / imp0.norm()
+    );
+    let rep = counter.report();
+    println!(
+        "  {} vortex interactions -> {:.2e} flops (123/interaction, counted in-kernel)",
+        rep.vortex_interactions(),
+        rep.flops() as f64
+    );
+}

@@ -1,0 +1,27 @@
+//! # hot97 — umbrella crate for the SC'97 HOT treecode reproduction
+//!
+//! Re-exports every subsystem of the workspace so examples and downstream
+//! users can depend on a single crate. See the README for a map, DESIGN.md
+//! for the system inventory and EXPERIMENTS.md for paper-vs-measured
+//! results.
+//!
+//! ```
+//! use hot97::gravity::models::plummer;
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (pos, vel) = plummer(&mut rng, 100);
+//! assert_eq!(pos.len(), vel.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hot_base as base;
+pub use hot_comm as comm;
+pub use hot_core as core;
+pub use hot_cosmo as cosmo;
+pub use hot_gravity as gravity;
+pub use hot_machine as machine;
+pub use hot_morton as morton;
+pub use hot_npb as npb;
+pub use hot_sph as sph;
+pub use hot_vortex as vortex;
