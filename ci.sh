@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1+ verify: everything a PR must pass. See VERIFICATION.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> hot-analyze lint"
+cargo run -q --offline --release -p hot-analyze -- lint
+
+echo "==> hot-analyze schedules --seeds 32"
+cargo run -q --offline --release -p hot-analyze -- schedules --seeds 32
+
+echo "==> ci.sh: all green"

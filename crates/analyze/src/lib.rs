@@ -1,0 +1,21 @@
+//! # hot-analyze
+//!
+//! Correctness tooling for the HOT97 workspace, in two halves:
+//!
+//! * [`lint`] — a static workspace linter enforcing the project invariants
+//!   the compiler cannot see: the 38-flop accounting convention, f64-only
+//!   accumulation paths, deterministic (iteration-order-free) reductions
+//!   and wire encoding, wall-clock-free simulation logic, and an audited
+//!   `unwrap`/`expect` surface.
+//! * [`schedules`] — a dynamic checker that reruns the comm runtime's
+//!   collectives and ABM traversal under many seeded rank interleavings
+//!   (via [`hot_comm::FuzzScheduler`]) and asserts freedom from deadlock,
+//!   undrained teardown messages, and schedule-dependent results.
+//!
+//! Run as `cargo run -p hot-analyze -- lint` and
+//! `cargo run -p hot-analyze -- schedules --seeds 32`. Both exit non-zero
+//! on findings; `ci.sh` wires them into the verify pipeline. Rules,
+//! rationale and suppression syntax are documented in `VERIFICATION.md`.
+
+pub mod lint;
+pub mod schedules;

@@ -1,0 +1,481 @@
+//! Static workspace linter.
+//!
+//! Text-based (the container has no `syn`), which keeps the rules simple,
+//! fast, and auditable. Each rule is named; a finding on line `L` is
+//! suppressed by putting `hot-lint: allow(rule-name)` in a comment on line
+//! `L` or the line immediately above — always with a justification, which
+//! is the point: the annotation is a reviewed claim, not an escape hatch.
+//! The `unwrap-audit` rule additionally honors a per-file allowlist
+//! (`crates/analyze/unwrap-allowlist.txt`).
+//!
+//! Code inside `#[cfg(test)]` modules is exempt from every rule: tests may
+//! unwrap, time themselves, and truncate at will.
+//!
+//! Rules and their paper-tied rationale are documented in VERIFICATION.md.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier, e.g. `determinism`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)?;
+        write!(f, "    | {}", self.excerpt)
+    }
+}
+
+/// Names of every rule, for `--help` output and docs cross-checking.
+pub const RULES: [&str; 5] =
+    ["f32-accumulation", "flop-accounting", "determinism", "wall-clock", "unwrap-audit"];
+
+/// Files (by suffix match) forming the f64 accumulation paths: multipole
+/// moments, tree walks, and the interaction kernels.
+const F32_SCOPE: [&str; 5] =
+    ["moments.rs", "walk.rs", "dwalk.rs", "kernels.rs", "kernel.rs"];
+
+/// Files whose map iteration order can leak into reduction results or wire
+/// bytes.
+const DETERMINISM_SCOPE: [&str; 9] = [
+    "comm/src/collectives.rs",
+    "comm/src/wire.rs",
+    "comm/src/abm.rs",
+    "comm/src/runtime.rs",
+    "core/src/dwalk.rs",
+    "core/src/moments.rs",
+    "core/src/wirevec.rs",
+    "vortex/src/remesh.rs",
+    "cosmo/src/fof.rs",
+];
+
+/// Force-kernel entry points: any non-test call site must visibly feed the
+/// `hot-base` flop counters from its enclosing function.
+const KERNEL_CALLS: [&str; 6] = [
+    "pp_acc(",
+    "pp_acc_pot(",
+    "pc_mono_acc(",
+    "pc_quad_acc(",
+    "pc_quad_pot(",
+    "velocity_and_stretching(",
+];
+
+/// Files that *define* the kernels (their own bodies are the 38 flops being
+/// counted, so they cannot count themselves).
+const KERNEL_DEFS: [&str; 2] = ["gravity/src/kernels.rs", "vortex/src/kernel.rs"];
+
+/// Evidence that a function feeds the flop counters.
+const FLOP_EVIDENCE: [&str; 3] = ["counter.add(", "FlopCounter", "add(Kind::"];
+
+/// Benchmark/experiment crates: self-timing by design, so the wall-clock
+/// and flop-accounting rules skip them. The NPB suite's whole contract is
+/// "time yourself and report Mop/s", and `bench` drives experiments.
+const SELF_TIMING_CRATES: [&str; 2] = ["crates/npb/", "crates/bench/"];
+
+/// Lint one source file. `rel` is the workspace-relative path with `/`
+/// separators; `allow_unwrap` is the list of allowlisted paths for the
+/// unwrap-audit rule.
+#[must_use]
+pub fn lint_source(rel: &str, source: &str, allow_unwrap: &[String]) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let in_test = test_mask(&lines);
+    let mut findings = Vec::new();
+
+    let suppressed = |rule: &str, idx: usize| -> bool {
+        let here = lines[idx].contains(&format!("hot-lint: allow({rule})"));
+        let above = idx > 0 && lines[idx - 1].contains(&format!("hot-lint: allow({rule})"));
+        here || above
+    };
+    let mut emit = |rule: &'static str, idx: usize, message: String| {
+        if !in_test[idx] && !suppressed(rule, idx) {
+            findings.push(Finding {
+                rule,
+                file: rel.to_string(),
+                line: idx + 1,
+                excerpt: lines[idx].trim().to_string(),
+                message,
+            });
+        }
+    };
+
+    let self_timing = SELF_TIMING_CRATES.iter().any(|c| rel.starts_with(c));
+
+    // Rule: f32-accumulation.
+    if F32_SCOPE.iter().any(|s| rel.ends_with(s)) && !self_timing {
+        for (i, line) in lines.iter().enumerate() {
+            if code_part(line).contains("as f32") {
+                emit(
+                    "f32-accumulation",
+                    i,
+                    "truncation to f32 in an accumulation path: forces and moments \
+                     accumulate in f64 (the paper's kernel is f64 with an f32 rsqrt \
+                     seed only); keep the cast out of moments/walk/kernel files"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // Rule: determinism.
+    if DETERMINISM_SCOPE.iter().any(|s| rel.ends_with(s)) {
+        for (i, line) in lines.iter().enumerate() {
+            let code = code_part(line);
+            if code.contains("HashMap") || code.contains("HashSet") {
+                emit(
+                    "determinism",
+                    i,
+                    "hash-order container in a reduction/wire path: iteration order \
+                     is nondeterministic, so reduced values and encoded bytes would \
+                     differ run-to-run; use BTreeMap/sorted Vec, or suppress with a \
+                     justification proving the map is never iterated"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // Rule: wall-clock.
+    if !rel.ends_with("timer.rs") && !self_timing {
+        for (i, line) in lines.iter().enumerate() {
+            let code = code_part(line);
+            if code.contains("Instant::now") || code.contains("SystemTime") {
+                emit(
+                    "wall-clock",
+                    i,
+                    "wall-clock read in simulation logic: results must be a pure \
+                     function of inputs and seeds; time only through \
+                     hot_base::timer, or suppress with a justification that the \
+                     value never reaches simulation state"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // Rule: unwrap-audit.
+    if !allow_unwrap.iter().any(|a| rel == a) && !self_timing {
+        for (i, line) in lines.iter().enumerate() {
+            let code = code_part(line);
+            if code.contains(".unwrap()") || code.contains(".expect(") {
+                emit(
+                    "unwrap-audit",
+                    i,
+                    "unaudited unwrap/expect in library code: add the file to \
+                     crates/analyze/unwrap-allowlist.txt with a reason, or suppress \
+                     the line with a justification"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // Rule: flop-accounting.
+    if !KERNEL_DEFS.iter().any(|s| rel.ends_with(s)) && !self_timing {
+        for (start, end) in function_spans(&lines) {
+            let body: Vec<&str> = lines[start..end].to_vec();
+            let has_kernel_call = |i: &usize| {
+                let code = code_part(lines[*i]);
+                KERNEL_CALLS.iter().any(|k| {
+                    // A call site, not a definition or import.
+                    code.contains(k) && !code.contains("fn ") && !code.contains("use ")
+                })
+            };
+            let call_line = (start..end).find(has_kernel_call);
+            if let Some(idx) = call_line {
+                let counted = body.iter().any(|l| {
+                    let code = code_part(l);
+                    FLOP_EVIDENCE.iter().any(|e| code.contains(e))
+                });
+                if !counted {
+                    emit(
+                        "flop-accounting",
+                        idx,
+                        "force-kernel call whose enclosing function never feeds the \
+                         hot-base flop counters: every interaction must be counted \
+                         through the 38-flop convention or the reported Gflop/s are \
+                         fiction; add counter.add(Kind::..., n) beside the loop"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+/// Everything before a `//` comment marker. Naive about `//` inside string
+/// literals, which is fine for these patterns (none of them contain URLs).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Mark lines inside `#[cfg(test)] mod ... { }` blocks (including the
+/// attribute line itself) by brace tracking.
+fn test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = true;
+                for ch in code_part(lines[j]).chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// `(start, end)` line ranges of function definitions, found by scanning
+/// for `fn ` and brace-matching the body. `end` is exclusive.
+fn function_spans(lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let code = code_part(lines[i]);
+        let is_fn = code.trim_start().starts_with("fn ")
+            || code.contains("pub fn ")
+            || code.contains("pub(crate) fn ");
+        if is_fn {
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for ch in code_part(lines[j]).chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                // Declaration-only (trait method sig ending in `;`).
+                if !opened && code_part(lines[j]).trim_end().ends_with(';') {
+                    break;
+                }
+                j += 1;
+            }
+            spans.push((i, (j + 1).min(lines.len())));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Load the unwrap allowlist: one workspace-relative path per line,
+/// `#` comments and blanks ignored, anything after whitespace is a reason.
+#[must_use]
+pub fn load_allowlist(root: &Path) -> Vec<String> {
+    let path = root.join("crates/analyze/unwrap-allowlist.txt");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.split_whitespace().next().map(ToString::to_string))
+        .collect()
+}
+
+/// Collect the workspace sources in scope: `src/` of the root package and
+/// every crate under `crates/`, excluding `crates/analyze` itself (its
+/// sources quote the rule patterns and plant violations as test fixtures)
+/// and excluding the offline dependency shims under `shims/`.
+#[must_use]
+pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("src")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target")
+                    || path == root.join("crates/analyze")
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lint the whole workspace rooted at `root`. Returns all findings.
+#[must_use]
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let allow = load_allowlist(root);
+    let mut findings = Vec::new();
+    for path in collect_sources(root) {
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_source(&rel, &source, &allow));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_source(rel, src, &[]).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn f32_rule_fires_in_scope_and_respects_scope() {
+        let bad = "pub fn accumulate(x: f64) -> f32 {\n    x as f32\n}\n";
+        assert_eq!(rules_hit("crates/core/src/moments.rs", bad), ["f32-accumulation"]);
+        assert_eq!(rules_hit("crates/core/src/walk.rs", bad), ["f32-accumulation"]);
+        // Out of scope: rsqrt's f32 fast path is the documented exception.
+        assert!(rules_hit("crates/base/src/rsqrt.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn f32_rule_suppressible_inline() {
+        let ok = "pub fn f(x: f64) -> f32 {\n    \
+                  // hot-lint: allow(f32-accumulation): display only\n    x as f32\n}\n";
+        assert!(rules_hit("crates/core/src/moments.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn determinism_rule_fires_on_hash_containers() {
+        let bad = "use std::collections::HashMap;\nfn reduce() {\n    \
+                   let m: HashMap<u32, f64> = HashMap::new();\n}\n";
+        let hits = rules_hit("crates/comm/src/collectives.rs", bad);
+        assert!(hits.iter().all(|r| *r == "determinism"));
+        assert!(!hits.is_empty());
+        // Same text in an unscoped file is fine.
+        assert!(rules_hit("crates/core/src/htable.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_rule_fires_outside_timer() {
+        let bad = "fn step() {\n    let t = std::time::Instant::now();\n}\n";
+        assert_eq!(rules_hit("crates/core/src/tree.rs", bad), ["wall-clock"]);
+        assert!(rules_hit("crates/base/src/timer.rs", bad).is_empty());
+        // Benchmark crates time themselves by design.
+        assert!(rules_hit("crates/npb/src/ft.rs", bad).is_empty());
+        assert!(rules_hit("crates/bench/src/bin/exp_costs.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn unwrap_audit_fires_and_allowlist_clears() {
+        let bad = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        assert_eq!(rules_hit("crates/core/src/tree.rs", bad), ["unwrap-audit"]);
+        let allow = vec!["crates/core/src/tree.rs".to_string()];
+        assert!(lint_source("crates/core/src/tree.rs", bad, &allow).is_empty());
+    }
+
+    #[test]
+    fn flop_accounting_fires_on_uncounted_kernel_loop() {
+        let bad = "fn forces(pos: &[f64]) {\n    for i in 0..pos.len() {\n        \
+                   let a = pp_acc(d, m, eps2);\n    }\n}\n";
+        assert_eq!(rules_hit("crates/gravity/src/treecode.rs", bad), ["flop-accounting"]);
+        let good = "fn forces(pos: &[f64], counter: &FlopCounter) {\n    \
+                    for i in 0..pos.len() {\n        let a = pp_acc(d, m, eps2);\n    }\n    \
+                    counter.add(Kind::GravPP, pos.len() as u64);\n}\n";
+        assert!(rules_hit("crates/gravity/src/treecode.rs", good).is_empty());
+        // The kernel-defining file itself is exempt.
+        assert!(rules_hit("crates/gravity/src/kernels.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_every_rule() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                   let x = 1.0f64 as f32;\n        let m = HashMap::new();\n        \
+                   let t = Instant::now();\n        let v = Some(1).unwrap();\n    }\n}\n";
+        assert!(rules_hit("crates/core/src/moments.rs", src).is_empty());
+        assert!(rules_hit("crates/comm/src/collectives.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comment_text_does_not_trip_rules() {
+        let src = "fn f() {\n    // discussion of as f32 and HashMap here\n}\n";
+        assert!(rules_hit("crates/core/src/moments.rs", src).is_empty());
+        assert!(rules_hit("crates/comm/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn finding_display_names_rule_and_location() {
+        let f = lint_source(
+            "crates/core/src/moments.rs",
+            "fn f(x: f64) -> f32 { x as f32 }\n",
+            &[],
+        );
+        let s = f[0].to_string();
+        assert!(s.contains("crates/core/src/moments.rs:1"), "{s}");
+        assert!(s.contains("[f32-accumulation]"), "{s}");
+    }
+
+    /// The shipped workspace must be clean — the same invariant the CI
+    /// pipeline enforces, checked here so `cargo test` alone catches
+    /// regressions. Skipped quietly if the workspace root is not found
+    /// (e.g. when the crate is vendored elsewhere).
+    #[test]
+    fn shipped_workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        if !root.join("Cargo.toml").exists() {
+            return;
+        }
+        let findings = lint_workspace(&root);
+        assert!(
+            findings.is_empty(),
+            "workspace lint findings:\n{}",
+            findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

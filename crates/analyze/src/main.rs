@@ -1,0 +1,103 @@
+//! `hot-analyze` command-line interface.
+//!
+//! ```text
+//! hot-analyze lint [--root PATH]
+//! hot-analyze schedules [--seeds N]
+//! ```
+//!
+//! Both subcommands exit 0 when clean and 1 on findings, so they slot
+//! directly into `ci.sh`. See VERIFICATION.md for the rule catalog.
+
+use hot_analyze::{lint, schedules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hot-analyze lint [--root PATH]       static invariant linter\n  \
+         hot-analyze schedules [--seeds N]    seeded schedule checker\n\nlint rules: {}",
+        lint::RULES.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("schedules") => run_schedules(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let root = flag_value(args, "--root").map_or_else(
+        || {
+            // Default: the workspace containing this binary's sources.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        },
+        PathBuf::from,
+    );
+    if !root.is_dir() {
+        eprintln!("hot-analyze lint: root {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let findings = lint::lint_workspace(&root);
+    let files = lint::collect_sources(&root).len();
+    if files == 0 {
+        // A rule sweep over nothing proves nothing; refuse rather than
+        // report a vacuous pass.
+        eprintln!("hot-analyze lint: no .rs sources under {}", root.display());
+        return ExitCode::from(2);
+    }
+    if findings.is_empty() {
+        println!("hot-analyze lint: {files} files clean ({} rules)", lint::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("hot-analyze lint: {} finding(s) across {files} files", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_schedules(args: &[String]) -> ExitCode {
+    let seeds: u64 = match flag_value(args, "--seeds") {
+        None => 32,
+        Some(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            // 0 would compare the reference schedule against nothing — a
+            // vacuous pass — and a non-number silently becoming the
+            // default would hide CI typos.
+            _ => {
+                eprintln!("hot-analyze schedules: --seeds needs a positive integer, got {s:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let reports = schedules::check_all(seeds);
+    let mut failed = false;
+    for rep in &reports {
+        if rep.passed() {
+            println!("ok   {} ({} seeds)", rep.name, rep.seeds);
+        } else {
+            failed = true;
+            println!("FAIL {} ({} seeds)", rep.name, rep.seeds);
+            for f in &rep.failures {
+                println!("     {f}");
+            }
+        }
+    }
+    if failed {
+        println!("hot-analyze schedules: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("hot-analyze schedules: all workloads schedule-independent");
+        ExitCode::SUCCESS
+    }
+}

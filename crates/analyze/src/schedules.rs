@@ -1,0 +1,283 @@
+//! Dynamic schedule checker for the rank runtime.
+//!
+//! Reruns communication-heavy workloads under many seeded rank
+//! interleavings ([`FuzzScheduler`]) and asserts the three properties the
+//! paper's reported numbers depend on:
+//!
+//! 1. **No deadlock** — the fuzz scheduler serializes ranks, so "every rank
+//!    blocked with no matching in-flight or future send" is *proved*, not
+//!    timed out; the failure report names each rank's wanted
+//!    `(source, tag)` and its queued mailbox state.
+//! 2. **Clean teardown** — no message (poison aside) left undrained in any
+//!    mailbox after the SPMD bodies return.
+//! 3. **Schedule independence** — results (and, for the collectives
+//!    workload, the full per-rank [`TrafficStats`]) are bitwise identical
+//!    across every seed. The ABM workload compares results and its
+//!    posted/delivered message counts but not raw traffic: batch
+//!    boundaries legitimately vary with the schedule (documented in
+//!    VERIFICATION.md).
+
+use hot_comm::{Abm, Comm, FuzzScheduler, TrafficStats, World};
+use std::fmt::Debug;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// Outcome of one workload checked across seeds.
+#[derive(Debug)]
+pub struct WorkloadReport {
+    /// Workload name.
+    pub name: &'static str,
+    /// Seeds exercised.
+    pub seeds: u64,
+    /// Human-readable failures; empty means the workload passed.
+    pub failures: Vec<String>,
+}
+
+impl WorkloadReport {
+    /// True when every seed passed every assertion.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// What one run under one schedule produced.
+struct RunSnapshot<T> {
+    results: Vec<T>,
+    stats: Vec<TrafficStats>,
+    undrained: usize,
+    trace: Vec<u32>,
+}
+
+/// Run `body` on `np` ranks under the seeded fuzz scheduler, catching rank
+/// panics (deadlock reports arrive as panics) into `Err`.
+fn run_one<T, F>(np: u32, seed: u64, body: F) -> Result<RunSnapshot<T>, String>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let sched = Arc::new(FuzzScheduler::new(np, seed));
+    let sched2 = sched.clone();
+    let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        World::run_with_scheduler(np, sched2, body)
+    }))
+    .map_err(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(ToString::to_string))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("seed {seed}: rank panic: {msg}")
+    })?;
+    Ok(RunSnapshot {
+        results: out.results,
+        stats: out.stats,
+        undrained: out.undrained.len(),
+        trace: sched.trace(),
+    })
+}
+
+/// Check one workload across `seeds` schedules. `compare_traffic` demands
+/// bitwise-identical per-rank [`TrafficStats`] on top of identical results.
+fn check_workload<T, F>(
+    name: &'static str,
+    np: u32,
+    seeds: u64,
+    compare_traffic: bool,
+    body: F,
+) -> WorkloadReport
+where
+    T: Send + PartialEq + Debug,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let mut failures = Vec::new();
+    let mut reference: Option<RunSnapshot<T>> = None;
+    for seed in 0..seeds {
+        match run_one(np, seed, &body) {
+            Err(e) => failures.push(e),
+            Ok(snap) => {
+                if snap.undrained > 0 {
+                    failures.push(format!(
+                        "seed {seed}: {} message(s) left undrained at teardown \
+                         (schedule trace: {:?})",
+                        snap.undrained, snap.trace
+                    ));
+                }
+                match &reference {
+                    None => reference = Some(snap),
+                    Some(r) => {
+                        if snap.results != r.results {
+                            failures.push(format!(
+                                "seed {seed}: results differ from seed 0 — the \
+                                 reduction is schedule-dependent\n  seed 0: {:?}\n  \
+                                 seed {seed}: {:?}\n  trace: {:?}",
+                                r.results, snap.results, snap.trace
+                            ));
+                        }
+                        if compare_traffic && snap.stats != r.stats {
+                            failures.push(format!(
+                                "seed {seed}: TrafficStats differ from seed 0 — \
+                                 message pattern is schedule-dependent\n  seed 0: \
+                                 {:?}\n  seed {seed}: {:?}",
+                                r.stats, snap.stats
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    WorkloadReport { name, seeds, failures }
+}
+
+/// Collectives sweep: every collective the runtime offers, chained so that
+/// tag reuse across phases is also exercised. Deterministic by
+/// construction, so results *and* traffic must match bitwise across seeds.
+#[must_use]
+pub fn check_collectives(np: u32, seeds: u64) -> WorkloadReport {
+    check_workload("collectives", np, seeds, true, |c| {
+        let r = f64::from(c.rank());
+        c.barrier();
+        let s1 = c.allreduce_sum_f64(r + 1.0);
+        let s2 = c.allreduce_max_f64(r * 2.0);
+        let v = c.allgather(c.rank() as u64);
+        let sends: Vec<Vec<u64>> =
+            (0..c.size()).map(|d| vec![u64::from(c.rank() * 100 + d)]).collect();
+        let a2a = c.alltoall(sends);
+        let bc = c.bcast(0, if c.rank() == 0 { 42u64 } else { 0 });
+        let (before, total) = c.exscan_sum_u64(u64::from(c.rank()) + 1);
+        c.barrier();
+        (s1.to_bits(), s2.to_bits(), v, a2a, bc, before, total)
+    })
+}
+
+/// ABM traversal: the cascading request/reply pattern of the latency-hiding
+/// tree walk. Each rank posts a request to every peer; each request spawns
+/// a reply; quiescence is reached through the double-count termination
+/// protocol. Results and posted/delivered counts must be schedule-free;
+/// batch counts (and hence raw traffic) legitimately are not.
+#[must_use]
+pub fn check_abm(np: u32, seeds: u64) -> WorkloadReport {
+    const K_REQ: u16 = 1;
+    const K_REP: u16 = 2;
+    check_workload("abm-traversal", np, seeds, false, |c| {
+        let me = c.rank();
+        let np = c.size();
+        let mut acc = 0u64;
+        let mut abm = Abm::new(c, 64);
+        for peer in 0..np {
+            if peer != me {
+                abm.post(peer, K_REQ, &u64::from(me));
+            }
+        }
+        abm.complete(|ep, src, kind, payload| match kind {
+            K_REQ => {
+                let from: u64 = hot_comm::from_bytes(payload);
+                ep.post(src, K_REP, &(from * 1000 + u64::from(ep.rank())));
+            }
+            K_REP => {
+                let v: u64 = hot_comm::from_bytes(payload);
+                acc += v;
+            }
+            other => panic!("unexpected ABM kind {other}"),
+        });
+        let stats = abm.stats();
+        (acc, stats.posted, stats.delivered)
+    })
+}
+
+/// The full checker: both workloads at several machine sizes.
+#[must_use]
+pub fn check_all(seeds: u64) -> Vec<WorkloadReport> {
+    let mut reports = Vec::new();
+    for np in [2, 4, 5] {
+        reports.push(check_collectives(np, seeds));
+        reports.push(check_abm(np, seeds));
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectives_pass_across_seeds() {
+        let rep = check_collectives(4, 8);
+        assert!(rep.passed(), "{:?}", rep.failures);
+    }
+
+    #[test]
+    fn abm_passes_across_seeds() {
+        let rep = check_abm(3, 8);
+        assert!(rep.passed(), "{:?}", rep.failures);
+    }
+
+    /// Planted fixture 1: a two-rank head-to-head deadlock (both ranks
+    /// receive before sending). The checker must flag it with an actionable
+    /// report naming both ranks' tag state rather than hanging.
+    #[test]
+    fn detects_planted_deadlock() {
+        let rep = check_workload("fixture-deadlock", 2, 4, false, |c| {
+            let other = 1 - c.rank();
+            // Deadlock: both sides recv first; no send is ever in flight.
+            let v: u64 = c.recv(other, 0x77);
+            c.send(other, 0x77, &v);
+            v
+        });
+        assert!(!rep.passed(), "planted deadlock not detected");
+        let msg = rep.failures.join("\n");
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("rank 0"), "{msg}");
+        assert!(msg.contains("rank 1"), "{msg}");
+        assert!(msg.contains("tag=0x77"), "{msg}");
+    }
+
+    /// Planted fixture 2: an order-sensitive floating-point reduction.
+    /// Rank 0 sums contributions in *arrival* order; the addends are chosen
+    /// so that float addition order changes the rounded result. Different
+    /// schedules permute arrivals, so results differ across seeds and the
+    /// checker must say so.
+    #[test]
+    fn detects_planted_nondeterministic_reduction() {
+        let rep = check_workload("fixture-nondet-reduction", 4, 16, false, |c| {
+            let vals = [0.0, 1.0e16, 3.0, -1.0e16];
+            if c.rank() == 0 {
+                let mut acc = 0.0f64;
+                for _ in 1..c.size() {
+                    let (_, v) = c.recv_any::<f64>(9);
+                    acc += v; // arrival order = schedule order: nondeterministic
+                }
+                acc.to_bits()
+            } else {
+                c.send(0, 9, &vals[c.rank() as usize]);
+                0
+            }
+        });
+        assert!(!rep.passed(), "planted nondeterministic reduction not detected");
+        let msg = rep.failures.join("\n");
+        assert!(msg.contains("results differ"), "{msg}");
+        assert!(msg.contains("schedule-dependent"), "{msg}");
+    }
+
+    /// An unreceived message must surface as an undrained-teardown failure.
+    #[test]
+    fn detects_undrained_message() {
+        let rep = check_workload("fixture-undrained", 2, 2, false, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, &1u8); // never received
+            }
+            c.rank()
+        });
+        assert!(!rep.passed(), "undrained message not detected");
+        assert!(rep.failures.join("\n").contains("undrained"), "{:?}", rep.failures);
+    }
+
+    /// The full default sweep stays green — the same invariant CI enforces.
+    #[test]
+    fn full_sweep_passes() {
+        for rep in check_all(4) {
+            assert!(rep.passed(), "{}: {:?}", rep.name, rep.failures);
+        }
+    }
+}

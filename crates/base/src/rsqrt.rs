@@ -62,7 +62,7 @@ fn table() -> &'static [Entry; TABLE_SIZE] {
 const MANT_MASK: u64 = (1u64 << 52) - 1;
 const EXP_BIAS: i64 = 1023;
 /// `2^(-1/2)`, folded in for odd exponents.
-const INV_SQRT2: f64 = 0.7071067811865476;
+const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 
 /// Reciprocal square root of a positive, normal `f64`, computed with adds
 /// and multiplies only (Karp's algorithm). Accurate to within a few ulp.

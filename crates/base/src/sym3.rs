@@ -88,11 +88,7 @@ impl Add for SymMat3 {
     type Output = SymMat3;
     #[inline(always)]
     fn add(self, rhs: SymMat3) -> SymMat3 {
-        let mut m = [0.0; 6];
-        for i in 0..6 {
-            m[i] = self.m[i] + rhs.m[i];
-        }
-        SymMat3 { m }
+        SymMat3 { m: std::array::from_fn(|i| self.m[i] + rhs.m[i]) }
     }
 }
 
@@ -109,11 +105,7 @@ impl Sub for SymMat3 {
     type Output = SymMat3;
     #[inline(always)]
     fn sub(self, rhs: SymMat3) -> SymMat3 {
-        let mut m = [0.0; 6];
-        for i in 0..6 {
-            m[i] = self.m[i] - rhs.m[i];
-        }
-        SymMat3 { m }
+        SymMat3 { m: std::array::from_fn(|i| self.m[i] - rhs.m[i]) }
     }
 }
 

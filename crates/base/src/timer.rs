@@ -68,7 +68,7 @@ impl PhaseTimer {
     pub fn summary(&self) -> String {
         let mut parts = Vec::new();
         for (name, d) in &self.acc {
-            parts.push(format!("{name} {:.3?}", d));
+            parts.push(format!("{name} {d:.3?}"));
         }
         parts.join(" | ")
     }

@@ -26,7 +26,7 @@ fn bench_rsqrt(c: &mut Criterion) {
                 acc += rsqrt(black_box(x));
             }
             acc
-        })
+        });
     });
     g.bench_function("hardware_f64", |b| {
         b.iter(|| {
@@ -35,7 +35,7 @@ fn bench_rsqrt(c: &mut Criterion) {
                 acc += 1.0 / black_box(x).sqrt();
             }
             acc
-        })
+        });
     });
     g.bench_function("karp_f32", |b| {
         b.iter(|| {
@@ -44,7 +44,7 @@ fn bench_rsqrt(c: &mut Criterion) {
                 acc += rsqrt_f32(black_box(x as f32));
             }
             acc
-        })
+        });
     });
     g.finish();
 }
@@ -53,16 +53,16 @@ fn bench_interactions(c: &mut Criterion) {
     let mut g = c.benchmark_group("interaction");
     let d = Vec3::new(0.3, -0.2, 0.9);
     g.bench_function("gravity_monopole_38flop", |b| {
-        b.iter(|| pp_acc(black_box(d), black_box(1.5), black_box(1e-6)))
+        b.iter(|| pp_acc(black_box(d), black_box(1.5), black_box(1e-6)));
     });
     let quad = SymMat3::new(0.1, 0.2, 0.3, 0.01, 0.02, 0.03);
     g.bench_function("gravity_quadrupole", |b| {
-        b.iter(|| pc_quad_acc(black_box(d), black_box(1.5), black_box(&quad), black_box(1e-6)))
+        b.iter(|| pc_quad_acc(black_box(d), black_box(1.5), black_box(&quad), black_box(1e-6)));
     });
     let ai = Vec3::new(0.1, 0.0, 0.2);
     let aj = Vec3::new(0.0, 0.3, -0.1);
     g.bench_function("vortex_velocity_stretching", |b| {
-        b.iter(|| velocity_and_stretching(black_box(d), black_box(ai), black_box(aj), black_box(0.01)))
+        b.iter(|| velocity_and_stretching(black_box(d), black_box(ai), black_box(aj), black_box(0.01)));
     });
     g.finish();
 }

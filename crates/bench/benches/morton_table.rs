@@ -29,7 +29,7 @@ fn bench_keys(c: &mut Criterion) {
                 acc ^= Key::from_point(black_box(p), &domain).0;
             }
             acc
-        })
+        });
     });
     let keys: Vec<Key> = pts.iter().map(|&p| Key::from_point(p, &domain)).collect();
     g.bench_function("parent_chain_to_root", |b| {
@@ -43,7 +43,7 @@ fn bench_keys(c: &mut Criterion) {
                 acc ^= k.0;
             }
             acc
-        })
+        });
     });
     g.bench_function("cell_aabb", |b| {
         b.iter(|| {
@@ -52,7 +52,7 @@ fn bench_keys(c: &mut Criterion) {
                 acc += k.ancestor_at(8).cell_aabb(&domain).center().x;
             }
             acc
-        })
+        });
     });
     g.finish();
 }
@@ -74,7 +74,7 @@ fn bench_table(c: &mut Criterion) {
                 acc += table.get(black_box(k)).expect("hit") as u64;
             }
             acc
-        })
+        });
     });
     g.bench_function("insert_100k", |b| {
         b.iter(|| {
@@ -83,7 +83,7 @@ fn bench_table(c: &mut Criterion) {
                 t.insert(k, i as u32);
             }
             t.len()
-        })
+        });
     });
     g.finish();
 }

@@ -27,7 +27,7 @@ fn bench_build(c: &mut Criterion) {
         let pos = uniform_box(&mut rng, n, &Aabb::unit());
         let mass = vec![1.0; n];
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| Tree::<MassMoments>::build(Aabb::unit(), &pos, &mass, 16).n_cells())
+            b.iter(|| Tree::<MassMoments>::build(Aabb::unit(), &pos, &mass, 16).n_cells());
         });
     }
     g.finish();
@@ -56,7 +56,7 @@ fn bench_force(c: &mut Criterion) {
                         tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false)
                             .stats
                             .interactions()
-                    })
+                    });
                 },
             );
         }

@@ -35,8 +35,7 @@ fn main() {
         sphere_with_buffer(&mut rng, &ics, base_mass, box_size * 0.4, box_size * 0.5);
     let n = pos.len();
     println!(
-        "{} particles (paper: 322,159,436 in a 200 Mpc sphere; scaled {}^3 realization)",
-        n, grid
+        "{n} particles (paper: 322,159,436 in a 200 Mpc sphere; scaled {grid}^3 realization)"
     );
 
     let opts = TreecodeOptions { eps2: (0.05 * cell) * (0.05 * cell), ..Default::default() };
@@ -51,16 +50,8 @@ fn main() {
     }
     println!("total flops (paper convention): {:.3e} (paper: 9.7e15)", counter.report().flops() as f64);
 
-    let img = project_log_density(
-        &sim.pos,
-        &sim.mass,
-        512,
-        512,
-        0.0,
-        box_size,
-        0.0,
-        box_size,
-    );
+    let img =
+        project_log_density(&sim.pos, &sim.mass, 512, 512, 0.0..box_size, 0.0..box_size);
     let path = std::path::Path::new("figure1_asci.pgm");
     img.save_pgm(path).expect("write image");
     println!("wrote {} (coverage {:.0}%)", path.display(), img.coverage() * 100.0);

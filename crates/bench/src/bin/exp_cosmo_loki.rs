@@ -55,10 +55,8 @@ fn main() {
         &sim.mass,
         256,
         256,
-        box_size * 0.1,
-        box_size * 0.9,
-        box_size * 0.1,
-        box_size * 0.9,
+        box_size * 0.1..box_size * 0.9,
+        box_size * 0.1..box_size * 0.9,
     );
     let path = std::path::Path::new("figure2_loki.pgm");
     img.save_pgm(path).expect("write image");

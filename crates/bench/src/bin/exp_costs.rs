@@ -10,7 +10,7 @@ use hot_machine::cost::{
 fn main() {
     header("Table 1: Loki architecture and price (September, 1996)");
     let t1 = loki_sept_1996();
-    println!("{:>4} {:>8} {:>10}  {}", "Qty.", "Price", "Ext.", "Description");
+    println!("{:>4} {:>8} {:>10}  Description", "Qty.", "Price", "Ext.");
     for item in &t1.items {
         println!(
             "{:>4} {:>8.0} {:>10.0}  {}",

@@ -38,7 +38,7 @@ fn main() {
     let (pos, _vel, mass) =
         sphere_with_buffer(&mut rng, &ics, base_mass, box_size * 0.25, box_size * 0.5);
     let n = pos.len();
-    println!("scaled run: {} particles ({}^3 lattice, sphere+buffer)", n, grid);
+    println!("scaled run: {n} particles ({grid}^3 lattice, sphere+buffer)");
 
     let np = 16u32;
     let domain = Aabb::cube(Vec3::splat(box_size * 0.5), box_size * 0.55);
@@ -107,7 +107,6 @@ fn main() {
     // Full run total.
     let total_flops = 1.2e15;
     println!(
-        "  full 1000+-step run: {:.1e} flops = 1.2 Petaflops total (paper's headline)",
-        total_flops
+        "  full 1000+-step run: {total_flops:.1e} flops = 1.2 Petaflops total (paper's headline)"
     );
 }

@@ -23,7 +23,7 @@ struct Row {
     traffic: Vec<TrafficStats>,
 }
 
-fn collect(out: RunOutput<BenchResult>) -> Row {
+fn collect(out: &RunOutput<BenchResult>) -> Row {
     let r = &out.results[0];
     assert!(out.results.iter().all(|x| x.verified), "{} failed verification", r.name);
     Row {
@@ -34,7 +34,7 @@ fn collect(out: RunOutput<BenchResult>) -> Row {
     }
 }
 
-/// Arithmetic-intensity fidelity factor (see exp_npb_scaling / DESIGN.md):
+/// Arithmetic-intensity fidelity factor (see `exp_npb_scaling` / DESIGN.md):
 /// our reduced pseudo-apps do k x fewer flops per point than real NPB.
 fn fidelity(name: &str) -> f64 {
     match name {
@@ -60,13 +60,13 @@ fn main() {
     println!("(mini-NPB sizes; paper ran Class B — shapes, not magnitudes, compare)");
 
     let rows = vec![
-        collect(World::run(np, |c| hot_npb::apps::run_bt(c, n, 2))),
-        collect(World::run(np, |c| hot_npb::apps::run_sp(c, n, 2))),
-        collect(World::run(np, |c| hot_npb::apps::run_lu(c, n, 4))),
-        collect(World::run(np, |c| hot_npb::mg::run_distributed(c, n, 2))),
-        collect(World::run(np, |c| hot_npb::ft::run(c, n, 2))),
-        collect(World::run(np, |c| hot_npb::ep::run(c, 18).0)),
-        collect(World::run(np, |c| hot_npb::is::run(c, 18, 16))),
+        collect(&World::run(np, |c| hot_npb::apps::run_bt(c, n, 2))),
+        collect(&World::run(np, |c| hot_npb::apps::run_sp(c, n, 2))),
+        collect(&World::run(np, |c| hot_npb::apps::run_lu(c, n, 4))),
+        collect(&World::run(np, |c| hot_npb::mg::run_distributed(c, n, 2))),
+        collect(&World::run(np, |c| hot_npb::ft::run(c, n, 2))),
+        collect(&World::run(np, |c| hot_npb::ep::run(c, 18).0)),
+        collect(&World::run(np, |c| hot_npb::is::run(c, 18, 16))),
     ];
 
     println!(

@@ -115,8 +115,7 @@ fn main() {
     println!("\nextrapolated to N = 322,159,436: {ipp:.0} inter/particle");
     let inter_5_steps = ipp * n322 * 5.0;
     println!(
-        "  5 timesteps: {:.2e} interactions (paper measured 7.18e12)",
-        inter_5_steps
+        "  5 timesteps: {inter_5_steps:.2e} interactions (paper measured 7.18e12)"
     );
     let flops = inter_5_steps * FLOPS_PER_GRAV_INTERACTION as f64;
     let last = &samples[samples.len() - 1];

@@ -189,7 +189,7 @@ mod tests {
     use crate::runtime::World;
 
     /// Every rank asks every other rank to echo a value; replies must all
-    /// arrive before complete() returns.
+    /// arrive before `complete()` returns.
     #[test]
     fn request_reply_to_quiescence() {
         const REQ: u16 = 1;

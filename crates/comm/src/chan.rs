@@ -1,0 +1,131 @@
+//! Per-rank mailboxes: the queue substrate under [`crate::runtime::Comm`].
+//!
+//! Each rank owns one mailbox that every peer may enqueue into. Unlike an
+//! opaque channel, the queue is *scannable*: a receiver takes the first
+//! envelope matching a `(source, tag)` pattern while leaving earlier
+//! non-matching traffic queued in arrival order, which is exactly MPI-style
+//! matching semantics. Keeping the structure transparent is what lets the
+//! schedule checker in `hot-analyze` observe tag state when it proves a
+//! deadlock and audit for undrained messages at teardown.
+
+use crate::runtime::Envelope;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One rank's incoming queue. Multi-producer (any peer sends), single
+/// consumer (the owning rank scans and takes).
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    q: Mutex<VecDeque<Envelope>>,
+}
+
+/// Outcome of a matching scan over a mailbox.
+pub(crate) enum Scan {
+    /// A matching envelope was removed from the queue.
+    Matched(Envelope),
+    /// No match, but a poison envelope from `src` is queued: the peer died.
+    Poisoned { src: u32 },
+    /// Nothing matching and no poison.
+    Empty,
+}
+
+impl Mailbox {
+    /// Append an envelope (called by the sending rank).
+    pub(crate) fn push(&self, env: Envelope) {
+        self.q.lock().expect("mailbox lock").push_back(env);
+    }
+
+    /// Remove and return the first envelope matching `(src, tag)`. When no
+    /// match exists but a poison message is queued, reports the poisoned
+    /// source instead so the caller can tear down rather than block forever.
+    pub(crate) fn take_match(&self, src: Option<u32>, tag: u32) -> Scan {
+        let mut q = self.q.lock().expect("mailbox lock");
+        if let Some(pos) = q
+            .iter()
+            .position(|e| e.tag == tag && src.is_none_or(|s| s == e.src))
+        {
+            return Scan::Matched(q.remove(pos).expect("indexed scan"));
+        }
+        if let Some(p) = q.iter().find(|e| e.tag == crate::runtime::POISON_TAG) {
+            return Scan::Poisoned { src: p.src };
+        }
+        Scan::Empty
+    }
+
+    /// True when an envelope matching `(src, tag)` — or a poison message —
+    /// is queued. Non-destructive; used as the wake condition while blocked.
+    pub(crate) fn has_match_or_poison(&self, src: Option<u32>, tag: u32) -> bool {
+        let q = self.q.lock().expect("mailbox lock");
+        q.iter().any(|e| {
+            e.tag == crate::runtime::POISON_TAG
+                || (e.tag == tag && src.is_none_or(|s| s == e.src))
+        })
+    }
+
+    /// `(source, tag)` of every queued envelope, oldest first — the tag
+    /// state reported in deadlock and teardown diagnostics.
+    pub(crate) fn queued_tags(&self) -> Vec<(u32, u32)> {
+        self.q.lock().expect("mailbox lock").iter().map(|e| (e.src, e.tag)).collect()
+    }
+
+    /// Drain every queued envelope (teardown path).
+    pub(crate) fn drain_all(&self) -> Vec<Envelope> {
+        self.q.lock().expect("mailbox lock").drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::POISON_TAG;
+    use bytes::Bytes;
+
+    fn env(src: u32, tag: u32) -> Envelope {
+        Envelope { src, tag, data: Bytes::new() }
+    }
+
+    #[test]
+    fn fifo_within_matching_stream() {
+        let m = Mailbox::default();
+        m.push(env(0, 7));
+        m.push(env(1, 5));
+        m.push(env(0, 5));
+        // Tag 5 from any source: rank 1's message is older.
+        match m.take_match(None, 5) {
+            Scan::Matched(e) => assert_eq!((e.src, e.tag), (1, 5)),
+            _ => panic!("expected match"),
+        }
+        // The unmatched tag-7 message is still queued, order preserved.
+        assert_eq!(m.queued_tags(), vec![(0, 7), (0, 5)]);
+    }
+
+    #[test]
+    fn poison_reported_only_without_match() {
+        let m = Mailbox::default();
+        m.push(env(2, POISON_TAG));
+        m.push(env(0, 3));
+        // A live match is preferred over the poison report.
+        assert!(matches!(m.take_match(Some(0), 3), Scan::Matched(_)));
+        // With no match left, the poison surfaces.
+        assert!(matches!(m.take_match(Some(0), 3), Scan::Poisoned { src: 2 }));
+    }
+
+    #[test]
+    fn empty_scan() {
+        let m = Mailbox::default();
+        assert!(matches!(m.take_match(None, 1), Scan::Empty));
+        assert!(!m.has_match_or_poison(None, 1));
+        m.push(env(0, 1));
+        assert!(m.has_match_or_poison(None, 1));
+        assert!(!m.has_match_or_poison(None, 2));
+    }
+
+    #[test]
+    fn drain_reports_everything() {
+        let m = Mailbox::default();
+        m.push(env(0, 1));
+        m.push(env(1, 2));
+        assert_eq!(m.drain_all().len(), 2);
+        assert!(matches!(m.take_match(None, 1), Scan::Empty));
+    }
+}

@@ -234,9 +234,15 @@ impl Comm {
                 self.send(d, TAG_ALLTOALL, &bucket);
             }
         }
-        for _ in 0..np - 1 {
-            let (src, data) = self.recv_bytes(None, TAG_ALLTOALL);
-            out[src as usize] = Some(crate::wire::from_bytes(data));
+        // Receive from each peer *by source*, not any-source: with
+        // any-source matching, a rank already inside its next alltoall call
+        // could satisfy this call's recv twice from one peer and leave
+        // another slot empty. Per-(source, tag) FIFO keeps calls separated
+        // without a barrier. (Found by `hot-analyze schedules`.)
+        for s in 0..np {
+            if s != self.rank() {
+                out[s as usize] = Some(self.recv(s, TAG_ALLTOALL));
+            }
         }
         out.into_iter().map(|o| o.expect("bucket from every rank")).collect()
     }

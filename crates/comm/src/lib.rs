@@ -29,14 +29,19 @@
 #![warn(missing_docs)]
 
 pub mod abm;
+mod chan;
 pub mod collectives;
 pub mod netmodel;
 #[cfg(test)]
 mod proptests;
 pub mod runtime;
+pub mod sched;
 pub mod wire;
 
 pub use abm::{Abm, AbmStats};
 pub use netmodel::NetworkModel;
-pub use runtime::{Comm, RunOutput, TrafficStats, World, MAX_USER_TAG};
+pub use runtime::{
+    Comm, Envelope, RunOutput, TrafficStats, Undrained, World, MAX_USER_TAG, POISON_TAG,
+};
+pub use sched::{Deadlock, FuzzScheduler, RealScheduler, SchedOp, Scheduler, Want};
 pub use wire::{from_bytes, to_bytes, Wire};

@@ -5,24 +5,34 @@
 //! message-passing systems programmed against NX/MPI. This module provides
 //! the equivalent substrate so the HOT algorithms run with their real
 //! communication structure: ranks share nothing, every byte crosses an
-//! explicit channel, and the per-rank [`TrafficStats`] feed the 1997 machine
-//! models in `hot-machine` that convert message counts into predicted
-//! wall-clock on the paper's networks.
+//! explicit [`crate::chan::Mailbox`], and the per-rank [`TrafficStats`]
+//! feed the 1997 machine models in `hot-machine` that convert message
+//! counts into predicted wall-clock on the paper's networks.
+//!
+//! Every channel operation passes through a [`crate::sched::Scheduler`]
+//! hook. Production runs use [`RealScheduler`] (free OS concurrency); the
+//! `hot-analyze schedules` checker swaps in a seeded
+//! [`crate::sched::FuzzScheduler`] to serialize ranks, perturb the
+//! interleaving reproducibly, prove deadlocks instead of hanging on them,
+//! and audit teardown for undrained messages.
 
+use crate::chan::{Mailbox, Scan};
+use crate::sched::{RealScheduler, SchedOp, Scheduler, Want};
 use crate::wire::{from_bytes, to_bytes, Wire};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::collections::VecDeque;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+// Wall-clock here times the host machine's run for Gflop/s reporting; the
+// simulation itself never reads it (enforced by `hot-analyze lint`).
+use std::time::{Duration, Instant}; // hot-lint: allow(wall-clock)
 
 /// Highest tag available to applications; larger tags are reserved for
 /// collectives and runtime control traffic.
 pub const MAX_USER_TAG: u32 = 0x7fff_ffff;
 
 /// Tag carried by teardown poison messages emitted when a rank panics.
-const POISON_TAG: u32 = u32::MAX;
+/// Public so checkers can distinguish expected post-panic poison from a
+/// genuinely dropped message when auditing mailboxes at teardown.
+pub const POISON_TAG: u32 = u32::MAX;
 
 /// One message in flight.
 #[derive(Debug)]
@@ -63,6 +73,7 @@ impl TrafficStats {
     }
 
     /// Difference since an earlier snapshot (for per-phase accounting).
+    #[must_use]
     pub fn since(&self, earlier: &TrafficStats) -> TrafficStats {
         TrafficStats {
             sends: self.sends - earlier.sends,
@@ -74,9 +85,10 @@ impl TrafficStats {
     }
 }
 
-struct Shared {
+struct Machine {
     np: u32,
-    senders: Vec<Sender<Envelope>>,
+    mailboxes: Vec<Mailbox>,
+    sched: Arc<dyn Scheduler>,
 }
 
 /// A rank's handle onto the simulated machine.
@@ -85,26 +97,27 @@ struct Shared {
 /// the real machines.
 pub struct Comm {
     rank: u32,
-    shared: Arc<Shared>,
-    rx: Receiver<Envelope>,
-    pending: VecDeque<Envelope>,
+    machine: Arc<Machine>,
     stats: TrafficStats,
 }
 
 impl Comm {
     /// This rank's id, `0..size()`.
     #[inline]
+    #[must_use]
     pub fn rank(&self) -> u32 {
         self.rank
     }
 
     /// Number of ranks in the machine.
     #[inline]
+    #[must_use]
     pub fn size(&self) -> u32 {
-        self.shared.np
+        self.machine.np
     }
 
     /// Communication counters so far.
+    #[must_use]
     pub fn stats(&self) -> TrafficStats {
         self.stats
     }
@@ -112,15 +125,13 @@ impl Comm {
     /// Send encoded bytes to `dst` with `tag`. Asynchronous: never blocks
     /// (infinite buffering, like an eager-protocol MPI send of modest size).
     pub fn send_bytes(&mut self, dst: u32, tag: u32, data: Bytes) {
-        assert!(dst < self.shared.np, "send to rank {dst} of {}", self.shared.np);
+        assert!(dst < self.machine.np, "send to rank {dst} of {}", self.machine.np);
+        self.machine.sched.yield_point(self.rank, SchedOp::Send { dst, tag });
         self.stats.sends += 1;
         self.stats.bytes_sent += data.len() as u64;
         self.stats.max_message = self.stats.max_message.max(data.len() as u64);
-        let env = Envelope { src: self.rank, tag, data };
-        // The receiver only disappears after World::run joins every thread,
-        // or when tearing down after a panic; either way a failed send can
-        // only happen during collapse.
-        let _ = self.shared.senders[dst as usize].send(env);
+        self.machine.mailboxes[dst as usize].push(Envelope { src: self.rank, tag, data });
+        self.machine.sched.notify(dst);
     }
 
     /// Send a typed value.
@@ -131,32 +142,35 @@ impl Comm {
 
     /// Blocking receive matching `src` (or any source when `None`) and
     /// `tag`. Returns the actual source and payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a peer rank dies (poison teardown) or when the scheduler
+    /// proves the machine deadlocked (checker runs only — the production
+    /// scheduler blocks forever like a real MPI).
     pub fn recv_bytes(&mut self, src: Option<u32>, tag: u32) -> (u32, Bytes) {
-        // First scan messages that arrived earlier but did not match.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.tag == tag && src.is_none_or(|s| s == e.src))
-        {
-            let e = self.pending.remove(pos).expect("indexed scan");
-            self.stats.recvs += 1;
-            self.stats.bytes_recvd += e.data.len() as u64;
-            return (e.src, e.data);
-        }
+        self.machine.sched.yield_point(self.rank, SchedOp::Recv { src, tag });
+        let mbox = &self.machine.mailboxes[self.rank as usize];
         loop {
-            let e = self
-                .rx
-                .recv()
-                .expect("all peer ranks vanished while blocked in recv");
-            if e.tag == POISON_TAG {
-                panic!("rank {}: peer rank {} died (poison received)", self.rank, e.src);
+            match mbox.take_match(src, tag) {
+                Scan::Matched(e) => {
+                    self.stats.recvs += 1;
+                    self.stats.bytes_recvd += e.data.len() as u64;
+                    return (e.src, e.data);
+                }
+                Scan::Poisoned { src } => {
+                    panic!("rank {}: peer rank {src} died (poison received)", self.rank);
+                }
+                Scan::Empty => {}
             }
-            if e.tag == tag && src.is_none_or(|s| s == e.src) {
-                self.stats.recvs += 1;
-                self.stats.bytes_recvd += e.data.len() as u64;
-                return (e.src, e.data);
+            let want = Want { src, tag, queued: mbox.queued_tags() };
+            if let Err(deadlock) =
+                self.machine.sched.wait_message(self.rank, &want, &mut || {
+                    mbox.has_match_or_poison(src, tag)
+                })
+            {
+                panic!("rank {}: {deadlock}", self.rank);
             }
-            self.pending.push_back(e);
         }
     }
 
@@ -173,31 +187,24 @@ impl Comm {
     }
 
     /// Non-blocking probe: pull one matching message if immediately
-    /// available (pending queue or channel), else `None`.
+    /// available, else `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a peer rank died and no matching message remains.
     pub fn try_recv_bytes(&mut self, src: Option<u32>, tag: u32) -> Option<(u32, Bytes)> {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.tag == tag && src.is_none_or(|s| s == e.src))
-        {
-            let e = self.pending.remove(pos).expect("indexed scan");
-            self.stats.recvs += 1;
-            self.stats.bytes_recvd += e.data.len() as u64;
-            return Some((e.src, e.data));
-        }
-        while let Ok(e) = self.rx.try_recv() {
-            if e.tag == POISON_TAG {
-                panic!("rank {}: peer rank {} died (poison received)", self.rank, e.src);
-            }
-            let matches = e.tag == tag && src.is_none_or(|s| s == e.src);
-            if matches {
+        self.machine.sched.yield_point(self.rank, SchedOp::TryRecv { tag });
+        match self.machine.mailboxes[self.rank as usize].take_match(src, tag) {
+            Scan::Matched(e) => {
                 self.stats.recvs += 1;
                 self.stats.bytes_recvd += e.data.len() as u64;
-                return Some((e.src, e.data));
+                Some((e.src, e.data))
             }
-            self.pending.push_back(e);
+            Scan::Poisoned { src } => {
+                panic!("rank {}: peer rank {src} died (poison received)", self.rank)
+            }
+            Scan::Empty => None,
         }
-        None
     }
 
     /// Typed non-blocking probe from any source.
@@ -220,20 +227,41 @@ fn is_internal_tag(tag: u32) -> bool {
 
 impl Drop for Comm {
     fn drop(&mut self) {
-        // If this rank is dying of a panic, wake every blocked peer so the
-        // whole machine tears down instead of deadlocking.
+        // Teardown discipline, exercised by `hot-analyze schedules`:
+        //
+        // If this rank is dying of a panic, first drain its own mailbox —
+        // in-flight envelopes addressed to a dead rank must be consumed, not
+        // leak as "undrained" teardown noise — then wake every peer with a
+        // poison message so a rank blocked in `recv` tears down instead of
+        // deadlocking. The poison bypasses `yield_point`: a panicking rank
+        // must never park itself waiting for a schedule grant.
         if std::thread::panicking() {
-            for dst in 0..self.shared.np {
+            self.machine.mailboxes[self.rank as usize].drain_all();
+            for dst in 0..self.machine.np {
                 if dst != self.rank {
-                    let _ = self.shared.senders[dst as usize].send(Envelope {
+                    self.machine.mailboxes[dst as usize].push(Envelope {
                         src: self.rank,
                         tag: POISON_TAG,
                         data: Bytes::new(),
                     });
+                    self.machine.sched.notify(dst);
                 }
             }
         }
+        self.machine.sched.rank_finished(self.rank);
     }
+}
+
+/// A message still queued at a rank's mailbox after its SPMD body returned
+/// — evidence of a communication-matching bug (or expected poison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Undrained {
+    /// Rank whose mailbox held the message.
+    pub at: u32,
+    /// Sending rank.
+    pub src: u32,
+    /// Message tag.
+    pub tag: u32,
 }
 
 /// Result of running an SPMD program on the simulated machine.
@@ -245,10 +273,15 @@ pub struct RunOutput<T> {
     pub stats: Vec<TrafficStats>,
     /// Wall-clock time for the whole run (spawn to last join).
     pub elapsed: Duration,
+    /// Messages never received by the time their destination rank returned,
+    /// poison excluded. Always worth asserting empty in tests: a non-empty
+    /// list means a send had no matching recv.
+    pub undrained: Vec<Undrained>,
 }
 
 impl<T> RunOutput<T> {
     /// Aggregate traffic over all ranks.
+    #[must_use]
     pub fn total_traffic(&self) -> TrafficStats {
         let mut t = TrafficStats::default();
         for s in &self.stats {
@@ -272,38 +305,46 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
+        Self::run_with_scheduler(np, Arc::new(RealScheduler::new(np)), f)
+    }
+
+    /// [`World::run`] under an explicit scheduling policy — the entry point
+    /// the `hot-analyze schedules` checker uses to permute interleavings.
+    pub fn run_with_scheduler<T, F>(np: u32, sched: Arc<dyn Scheduler>, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
         assert!(np >= 1, "need at least one rank");
-        let mut senders = Vec::with_capacity(np as usize);
-        let mut receivers = Vec::with_capacity(np as usize);
-        for _ in 0..np {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let shared = Arc::new(Shared { np, senders });
+        let machine = Arc::new(Machine {
+            np,
+            mailboxes: (0..np).map(|_| Mailbox::default()).collect(),
+            sched,
+        });
         let results: Vec<Mutex<Option<(T, TrafficStats)>>> =
             (0..np).map(|_| Mutex::new(None)).collect();
 
+        // Host-side elapsed time for Gflop/s reporting; simulation logic
+        // never reads it. hot-lint: allow(wall-clock)
         let t0 = Instant::now();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(np as usize);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let shared = shared.clone();
+            for rank in 0..np {
+                let machine = machine.clone();
                 let f = &f;
-                let slot = &results[rank];
+                let slot = &results[rank as usize];
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(16 << 20)
                     .spawn_scoped(scope, move || {
-                        let mut comm = Comm {
-                            rank: rank as u32,
-                            shared,
-                            rx,
-                            pending: VecDeque::new(),
-                            stats: TrafficStats::default(),
-                        };
+                        machine.sched.rank_started(rank);
+                        let mut comm =
+                            Comm { rank, machine: machine.clone(), stats: TrafficStats::default() };
                         let out = f(&mut comm);
-                        *slot.lock() = Some((out, comm.stats()));
+                        let stats = comm.stats();
+                        // `comm` drops here, releasing the schedule slot.
+                        drop(comm);
+                        *slot.lock().expect("result slot") = Some((out, stats));
                     })
                     .expect("spawn rank thread");
                 handles.push(handle);
@@ -320,20 +361,33 @@ impl World {
         });
         let elapsed = t0.elapsed();
 
+        let mut undrained = Vec::new();
+        for (at, mbox) in machine.mailboxes.iter().enumerate() {
+            for env in mbox.drain_all() {
+                if env.tag != POISON_TAG {
+                    undrained.push(Undrained { at: at as u32, src: env.src, tag: env.tag });
+                }
+            }
+        }
+
         let mut out_results = Vec::with_capacity(np as usize);
         let mut out_stats = Vec::with_capacity(np as usize);
         for slot in results {
-            let (r, s) = slot.into_inner().expect("rank finished without result");
+            let (r, s) = slot
+                .into_inner()
+                .expect("result slot")
+                .expect("rank finished without result");
             out_results.push(r);
             out_stats.push(s);
         }
-        RunOutput { results: out_results, stats: out_stats, elapsed }
+        RunOutput { results: out_results, stats: out_stats, elapsed, undrained }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::FuzzScheduler;
 
     #[test]
     fn single_rank() {
@@ -344,6 +398,7 @@ mod tests {
         });
         assert_eq!(out.results, vec![7]);
         assert_eq!(out.stats[0], TrafficStats::default());
+        assert!(out.undrained.is_empty());
     }
 
     #[test]
@@ -463,6 +518,42 @@ mod tests {
         assert!(result.is_err());
     }
 
+    /// Regression test for the teardown-drain fix: the panicking rank sends
+    /// unrelated traffic first, so the peer's mailbox holds a non-matching
+    /// envelope when the poison arrives. The blocked peer must still wake
+    /// (poison is found by scan, not FIFO order) and the dead rank's own
+    /// queued messages must not wedge anything.
+    #[test]
+    fn poison_wakes_peer_blocked_behind_unmatched_traffic() {
+        let result = std::panic::catch_unwind(|| {
+            World::run(2, |c| {
+                if c.rank() == 0 {
+                    // Never-received noise, then death. Rank 1 also sent us
+                    // a message we never receive: drain-on-panic consumes it.
+                    c.send(1, 77, &1u8);
+                    panic!("rank 0 exploded");
+                } else {
+                    c.send(0, 88, &2u8);
+                    // Blocks on a tag rank 0 never sends; only the poison
+                    // scan can wake us.
+                    let _: u8 = c.recv(0, 44);
+                    0u8
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn undrained_messages_reported_at_teardown() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 9, &3u32); // never received
+            }
+        });
+        assert_eq!(out.undrained, vec![Undrained { at: 1, src: 0, tag: 9 }]);
+    }
+
     #[test]
     fn stats_since_snapshot() {
         let out = World::run(2, |c| {
@@ -480,5 +571,50 @@ mod tests {
             }
         });
         assert_eq!(out.results[0], 2);
+    }
+
+    #[test]
+    fn fuzzed_schedules_reproduce_and_agree() {
+        let body = |c: &mut Comm| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.send(right, 1, &(c.rank() as u64));
+            let v: u64 = c.recv(left, 1);
+            v * 10 + c.rank() as u64
+        };
+        let reference = World::run(4, body);
+        for seed in 0..8 {
+            let sched = Arc::new(FuzzScheduler::new(4, seed));
+            let out = World::run_with_scheduler(4, sched.clone(), body);
+            assert_eq!(out.results, reference.results, "seed {seed}");
+            assert_eq!(out.stats, reference.stats, "seed {seed}");
+            assert!(out.undrained.is_empty(), "seed {seed}");
+            // Replay: the same seed yields the same schedule trace.
+            let sched2 = Arc::new(FuzzScheduler::new(4, seed));
+            let _ = World::run_with_scheduler(4, sched2.clone(), body);
+            assert_eq!(sched.trace(), sched2.trace(), "seed {seed} replay");
+        }
+    }
+
+    #[test]
+    fn fuzz_scheduler_proves_deadlock_with_tag_state() {
+        // Both ranks receive first: a textbook head-to-head deadlock. The
+        // production scheduler would hang; the fuzz scheduler must prove it
+        // and name both ranks' waits.
+        let result = std::panic::catch_unwind(|| {
+            let sched = Arc::new(FuzzScheduler::new(2, 1));
+            World::run_with_scheduler(2, sched, |c| {
+                let other = 1 - c.rank();
+                let v: u64 = c.recv(other, 5); // deadlock: nobody sends first
+                c.send(other, 5, &v);
+            });
+        });
+        let payload = result.expect_err("deadlock must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("tag=0x5"), "{msg}");
     }
 }

@@ -1,0 +1,396 @@
+//! Scheduling hooks for the rank runtime.
+//!
+//! Every channel operation in [`crate::runtime::Comm`] passes through a
+//! [`Scheduler`]. In production ([`RealScheduler`]) the hooks cost a few
+//! atomic operations and ranks run with genuine OS concurrency. Under the
+//! checker ([`FuzzScheduler`]) execution is *serialized*: exactly one rank
+//! runs between hook points, and at every hook a seeded RNG decides which
+//! ready rank runs next. That buys three things the paper's correctness
+//! story needs (and that follow-up treecodes reported losing weeks to):
+//!
+//! 1. **Replayable interleavings** — a schedule is a pure function of the
+//!    seed, so any failure reproduces exactly.
+//! 2. **Provable deadlock detection** — when every rank is blocked or
+//!    finished and no queued message matches any blocked receive, no future
+//!    send can exist; the checker reports each rank's wanted `(source, tag)`
+//!    and queued tag state instead of hanging.
+//! 3. **Schedule-independence checks** — running the same program under
+//!    many seeds and asserting bitwise-identical results catches
+//!    order-sensitive reductions and message races mechanically.
+
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// The channel operation a rank is about to perform (hook-point label).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedOp {
+    /// About to enqueue a message to `dst` with `tag`.
+    Send {
+        /// Destination rank.
+        dst: u32,
+        /// Message tag.
+        tag: u32,
+    },
+    /// About to scan for a message matching `(src, tag)`; may block.
+    Recv {
+        /// Required source, `None` for any.
+        src: Option<u32>,
+        /// Required tag.
+        tag: u32,
+    },
+    /// Non-blocking probe for `tag`.
+    TryRecv {
+        /// Required tag.
+        tag: u32,
+    },
+}
+
+/// What a blocked rank is waiting for, plus the tag state of its mailbox —
+/// the raw material of an actionable deadlock report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Want {
+    /// Required source rank, `None` for any-source.
+    pub src: Option<u32>,
+    /// Required tag.
+    pub tag: u32,
+    /// `(source, tag)` of every envelope queued at this rank, oldest first.
+    pub queued: Vec<(u32, u32)>,
+}
+
+impl fmt::Display for Want {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.src {
+            Some(s) => write!(f, "recv(src={s}, tag={:#x})", self.tag)?,
+            None => write!(f, "recv(src=any, tag={:#x})", self.tag)?,
+        }
+        if self.queued.is_empty() {
+            write!(f, "; mailbox empty")
+        } else {
+            let tags: Vec<String> =
+                self.queued.iter().map(|(s, t)| format!("(src={s}, tag={t:#x})")).collect();
+            write!(f, "; queued unmatched: [{}]", tags.join(", "))
+        }
+    }
+}
+
+/// A proven deadlock: the per-rank picture at the moment no progress was
+/// possible anywhere in the machine.
+#[derive(Clone, Debug)]
+pub struct Deadlock {
+    /// For each rank: `Some(want)` when blocked, `None` when finished.
+    pub blocked: Vec<(u32, Option<Want>)>,
+}
+
+impl fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "deadlock: every rank is blocked or finished and no queued or future \
+             send can match any blocked recv"
+        )?;
+        for (rank, want) in &self.blocked {
+            match want {
+                Some(w) => writeln!(f, "  rank {rank}: blocked in {w}")?,
+                None => writeln!(f, "  rank {rank}: finished")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Hook interface between [`crate::runtime::Comm`] and a scheduling policy.
+///
+/// `check` closures passed to [`Scheduler::wait_message`] are pure
+/// observations of the caller's mailbox (match-or-poison present); the
+/// scheduler never consumes messages itself.
+pub trait Scheduler: Send + Sync {
+    /// A rank's thread has started executing its SPMD body.
+    fn rank_started(&self, rank: u32);
+    /// A rank is at a channel operation; cooperative schedulers may park it
+    /// here and run a different rank.
+    fn yield_point(&self, rank: u32, op: SchedOp);
+    /// `rank` found no matching message and must wait until `check` can
+    /// return true. Returns `Err` when the machine is provably deadlocked.
+    fn wait_message(
+        &self,
+        rank: u32,
+        want: &Want,
+        check: &mut dyn FnMut() -> bool,
+    ) -> Result<(), Deadlock>;
+    /// A message was enqueued for `dst` (possibly by `dst` itself).
+    fn notify(&self, dst: u32);
+    /// A rank's SPMD body returned (normally or by unwind).
+    fn rank_finished(&self, rank: u32);
+}
+
+// ---------------------------------------------------------------------------
+// Production scheduler: full OS concurrency.
+// ---------------------------------------------------------------------------
+
+/// Default policy: ranks run concurrently; blocking receives sleep on a
+/// per-rank condition variable that [`Scheduler::notify`] signals.
+pub struct RealScheduler {
+    slots: Vec<(Mutex<u64>, Condvar)>,
+}
+
+impl RealScheduler {
+    /// Scheduler for an `np`-rank machine.
+    #[must_use]
+    pub fn new(np: u32) -> RealScheduler {
+        RealScheduler { slots: (0..np).map(|_| (Mutex::new(0), Condvar::new())).collect() }
+    }
+}
+
+impl Scheduler for RealScheduler {
+    fn rank_started(&self, _rank: u32) {}
+
+    fn yield_point(&self, _rank: u32, _op: SchedOp) {}
+
+    fn wait_message(
+        &self,
+        rank: u32,
+        _want: &Want,
+        check: &mut dyn FnMut() -> bool,
+    ) -> Result<(), Deadlock> {
+        let (lock, cv) = &self.slots[rank as usize];
+        let mut version = lock.lock().expect("sched slot lock");
+        loop {
+            if check() {
+                return Ok(());
+            }
+            let seen = *version;
+            while *version == seen {
+                version = cv.wait(version).expect("sched slot lock");
+            }
+        }
+    }
+
+    fn notify(&self, dst: u32) {
+        let (lock, cv) = &self.slots[dst as usize];
+        let mut version = lock.lock().expect("sched slot lock");
+        *version = version.wrapping_add(1);
+        cv.notify_all();
+    }
+
+    fn rank_finished(&self, _rank: u32) {}
+}
+
+// ---------------------------------------------------------------------------
+// Checker scheduler: serialized, seeded, replayable.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    /// Eligible to be granted the turn.
+    Ready,
+    /// Waiting for a message; re-made Ready by `notify`.
+    Blocked(Want),
+    /// SPMD body returned.
+    Done,
+}
+
+struct FuzzState {
+    turn: u32,
+    status: Vec<Status>,
+    rng: u64,
+    /// Ranks granted the turn, in order — the replayable schedule trace.
+    trace: Vec<u32>,
+    deadlock: Option<Deadlock>,
+}
+
+impl FuzzState {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: the schedule is a pure function of the seed.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Hand the turn to a uniformly chosen Ready rank. Returns false — and
+    /// records the deadlock — when no rank can run but some are blocked.
+    fn grant_next(&mut self) -> bool {
+        let ready: Vec<u32> = self
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Ready))
+            .map(|(r, _)| r as u32)
+            .collect();
+        if ready.is_empty() {
+            if self.status.iter().any(|s| matches!(s, Status::Blocked(_))) {
+                let blocked = self
+                    .status
+                    .iter()
+                    .enumerate()
+                    .map(|(r, s)| {
+                        let want = match s {
+                            Status::Blocked(w) => Some(w.clone()),
+                            _ => None,
+                        };
+                        (r as u32, want)
+                    })
+                    .collect();
+                self.deadlock = Some(Deadlock { blocked });
+            }
+            return false;
+        }
+        let pick = ready[(self.next_u64() % ready.len() as u64) as usize];
+        self.turn = pick;
+        self.trace.push(pick);
+        true
+    }
+}
+
+/// Cooperative scheduler that serializes ranks and explores interleavings
+/// with a seeded RNG. The same seed always reproduces the same schedule.
+pub struct FuzzScheduler {
+    state: Mutex<FuzzState>,
+    cv: Condvar,
+}
+
+impl FuzzScheduler {
+    /// Scheduler for `np` ranks drawing schedule decisions from `seed`.
+    #[must_use]
+    pub fn new(np: u32, seed: u64) -> FuzzScheduler {
+        let mut state = FuzzState {
+            turn: 0,
+            status: vec![Status::Ready; np as usize],
+            rng: seed,
+            trace: Vec::new(),
+            deadlock: None,
+        };
+        // The first turn is itself a seeded choice.
+        state.grant_next();
+        FuzzScheduler { state: Mutex::new(state), cv: Condvar::new() }
+    }
+
+    /// The schedule decided so far: each entry is the rank granted the turn.
+    /// Equal traces ⇔ equal schedules, so this is the replay artifact.
+    pub fn trace(&self) -> Vec<u32> {
+        self.state.lock().expect("sched lock").trace.clone()
+    }
+
+    /// Park until it is `rank`'s turn (or the machine deadlocks).
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut state: std::sync::MutexGuard<'a, FuzzState>,
+        rank: u32,
+    ) -> std::sync::MutexGuard<'a, FuzzState> {
+        while state.turn != rank && state.deadlock.is_none() {
+            state = self.cv.wait(state).expect("sched lock");
+        }
+        state
+    }
+}
+
+impl Scheduler for FuzzScheduler {
+    fn rank_started(&self, rank: u32) {
+        let state = self.state.lock().expect("sched lock");
+        drop(self.wait_for_turn(state, rank));
+    }
+
+    fn yield_point(&self, rank: u32, _op: SchedOp) {
+        let mut state = self.state.lock().expect("sched lock");
+        if state.turn != rank {
+            // We were preempted earlier (e.g. while panicking); just wait.
+            drop(self.wait_for_turn(state, rank));
+            return;
+        }
+        // Reconsider who runs: uniform choice over every ready rank
+        // (including this one), so all interleavings of channel ops are
+        // reachable across seeds.
+        if state.grant_next() {
+            self.cv.notify_all();
+        }
+        drop(self.wait_for_turn(state, rank));
+    }
+
+    fn wait_message(
+        &self,
+        rank: u32,
+        want: &Want,
+        check: &mut dyn FnMut() -> bool,
+    ) -> Result<(), Deadlock> {
+        let mut state = self.state.lock().expect("sched lock");
+        loop {
+            state = self.wait_for_turn(state, rank);
+            if let Some(d) = &state.deadlock {
+                return Err(d.clone());
+            }
+            if check() {
+                return Ok(());
+            }
+            state.status[rank as usize] = Status::Blocked(want.clone());
+            if !state.grant_next() {
+                // No rank can run. grant_next recorded the deadlock
+                // (blocked ranks exist: at least this one).
+                let d = state.deadlock.clone().expect("blocked rank implies deadlock");
+                self.cv.notify_all();
+                return Err(d);
+            }
+            self.cv.notify_all();
+        }
+    }
+
+    fn notify(&self, dst: u32) {
+        let mut state = self.state.lock().expect("sched lock");
+        if matches!(state.status[dst as usize], Status::Blocked(_)) {
+            state.status[dst as usize] = Status::Ready;
+        }
+    }
+
+    fn rank_finished(&self, rank: u32) {
+        let mut state = self.state.lock().expect("sched lock");
+        state.status[rank as usize] = Status::Done;
+        if state.turn == rank {
+            state.grant_next();
+        }
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn want_display_names_tag_state() {
+        let w = Want { src: Some(3), tag: 0x11, queued: vec![(0, 7)] };
+        let s = w.to_string();
+        assert!(s.contains("src=3"), "{s}");
+        assert!(s.contains("0x11"), "{s}");
+        assert!(s.contains("src=0, tag=0x7"), "{s}");
+    }
+
+    #[test]
+    fn deadlock_display_lists_every_rank() {
+        let d = Deadlock {
+            blocked: vec![
+                (0, Some(Want { src: Some(1), tag: 5, queued: vec![] })),
+                (1, None),
+            ],
+        };
+        let s = d.to_string();
+        assert!(s.contains("rank 0: blocked"), "{s}");
+        assert!(s.contains("rank 1: finished"), "{s}");
+    }
+
+    #[test]
+    fn fuzz_trace_is_seed_deterministic() {
+        // Identical seeds must produce identical first grants; distinct
+        // seeds must eventually differ (checked over several draws).
+        let a = FuzzScheduler::new(8, 42);
+        let b = FuzzScheduler::new(8, 42);
+        assert_eq!(a.trace(), b.trace());
+        let mut distinct = false;
+        for seed in 0..16 {
+            let c = FuzzScheduler::new(8, seed);
+            if c.trace() != a.trace() {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "16 seeds all produced the same first grant");
+    }
+}

@@ -216,27 +216,27 @@ mod tests {
     use super::*;
     use hot_base::{SymMat3, Vec3};
 
-    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
-        let b = to_bytes(&v);
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let b = to_bytes(v);
         assert_eq!(b.len(), v.wire_size(), "wire_size mismatch for {v:?}");
         let back: T = from_bytes(b);
-        assert_eq!(back, v);
+        assert_eq!(&back, v);
     }
 
     #[test]
     fn primitives() {
-        roundtrip(0xABu8);
-        roundtrip(0xBEEFu16);
-        roundtrip(0xDEAD_BEEFu32);
-        roundtrip(0x0123_4567_89AB_CDEFu64);
-        roundtrip(-42i32);
-        roundtrip(-(1i64 << 40));
-        roundtrip(3.25f32);
-        roundtrip(-2.2250738585072014e-308f64);
-        roundtrip(true);
-        roundtrip(false);
-        roundtrip(123_456_789_012usize);
-        roundtrip(());
+        roundtrip(&0xABu8);
+        roundtrip(&0xBEEFu16);
+        roundtrip(&0xDEAD_BEEFu32);
+        roundtrip(&0x0123_4567_89AB_CDEFu64);
+        roundtrip(&-42i32);
+        roundtrip(&-(1i64 << 40));
+        roundtrip(&3.25f32);
+        roundtrip(&-2.2250738585072014e-308f64);
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&123_456_789_012usize);
+        roundtrip(&());
     }
 
     #[test]
@@ -247,18 +247,18 @@ mod tests {
 
     #[test]
     fn compounds() {
-        roundtrip(vec![1u64, 2, 3]);
-        roundtrip(Vec::<f64>::new());
-        roundtrip([1.5f64, -2.5, 0.0]);
-        roundtrip((42u32, -1.5f64));
-        roundtrip((1u8, 2u16, vec![3u32]));
-        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+        roundtrip(&vec![1u64, 2, 3]);
+        roundtrip(&Vec::<f64>::new());
+        roundtrip(&[1.5f64, -2.5, 0.0]);
+        roundtrip(&(42u32, -1.5f64));
+        roundtrip(&(1u8, 2u16, vec![3u32]));
+        roundtrip(&vec![vec![1u8], vec![], vec![2, 3]]);
     }
 
     #[test]
     fn math_types() {
-        roundtrip(Vec3::new(1.0, -2.0, 3.5));
-        roundtrip(SymMat3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0));
+        roundtrip(&Vec3::new(1.0, -2.0, 3.5));
+        roundtrip(&SymMat3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0));
     }
 
     #[test]

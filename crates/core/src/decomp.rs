@@ -125,6 +125,8 @@ pub fn decompose<C: Wire + Copy + Send>(
             }
         }
         while samples.len() < oversample {
+            // Guarded by the enclosing non-empty check; a miss is a bug.
+            // hot-lint: allow(unwrap-audit)
             samples.push((bodies.last().expect("nonempty").key.0, step));
         }
     }

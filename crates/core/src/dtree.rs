@@ -314,6 +314,8 @@ impl<M: Moments> DistTree<M> {
         let pidx = self
             .table
             .get(parent_key)
+            // Protocol invariant: replies only arrive for requested parents.
+            // hot-lint: allow(unwrap-audit)
             .expect("install_children: unknown parent") as usize;
         if let DChildren::Nodes(_) = self.nodes[pidx].children {
             return Vec::new();
@@ -610,9 +612,9 @@ mod tests {
             let (bp, bq) = dt.bodies_of(leaf.key).expect("leaf resident");
             assert_eq!(bp.len(), leaf.n as usize);
             assert_eq!(bq.len(), leaf.n as usize);
-            // Unknown key serves nothing.
-            assert!(dt.children_records(Key::ROOT.child(0).child(0).child(0).child(0)).is_none()
-                || true); // may exist; just exercise the path
+            // Exercise the deep-key lookup path; the key may or may not be
+            // resident, so only the call itself is under test.
+            let _ = dt.children_records(Key::ROOT.child(0).child(0).child(0).child(0));
             1u8
         });
         assert_eq!(out.results.len(), 2);

@@ -21,7 +21,7 @@ use crate::walk::{Evaluator, WalkStats};
 use bytes::Bytes;
 use hot_base::Vec3;
 use hot_comm::{from_bytes, Abm, Comm};
-use std::collections::HashMap;
+use std::collections::HashMap; // hot-lint: allow(determinism): see `parked`
 
 /// Message kinds on the ABM channel.
 const K_REQ_CHILDREN: u16 = 1;
@@ -87,6 +87,10 @@ pub fn dwalk<M: Moments, E: Evaluator<M>>(
         .into_iter()
         .map(|gi| GroupWalk { gi, stack: vec![root] })
         .collect();
+    // The only iteration over this map is the pending-count reduction
+    // below, an order-independent exact u64 sum; walks are otherwise
+    // accessed per-key when their reply arrives, so hash order cannot leak
+    // into results. hot-lint: allow(determinism)
     let mut parked: HashMap<Want, Vec<GroupWalk>> = HashMap::new();
     let mut abm = Abm::new(comm, 4096);
 
@@ -146,6 +150,7 @@ fn run_walk<M: Moments, E: Evaluator<M>>(
     w: &mut GroupWalk,
     abm: &mut Abm<'_>,
     stats: &mut DwalkStats,
+    // hot-lint: allow(determinism): per-key parking slot, never iterated.
     parked: &mut HashMap<Want, Vec<GroupWalk>>,
 ) -> WalkOutcome {
     let g = &dt.local.cells[w.gi as usize];
@@ -277,6 +282,7 @@ fn run_walk<M: Moments, E: Evaluator<M>>(
 fn make_handler<'h, M: Moments>(
     dt: &'h mut DistTree<M>,
     active: &'h mut Vec<GroupWalk>,
+    // hot-lint: allow(determinism): per-key removal on reply, never iterated.
     parked: &'h mut HashMap<Want, Vec<GroupWalk>>,
 ) -> impl FnMut(&mut Abm<'_>, u32, u16, Bytes) + 'h {
     move |ep, src, kind, payload| match kind {
@@ -307,6 +313,8 @@ fn make_handler<'h, M: Moments>(
             let ni = dt
                 .table
                 .get(hot_morton::Key(key))
+                // Protocol invariant: body replies match a prior request.
+                // hot-lint: allow(unwrap-audit)
                 .expect("body reply for unknown node");
             let mut pos = Vec::with_capacity(pairs.len());
             let mut charge = Vec::with_capacity(pairs.len());

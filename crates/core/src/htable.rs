@@ -10,7 +10,7 @@
 //! `u32` slot indices: no tombstones (trees are built, queried, and cleared
 //! wholesale each step), linear probing, power-of-two capacity, Fibonacci
 //! key mixing. `std::collections::HashMap` would work, but the table *is*
-//! the paper's data structure — and SipHash on hot lookups during a tree
+//! the paper's data structure — and `SipHash` on hot lookups during a tree
 //! walk is exactly the overhead the original avoided.
 
 use hot_morton::Key;

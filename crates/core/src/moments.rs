@@ -222,12 +222,7 @@ impl Moments for VectorMoments {
 
     fn from_particle(pos: Vec3, q: &Vec3, center: Vec3) -> Self {
         let r = pos - center;
-        let mut alpha_r = [[0.0; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                alpha_r[i][j] = (*q)[i] * r[j];
-            }
-        }
+        let alpha_r: [[f64; 3]; 3] = std::array::from_fn(|i| std::array::from_fn(|j| (*q)[i] * r[j]));
         VectorMoments { alpha: *q, alpha_r, abs_alpha: q.norm(), b2: q.norm() * r.norm2() }
     }
 

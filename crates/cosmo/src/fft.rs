@@ -29,24 +29,6 @@ impl Complex {
     /// Zero.
     pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
 
-    /// Complex multiplication.
-    #[inline(always)]
-    pub fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
-    }
-
-    /// Addition.
-    #[inline(always)]
-    pub fn add(self, o: Complex) -> Complex {
-        Complex::new(self.re + o.re, self.im + o.im)
-    }
-
-    /// Subtraction.
-    #[inline(always)]
-    pub fn sub(self, o: Complex) -> Complex {
-        Complex::new(self.re - o.re, self.im - o.im)
-    }
-
     /// Scale by a real.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Complex {
@@ -66,6 +48,30 @@ impl Complex {
     }
 }
 
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
 /// In-place iterative radix-2 FFT. `inverse` applies the conjugate
 /// transform *without* the 1/N normalization (call [`normalize`] after a
 /// round trip, or use [`ifft`]).
@@ -82,7 +88,7 @@ pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -98,10 +104,10 @@ pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
             let half = len / 2;
             for i in 0..half {
                 let u = chunk[i];
-                let v = chunk[i + half].mul(w);
-                chunk[i] = u.add(v);
-                chunk[i + half] = u.sub(v);
-                w = w.mul(wlen);
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -233,7 +239,7 @@ mod tests {
                 let mut s = Complex::ZERO;
                 for (j, &v) in x.iter().enumerate() {
                     let w = Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
-                    s = s.add(v.mul(w));
+                    s = s + v * w;
                 }
                 s
             })

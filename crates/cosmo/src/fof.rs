@@ -1,4 +1,4 @@
-//! Friends-of-friends (FoF) halo finding.
+//! Friends-of-friends (`FoF`) halo finding.
 //!
 //! The paper's science case: *"Our ability to identify galaxies which can
 //! be compared to observational results requires that each galaxy contain
@@ -88,6 +88,8 @@ pub fn friends_of_friends(
     };
     let key_of = |c: (i64, i64, i64)| -> i64 { (c.2 * dims[1] + c.1) * dims[0] + c.0 };
 
+    // Lookup-only cell index, never iterated — every access is by key, so
+    // hash order cannot leak into results. hot-lint: allow(determinism)
     let mut buckets: std::collections::HashMap<i64, Vec<u32>> = std::collections::HashMap::new();
     for (i, &p) in pos.iter().enumerate() {
         buckets.entry(key_of(cell_of(p))).or_default().push(i as u32);
@@ -116,8 +118,9 @@ pub fn friends_of_friends(
         }
     }
 
-    // Collect groups.
-    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    // Collect groups. BTreeMap so halo enumeration order (and therefore the
+    // order of equal-mass halos after the sort below) is reproducible.
+    let mut groups: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
     for i in 0..n as u32 {
         let r = dsu.find(i);
         groups.entry(r).or_default().push(i);
@@ -135,6 +138,8 @@ pub fn friends_of_friends(
             Halo { center: c / m, mass: m, members }
         })
         .collect();
+    // Masses are sums of finite inputs; NaN here means corrupt input and
+    // panicking is the right outcome. hot-lint: allow(unwrap-audit)
     halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite masses"));
     halos
 }

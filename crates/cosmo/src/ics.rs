@@ -55,7 +55,7 @@ pub fn gaussian_field(
     spectrum: &CdmSpectrum,
 ) -> DensityField {
     let mut g = Grid3::zeros(n);
-    for v in g.data.iter_mut() {
+    for v in &mut g.data {
         *v = Complex::new(StandardNormalish::sample(rng), 0.0);
     }
     g.fft3(false);
@@ -66,7 +66,7 @@ pub fn gaussian_field(
     colour_by(&mut g, box_size, |k| spectrum.power(k).sqrt() * norm);
     g.fft3(true);
     // Imaginary residue from rounding is discarded.
-    for v in g.data.iter_mut() {
+    for v in &mut g.data {
         v.im = 0.0;
     }
     DensityField { delta: g, box_size }
@@ -94,7 +94,7 @@ fn colour_by(g: &mut Grid3, box_size: f64, f: impl Fn(f64) -> f64) {
 pub struct ZeldovichIcs {
     /// Comoving positions inside `[0, box_size)³`.
     pub pos: Vec<Vec3>,
-    /// Peculiar velocities in units where the EdS growing mode has
+    /// Peculiar velocities in units where the `EdS` growing mode has
     /// `v = H a f D ψ` with `f = 1`; we return `ψ · (growth velocity
     /// factor)` with the factor folded in by the caller via `vel_factor`.
     pub vel: Vec<Vec3>,
@@ -110,7 +110,7 @@ pub struct ZeldovichIcs {
 /// `growth` scales the displacement (the linear growth factor D at the
 /// start redshift relative to the field's normalization epoch) and
 /// `vel_factor` converts displacements into the velocity variable of the
-/// integrator (EdS growing mode: `v ∝ ψ`).
+/// integrator (`EdS` growing mode: `v ∝ ψ`).
 pub fn zeldovich(field: &DensityField, growth: f64, vel_factor: f64) -> ZeldovichIcs {
     let n = field.delta.n;
     let box_size = field.box_size;

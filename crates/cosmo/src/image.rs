@@ -20,17 +20,16 @@ pub struct GrayImage {
 }
 
 /// Project particle mass along z onto a `width × height` grid covering
-/// `[x0, x1) × [y0, y1)`, then log-stretch.
+/// `x × y`, then log-stretch.
 pub fn project_log_density(
     pos: &[Vec3],
     mass: &[f64],
     width: usize,
     height: usize,
-    x0: f64,
-    x1: f64,
-    y0: f64,
-    y1: f64,
+    x: std::ops::Range<f64>,
+    y: std::ops::Range<f64>,
 ) -> GrayImage {
+    let (x0, x1, y0, y1) = (x.start, x.end, y.start, y.end);
     assert!(width > 0 && height > 0 && x1 > x0 && y1 > y0);
     let mut grid = vec![0.0f64; width * height];
     let sx = width as f64 / (x1 - x0);
@@ -72,6 +71,7 @@ impl GrayImage {
     /// Serialize as binary PGM (P5).
     pub fn to_pgm(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.pixels.len() + 32);
+        // io::Write into a Vec is infallible. hot-lint: allow(unwrap-audit)
         write!(out, "P5\n{} {}\n255\n", self.width, self.height).expect("write to Vec");
         out.extend_from_slice(&self.pixels);
         out
@@ -110,7 +110,7 @@ mod tests {
             ));
         }
         let mass = vec![1.0; pos.len()];
-        let img = project_log_density(&pos, &mass, 64, 64, 0.0, 10.0, 0.0, 10.0);
+        let img = project_log_density(&pos, &mass, 64, 64, 0.0..10.0, 0.0..10.0);
         // Pixel at the clump.
         let cx = (2.5 / 10.0 * 64.0) as usize;
         let cy = (7.5 / 10.0 * 64.0) as usize;
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn empty_image_is_black() {
-        let img = project_log_density(&[], &[], 8, 8, 0.0, 1.0, 0.0, 1.0);
+        let img = project_log_density(&[], &[], 8, 8, 0.0..1.0, 0.0..1.0);
         assert!(img.pixels.iter().all(|&p| p == 0));
         assert_eq!(img.coverage(), 0.0);
     }
@@ -142,7 +142,7 @@ mod tests {
     fn out_of_window_particles_ignored() {
         let pos = vec![Vec3::new(-5.0, 0.5, 0.0), Vec3::new(0.5, 0.5, 0.0)];
         let mass = vec![1.0, 1.0];
-        let img = project_log_density(&pos, &mass, 4, 4, 0.0, 1.0, 0.0, 1.0);
+        let img = project_log_density(&pos, &mass, 4, 4, 0.0..1.0, 0.0..1.0);
         let lit: Vec<usize> =
             img.pixels.iter().enumerate().filter(|(_, &p)| p > 0).map(|(i, _)| i).collect();
         assert_eq!(lit.len(), 1);

@@ -6,7 +6,7 @@
 //!
 //! * comoving positions `x`, canonical momenta `w = a² dx/dt`
 //!   (`ẇ = g_pec/a`, which absorbs the `−2Hẋ` Hubble drag analytically),
-//! * EdS background: `a(t) = (3 H₀ t / 2)^{2/3}`, `H(a) = H₀ a^{−3/2}`,
+//! * `EdS` background: `a(t) = (3 H₀ t / 2)^{2/3}`, `H(a) = H₀ a^{−3/2}`,
 //! * peculiar force `g_pec = g_tree + (4πG/3) ρ̄_c (x − x_c)`: by Birkhoff's
 //!   theorem the uniform background inside the sphere cancels against the
 //!   cosmological deceleration, so the treecode's vacuum-boundary force
@@ -22,17 +22,17 @@ use hot_gravity::ForceResult;
 /// Comoving background density for Ω = 1, G = 1, H₀ = 1.
 pub const RHO_BAR: f64 = 3.0 / (8.0 * std::f64::consts::PI);
 
-/// Hubble rate at scale factor `a` (EdS, H₀ = 1).
+/// Hubble rate at scale factor `a` (`EdS`, H₀ = 1).
 pub fn hubble(a: f64) -> f64 {
     a.powf(-1.5)
 }
 
-/// Cosmic time at scale factor `a` (EdS, H₀ = 1): `t = (2/3) a^{3/2}`.
+/// Cosmic time at scale factor `a` (`EdS`, H₀ = 1): `t = (2/3) a^{3/2}`.
 pub fn cosmic_time(a: f64) -> f64 {
     2.0 / 3.0 * a.powf(1.5)
 }
 
-/// Linear growth factor, normalized to `D(a=1) = 1` (EdS: `D = a`).
+/// Linear growth factor, normalized to `D(a=1) = 1` (`EdS`: `D = a`).
 pub fn growth_factor(a: f64) -> f64 {
     a
 }
@@ -75,7 +75,7 @@ impl CosmoSim {
     ) -> Self {
         assert_eq!(pos.len(), vel.len());
         assert_eq!(pos.len(), mass.len());
-        let mom = vel.iter().map(|&u| u * (a0 * a0)).collect();
+        let mom = vel.into_iter().map(|u| u * (a0 * a0)).collect();
         CosmoSim { pos, mom, mass, a: a0, center, opts, steps: 0 }
     }
 

@@ -214,8 +214,7 @@ mod tests {
         let dir = std::env::temp_dir().join("hot97_snap_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("dump_001");
-        let mut expect = Snapshot::default();
-        expect.a = 0.5;
+        let mut expect = Snapshot { a: 0.5, ..Snapshot::default() };
         for rank in 0..4u32 {
             let mut s = sample(100 + rank as usize, 10 + rank as u64);
             // Tag ids by rank for order checking.

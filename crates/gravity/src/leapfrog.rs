@@ -54,14 +54,14 @@ impl NBodySystem {
         let n = self.len();
         assert_eq!(acc.len(), n);
         let half = 0.5 * dt;
-        for i in 0..n {
-            self.vel[i] += acc[i] * half;
+        for (i, &a) in acc.iter().enumerate() {
+            self.vel[i] += a * half;
             self.pos[i] += self.vel[i] * dt;
         }
         *acc = forces(&self.pos);
         assert_eq!(acc.len(), n);
-        for i in 0..n {
-            self.vel[i] += acc[i] * half;
+        for (v, &a) in self.vel.iter_mut().zip(acc.iter()) {
+            *v += a * half;
         }
     }
 

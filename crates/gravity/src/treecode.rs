@@ -75,7 +75,7 @@ pub fn tree_accelerations(
             stats.merge(&walk_group(&tree, &opts.mac, gi, &mut ev));
         }
     }
-    unsort(&tree, acc_sorted, pot_sorted, work_sorted, stats, want_pot)
+    unsort(&tree, &acc_sorted, &pot_sorted, &work_sorted, stats, want_pot)
 }
 
 /// Shared-memory parallel treecode evaluation: sink groups are walked on
@@ -94,7 +94,7 @@ pub fn tree_accelerations_parallel(
 
     // Each group owns a disjoint sink span; walk groups in parallel into
     // per-group buffers, then scatter.
-    let results: Vec<(std::ops::Range<usize>, Vec<Vec3>, Vec<f64>, Vec<f32>, WalkStats)> = groups
+    let results: Vec<GroupBuffers> = groups
         .par_iter()
         .map(|&gi| {
             let span = tree.cells[gi as usize].span();
@@ -131,14 +131,18 @@ pub fn tree_accelerations_parallel(
         work_sorted[span].copy_from_slice(&w);
         stats.merge(&s);
     }
-    unsort(&tree, acc_sorted, pot_sorted, work_sorted, stats, want_pot)
+    unsort(&tree, &acc_sorted, &pot_sorted, &work_sorted, stats, want_pot)
 }
+
+/// One group's walk output: sink span plus per-body acc/pot/work buffers
+/// and the walk statistics.
+type GroupBuffers = (std::ops::Range<usize>, Vec<Vec3>, Vec<f64>, Vec<f32>, WalkStats);
 
 fn unsort(
     tree: &Tree<MassMoments>,
-    acc_sorted: Vec<Vec3>,
-    pot_sorted: Vec<f64>,
-    work_sorted: Vec<f32>,
+    acc_sorted: &[Vec3],
+    pot_sorted: &[f64],
+    work_sorted: &[f32],
     stats: WalkStats,
     want_pot: bool,
 ) -> ForceResult {
@@ -179,7 +183,6 @@ mod tests {
             bucket: 8,
             eps2: 1e-6,
             quadrupole: true,
-            ..Default::default()
         };
         let res = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false);
         let mut rms = 0.0;

@@ -85,13 +85,15 @@ pub fn spot_prices_aug_1997() -> CostTable {
 }
 
 /// A 16-processor, 2 GB, 50 GB system at August-1997 spot prices with the
-/// BayStack switch — the paper says "$28k".
+/// `BayStack` switch — the paper says "$28k".
 pub fn august_1997_system_total() -> f64 {
     let t = spot_prices_aug_1997();
     let p = |desc: &str| {
         t.items
             .iter()
             .find(|i| i.description.contains(desc))
+            // Static 1997 price table shipped with the crate; a miss is a
+            // typo in this file. hot-lint: allow(unwrap-audit)
             .expect("item present")
             .unit_price
     };

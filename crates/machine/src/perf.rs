@@ -64,7 +64,7 @@ pub fn predict(machine: &MachineSpec, phase: &PhaseCount) -> Prediction {
 /// Scale measured per-rank traffic from an `np_measured`-rank run to the
 /// target machine's rank count, assuming the per-rank message count stays
 /// ~constant (true of tree codes: each rank talks to a bounded neighbour
-/// set) and per-rank bytes shrink with surface-to-volume ∝ (np_m/np_t)^{2/3}.
+/// set) and per-rank bytes shrink with surface-to-volume ∝ (`np_m/np_t)^{2/3`}.
 pub fn scale_traffic(
     traffic: &[TrafficStats],
     np_measured: u32,

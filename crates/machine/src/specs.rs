@@ -9,7 +9,7 @@ pub struct MachineSpec {
     pub name: &'static str,
     /// Nodes installed.
     pub nodes: u32,
-    /// Processors per node (both PPro CPUs were used as compute processors).
+    /// Processors per node (both `PPro` CPUs were used as compute processors).
     pub procs_per_node: u32,
     /// CPU clock in MHz.
     pub cpu_mhz: f64,
@@ -134,7 +134,7 @@ pub mod vendor {
     pub const ORIGIN_2000_24: (&str, f64) = ("SGI Origin 2000 (24 proc)", 960_000.0);
     /// 64-processor IBM SP-2 P2SC list price.
     pub const SP2_P2SC_64: (&str, f64) = ("IBM SP-2 P2SC (64 proc)", 3_520_000.0);
-    /// DEC AlphaServer 8400 5/440 list price.
+    /// DEC `AlphaServer` 8400 5/440 list price.
     pub const ALPHASERVER_8400: (&str, f64) = ("DEC AlphaServer 8400 5/440", 580_000.0);
 }
 
@@ -165,9 +165,10 @@ mod tests {
     fn network_hierarchy() {
         // ASCI Red's network beats Janus beats Loki (bandwidth), and
         // latency orders the same way.
-        assert!(ASCI_RED_6800.network.bandwidth > JANUS_16.network.bandwidth);
-        assert!(JANUS_16.network.bandwidth > 10.0 * LOKI.network.bandwidth);
-        assert!(LOKI.network.latency > JANUS_16.network.latency);
+        let (red, janus, loki) = (ASCI_RED_6800.network, JANUS_16.network, LOKI.network);
+        assert!(red.bandwidth > janus.bandwidth);
+        assert!(janus.bandwidth > 10.0 * loki.bandwidth);
+        assert!(loki.latency > janus.latency);
     }
 
     #[test]

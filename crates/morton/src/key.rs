@@ -49,7 +49,7 @@ impl Key {
     /// position that is a multiple of 3).
     #[inline]
     pub fn is_valid(self) -> bool {
-        self.0 != 0 && (63 - self.0.leading_zeros()) % 3 == 0
+        self.0 != 0 && (63 - self.0.leading_zeros()).is_multiple_of(3)
     }
 
     /// Parent cell key. The root is its own parent's child; calling this on

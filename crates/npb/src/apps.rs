@@ -56,7 +56,7 @@ pub fn run_adi(
     name: &'static str,
 ) -> BenchResult {
     let np = comm.size() as usize;
-    assert!(n % np == 0, "slab decomposition needs np | n");
+    assert!(n.is_multiple_of(np), "slab decomposition needs np | n");
     let nz = n / np;
     let z0 = comm.rank() as usize * nz;
 
@@ -185,7 +185,7 @@ pub fn run_lu(comm: &mut Comm, n: usize, steps: usize) -> BenchResult {
     const TAG_FWD: u32 = 0x40;
     const TAG_BWD: u32 = 0x41;
     let np = comm.size() as usize;
-    assert!(n % np == 0);
+    assert!(n.is_multiple_of(np));
     let nz = n / np;
     let z0 = comm.rank() as usize * nz;
     let plane = n * n;

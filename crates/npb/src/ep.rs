@@ -29,7 +29,7 @@ pub struct EpSums {
 pub fn run(comm: &mut Comm, m: u32) -> (BenchResult, EpSums) {
     let np = comm.size() as u64;
     let total_pairs: u64 = 1 << m;
-    let per = total_pairs / np + u64::from(total_pairs % np != 0);
+    let per = total_pairs / np + u64::from(!total_pairs.is_multiple_of(np));
     let lo = comm.rank() as u64 * per;
     let hi = (lo + per).min(total_pairs);
 
@@ -140,7 +140,7 @@ mod tests {
         let out = World::run(2, |c| run(c, 16));
         let (_, sums) = &out.results[0];
         let ratio = sums.accepted as f64 / (1u64 << 16) as f64;
-        assert!((ratio - 0.7854).abs() < 0.01, "ratio {ratio}");
+        assert!((ratio - std::f64::consts::FRAC_PI_4).abs() < 0.01, "ratio {ratio}");
         // Essentially all accepted pairs land in the first few annuli.
         assert!(sums.q[0] > sums.q[3]);
     }

@@ -35,7 +35,7 @@ pub fn fft_line(data: &mut [C], inverse: bool) {
     assert!(n.is_power_of_two());
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -72,7 +72,7 @@ pub fn fft_line(data: &mut [C], inverse: bool) {
 /// initial field.
 pub fn run(comm: &mut Comm, n: usize, steps: usize) -> BenchResult {
     let np = comm.size() as usize;
-    assert!(n % np == 0, "slab decomposition needs np | n");
+    assert!(n.is_multiple_of(np), "slab decomposition needs np | n");
     assert!(n.is_power_of_two());
     let nz = n / np;
     let z0 = comm.rank() as usize * nz;

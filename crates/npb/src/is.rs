@@ -15,7 +15,7 @@ pub fn run(comm: &mut Comm, m: u32, b: u32) -> BenchResult {
     let np = comm.size() as u64;
     let total: u64 = 1 << m;
     let key_max: u64 = 1 << b;
-    let per = total / np + u64::from(total % np != 0);
+    let per = total / np + u64::from(!total.is_multiple_of(np));
     let lo = comm.rank() as u64 * per;
     let hi = (lo + per).min(total);
 
@@ -30,7 +30,7 @@ pub fn run(comm: &mut Comm, m: u32, b: u32) -> BenchResult {
     }
 
     // Bucket per destination rank by key range.
-    let range_per_rank = key_max / np + u64::from(key_max % np != 0);
+    let range_per_rank = key_max / np + u64::from(!key_max.is_multiple_of(np));
     let mut buckets: Vec<Vec<u64>> = (0..np).map(|_| Vec::new()).collect();
     for &k in &keys {
         buckets[(k / range_per_rank) as usize].push(k);

@@ -215,7 +215,7 @@ pub fn run_distributed(comm: &mut Comm, n: usize, cycles: usize) -> BenchResult 
     const TAG_GATHER: u32 = 0x31;
     const TAG_SCATTER: u32 = 0x32;
     let np = comm.size() as usize;
-    assert!(n % np == 0, "slab decomposition needs np | n");
+    assert!(n.is_multiple_of(np), "slab decomposition needs np | n");
     let nz = n / np;
     let z0 = comm.rank() as usize * nz;
     let plane = n * n;

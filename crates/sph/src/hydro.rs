@@ -58,14 +58,14 @@ impl SphSystem {
     /// neighbour lists (indices into this system's arrays).
     pub fn compute_density(&mut self, neighbors: &[Vec<u32>], counter: &FlopCounter) {
         let mut pairs = 0u64;
-        for i in 0..self.pos.len() {
+        for (i, nbrs) in neighbors.iter().enumerate() {
             let mut rho = 0.0;
-            for &j in &neighbors[i] {
+            for &j in nbrs {
                 let r = (self.pos[i] - self.pos[j as usize]).norm();
                 rho += self.mass[j as usize] * w(r, self.h[i], self.dim);
             }
             self.rho[i] = rho;
-            pairs += neighbors[i].len() as u64;
+            pairs += nbrs.len() as u64;
         }
         counter.add(Kind::SphPair, pairs);
     }

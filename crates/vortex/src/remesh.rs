@@ -11,7 +11,11 @@
 //! with the occupied lattice nodes.
 
 use hot_base::Vec3;
-use std::collections::HashMap;
+// BTreeMap, not HashMap: the mean-strength reduction and the output
+// particle order follow map iteration order, which must be reproducible
+// run-to-run for the determinism story (`hot-analyze lint`, determinism
+// rule). Lattice-index order is the natural deterministic choice.
+use std::collections::BTreeMap;
 
 /// Monaghan's M4' interpolation kernel.
 #[inline]
@@ -32,7 +36,7 @@ pub fn m4p(x: f64) -> f64 {
 pub fn remesh(pos: &[Vec3], alpha: &[Vec3], h: f64, prune_fraction: f64) -> (Vec<Vec3>, Vec<Vec3>) {
     assert!(h > 0.0);
     let inv_h = 1.0 / h;
-    let mut nodes: HashMap<(i64, i64, i64), Vec3> = HashMap::new();
+    let mut nodes: BTreeMap<(i64, i64, i64), Vec3> = BTreeMap::new();
     for (p, &a) in pos.iter().zip(alpha) {
         let gx = p.x * inv_h;
         let gy = p.y * inv_h;

@@ -69,9 +69,7 @@ fn main() {
         );
     }
 
-    let img = project_log_density(
-        &sim.pos, &sim.mass, 400, 400, 0.0, box_size, 0.0, box_size,
-    );
+    let img = project_log_density(&sim.pos, &sim.mass, 400, 400, 0.0..box_size, 0.0..box_size);
     img.save_pgm(std::path::Path::new("galaxy_formation.pgm")).expect("write image");
     println!("\nwrote galaxy_formation.pgm (log projected density, as in Figures 1-2)");
 }

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the small slice of the `bytes` API it actually uses: cheaply
+//! cloneable immutable byte buffers ([`Bytes`]), an append-only builder
+//! ([`BytesMut`]), and little-endian cursor traits ([`Buf`], [`BufMut`]).
+//! Semantics match the real crate for this surface; anything else is
+//! intentionally absent so accidental divergence fails loudly at compile
+//! time.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer (a view into shared storage).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    #[must_use]
+    pub fn new() -> Bytes {
+        Bytes { data: Arc::from([] as [u8; 0]), start: 0, end: 0 }
+    }
+
+    /// Bytes remaining in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Split off the first `n` bytes into a new `Bytes`, advancing `self`
+    /// past them. Panics when `n` exceeds the remaining length.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to({n}) of {} bytes", self.len());
+        let front = Bytes { data: self.data.clone(), start: self.start, end: self.start + n };
+        self.start += n;
+        front
+    }
+
+    /// Copy a slice into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        let data: Arc<[u8]> = Arc::from(data);
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: Arc::from(v), start: 0, end }
+    }
+}
+
+/// Growable byte buffer used to build messages before freezing them.
+#[derive(Default, Debug)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty builder.
+    #[must_use]
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Empty builder with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(n) }
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Take the accumulated bytes, leaving `self` empty (the real crate
+    /// splits at the write cursor; for an append-only builder that is the
+    /// whole buffer).
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { buf: std::mem::take(&mut self.buf) }
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read cursor over a byte buffer; all multi-byte reads are little-endian.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// View of the unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// True when any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read a byte array of fixed size, advancing the cursor.
+    fn get_array<const N: usize>(&mut self) -> [u8; N] {
+        let chunk = self.chunk();
+        assert!(chunk.len() >= N, "buffer underflow: want {N}, have {}", chunk.len());
+        let mut out = [0u8; N];
+        out.copy_from_slice(&chunk[..N]);
+        self.advance(N);
+        out
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        u8::from_le_bytes(self.get_array())
+    }
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.get_array())
+    }
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.get_array())
+    }
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.get_array())
+    }
+    /// Read a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.get_array())
+    }
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.get_array())
+    }
+    /// Read a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.get_array())
+    }
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.get_array())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance({n}) of {} bytes", self.len());
+        self.start += n;
+    }
+}
+
+/// Write cursor; all multi-byte writes are little-endian.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(0xAB);
+        b.put_u16_le(0xBEEF);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
+        b.put_i32_le(-7);
+        b.put_i64_le(-(1 << 40));
+        b.put_f32_le(3.25);
+        b.put_f64_le(-1.5e-300);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_i32_le(), -7);
+        assert_eq!(r.get_i64_le(), -(1 << 40));
+        assert_eq!(r.get_f32_le(), 3.25);
+        assert_eq!(r.get_f64_le(), -1.5e-300);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        let front = b.split_to(2);
+        assert_eq!(&front[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(0x0102_0304);
+        assert_eq!(&b.freeze()[..], &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn builder_split_leaves_empty() {
+        let mut b = BytesMut::new();
+        b.put_u8(9);
+        let taken = b.split();
+        assert_eq!(taken.len(), 1);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container cannot fetch crates.io, so the `par_*` entry points
+//! the workspace uses are provided here as thin aliases onto the standard
+//! sequential iterators. Every adaptor (`map`, `for_each`, `collect`,
+//! `enumerate`, `sum`, …) then comes from `std::iter::Iterator`, so calling
+//! code is source-compatible with real rayon. Single-node throughput work
+//! is benchmarked separately; correctness paths only need the shape.
+
+/// The rayon prelude: parallel-iterator entry points as sequential aliases.
+pub mod prelude {
+    /// `into_par_iter()` for any owned iterable (ranges, vectors).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` / `par_chunks()` over shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` over exclusive slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here), returning both
+/// results — rayon's `join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect() {
+        let v: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn slice_mut_for_each() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 36);
+    }
+
+    #[test]
+    fn chunks_mut() {
+        let mut v = vec![0u8; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

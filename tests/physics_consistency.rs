@@ -13,7 +13,7 @@ use hot97::gravity::treecode::TreecodeOptions;
 use rand::SeedableRng;
 
 /// End-to-end cosmology: spectrum → field → Zel'dovich → sphere+buffer →
-/// comoving treecode evolution → clustering grows and FoF finds structure.
+/// comoving treecode evolution → clustering grows and `FoF` finds structure.
 #[test]
 fn cosmology_pipeline_forms_structure() {
     let grid = 16;
