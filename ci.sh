@@ -12,10 +12,13 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> trace golden + differential suites"
+cargo test -q --offline --test trace_golden --test trace_differential
+
 echo "==> hot-analyze lint"
 cargo run -q --offline --release -p hot-analyze -- lint
 
-echo "==> hot-analyze schedules --seeds 32"
+echo "==> hot-analyze schedules --seeds 32 (tracing enabled)"
 cargo run -q --offline --release -p hot-analyze -- schedules --seeds 32
 
 echo "==> ci.sh: all green"

@@ -186,13 +186,63 @@ pub fn check_abm(np: u32, seeds: u64) -> WorkloadReport {
     })
 }
 
-/// The full checker: both workloads at several machine sizes.
+/// Traced treecode pipeline: the full distributed force evaluation
+/// (decompose → build → branch exchange → ABM walk) with the `hot-trace`
+/// ledger recording every phase, reduced to the run-level report on every
+/// rank. The workload returns the report JSON plus an acceleration
+/// checksum, so a pass proves the *ledger itself* is bitwise
+/// schedule-independent — the property the golden-snapshot test and the
+/// paper-style phase tables rely on. Raw traffic is not compared (ABM
+/// batch boundaries legitimately vary); the ledger only ever records the
+/// schedule-free counters, which is exactly what this check enforces.
+#[must_use]
+pub fn check_traced_pipeline(np: u32, seeds: u64) -> WorkloadReport {
+    use hot_base::flops::FlopCounter;
+    use hot_base::{Aabb, Vec3};
+    use hot_core::decomp::Body;
+    use hot_gravity::{distributed_accelerations_traced, DistOptions};
+    use rand::{Rng, SeedableRng};
+
+    check_workload("traced-pipeline", np, seeds, false, move |c| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234 + u64::from(c.rank()));
+        let bodies: Vec<Body<f64>> = (0..120)
+            .map(|i| {
+                let pos = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+                Body {
+                    key: hot_morton::Key::from_point(pos, &Aabb::unit()),
+                    pos,
+                    charge: rng.gen_range(0.5..1.5),
+                    work: 1.0,
+                    id: u64::from(c.rank()) * 1000 + i,
+                }
+            })
+            .collect();
+        let counter = FlopCounter::new();
+        let opts = DistOptions { eps2: 1e-6, ..Default::default() };
+        let mut trace = hot_trace::Ledger::new(hot_trace::ModelClock::paper_loki());
+        let res =
+            distributed_accelerations_traced(c, bodies, Aabb::unit(), &opts, &counter, &mut trace);
+        let report = hot_trace::reduce(c, &trace);
+        let checksum: u64 = res
+            .acc
+            .iter()
+            .fold(0u64, |h, a| h ^ a.x.to_bits() ^ a.y.to_bits().rotate_left(1) ^ a.z.to_bits().rotate_left(2));
+        (report.to_json(), checksum, res.bodies.len())
+    })
+}
+
+/// The full checker: all workloads at several machine sizes.
 #[must_use]
 pub fn check_all(seeds: u64) -> Vec<WorkloadReport> {
     let mut reports = Vec::new();
     for np in [2, 4, 5] {
         reports.push(check_collectives(np, seeds));
         reports.push(check_abm(np, seeds));
+    }
+    // The traced pipeline is heavier; two sizes keep the sweep affordable
+    // while still covering the odd-np branch-exchange paths.
+    for np in [2, 3] {
+        reports.push(check_traced_pipeline(np, seeds));
     }
     reports
 }
@@ -210,6 +260,15 @@ mod tests {
     #[test]
     fn abm_passes_across_seeds() {
         let rep = check_abm(3, 8);
+        assert!(rep.passed(), "{:?}", rep.failures);
+    }
+
+    /// The trace ledger (reduced report JSON included) must be bitwise
+    /// identical across fuzzed schedules — tracing with the deterministic
+    /// model clock never records wall-clock or schedule-dependent state.
+    #[test]
+    fn traced_pipeline_ledger_is_schedule_independent() {
+        let rep = check_traced_pipeline(2, 6);
         assert!(rep.passed(), "{:?}", rep.failures);
     }
 

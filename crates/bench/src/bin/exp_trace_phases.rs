@@ -1,0 +1,47 @@
+//! Experiment T1: the paper-style per-phase breakdown table.
+//!
+//! Runs the full distributed pipeline (decompose → tree build → branch
+//! exchange → latency-hiding walk → force) on a simulated Loki with the
+//! `hot-trace` ledger attached, reduces every rank's ledger through the
+//! collectives, and prints the per-phase table the paper reports: counters
+//! plus min/mean/max model-clock seconds over ranks (the max−min spread is
+//! the load-balance skew the work-weight feedback is meant to shrink).
+//!
+//! The report is also written as schema-versioned JSON under `results/`;
+//! repeated runs produce bitwise-identical files (see VERIFICATION.md,
+//! "Trace invariants").
+//!
+//! Args: `exp_trace_phases [np] [n_per_rank]` (defaults 8, 4000).
+
+use hot_base::flops::FlopCounter;
+use hot_base::Aabb;
+use hot_bench::{arg_usize, header, random_bodies, rule};
+use hot_comm::World;
+use hot_gravity::dist::{distributed_accelerations_traced, DistOptions};
+use hot_trace::{Ledger, ModelClock};
+
+fn main() {
+    let np = arg_usize(1, 8) as u32;
+    let n_per_rank = arg_usize(2, 4000);
+    header("Experiment T1: per-rank phase tracing, paper-style breakdown");
+    println!("np = {np}, {n_per_rank} particles/rank, Loki machine model");
+
+    let out = World::run(np, move |c| {
+        let bodies = random_bodies(c.rank(), n_per_rank, 1997);
+        let counter = FlopCounter::new();
+        let opts = DistOptions { eps2: 1e-6, ..Default::default() };
+        let mut trace = Ledger::new(ModelClock::paper_loki());
+        let res =
+            distributed_accelerations_traced(c, bodies, Aabb::unit(), &opts, &counter, &mut trace);
+        let report = hot_trace::reduce(c, &trace);
+        (res.bodies.len(), report)
+    });
+
+    let (_, report) = &out.results[0];
+    println!("{}", report.render_table());
+    rule();
+
+    let path = std::path::Path::new("results").join(format!("trace_phases_np{np}.json"));
+    report.write_json(&path).expect("write report JSON");
+    println!("report written to {} (schema {})", path.display(), hot_trace::SCHEMA);
+}

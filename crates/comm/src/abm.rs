@@ -23,14 +23,35 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// Internal tag for ABM batch traffic.
 const ABM_TAG: u32 = 0x9000_0000;
 
+/// Wire overhead of one logical ABM message: a `u16` kind plus a `u32`
+/// payload length, written little-endian ahead of the payload. This is the
+/// single source of truth for ABM byte accounting — [`AbmStats`] charges it
+/// per logical message, so a session's `bytes_posted` equals *exactly* the
+/// batch bytes the underlying [`Comm`] puts on the wire (pinned by the
+/// `logical_bytes_reconcile_with_wire_traffic` test).
+pub const ABM_MSG_HEADER_BYTES: u64 = 6;
+
 /// Counters describing an ABM session.
+///
+/// `posted`/`delivered` and both byte counters are *logical* quantities: a
+/// pure function of the message pattern, independent of arrival
+/// interleaving. `batches_sent` is not — batch boundaries depend on when
+/// flushes trigger relative to arrivals — so schedule-independent consumers
+/// (the trace ledger) must use the logical fields only.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AbmStats {
     /// Logical messages posted by this rank.
     pub posted: u64,
     /// Logical messages handled by this rank.
     pub delivered: u64,
+    /// Bytes posted (header + payload per logical message); sums to the
+    /// batch bytes this rank sends on the wire.
+    pub bytes_posted: u64,
+    /// Bytes handled (header + payload per logical message); sums to the
+    /// batch bytes this rank receives.
+    pub bytes_delivered: u64,
     /// Physical batches sent (each one point-to-point message).
+    /// Schedule-dependent; never compare across schedules.
     pub batches_sent: u64,
 }
 
@@ -87,6 +108,7 @@ impl<'a> Abm<'a> {
         buf.put_u32_le(data.len() as u32);
         buf.put_slice(&data);
         self.stats.posted += 1;
+        self.stats.bytes_posted += ABM_MSG_HEADER_BYTES + data.len() as u64;
         if buf.len() >= self.batch_capacity {
             self.flush_one(dst);
         }
@@ -123,15 +145,18 @@ impl<'a> Abm<'a> {
             return 0;
         };
         let mut handled = 0;
+        let mut handled_bytes = 0;
         let mut cursor = batch;
         while cursor.has_remaining() {
             let kind = cursor.get_u16_le();
             let len = cursor.get_u32_le() as usize;
             let payload = cursor.split_to(len);
+            handled_bytes += ABM_MSG_HEADER_BYTES + len as u64;
             handler(self, src, kind, payload);
             handled += 1;
         }
         self.stats.delivered += handled;
+        self.stats.bytes_delivered += handled_bytes;
         handled
     }
 
@@ -298,6 +323,43 @@ mod tests {
             abm.stats()
         });
         assert!(out.results[0].batches_sent > 1, "tiny capacity must produce several batches");
+    }
+
+    /// The byte-accounting contract: logical `bytes_posted` (header +
+    /// payload per message) equals exactly the batch bytes the `Comm`
+    /// counted on the wire — one source of truth for the trace ledger and
+    /// the machine comm-cost model.
+    #[test]
+    fn logical_bytes_reconcile_with_wire_traffic() {
+        let out = World::run(2, |c| {
+            let before = c.stats();
+            let mut abm = Abm::new(c, 64); // small capacity: several batches
+            let n = 37u64;
+            if abm.rank() == 0 {
+                for i in 0..n {
+                    abm.post(1, 5, &(i, i as f64)); // 16-byte payload
+                }
+            }
+            abm.complete(|_, _, _, _| {});
+            let stats = abm.stats();
+            let wire = abm.comm_mut().stats().since(&before);
+            (stats, wire)
+        });
+        let (s0, w0) = out.results[0];
+        let (s1, w1) = out.results[1];
+        let expect = 37 * (ABM_MSG_HEADER_BYTES + 16);
+        assert_eq!(s0.bytes_posted, expect);
+        assert_eq!(s1.bytes_delivered, expect);
+        assert_eq!(s1.bytes_posted, 0);
+        // Wire traffic = ABM batches + the termination allreduce. Subtract
+        // the collective's own bytes (16 per allreduce message) by counting
+        // only the ABM-tag bytes: batches carry every posted byte, nothing
+        // more. The allreduce sends 16-byte tuples, so bytes on the wire
+        // minus 16×(collective msgs) must equal bytes_posted.
+        let coll_msgs0 = w0.sends - s0.batches_sent;
+        assert_eq!(w0.bytes_sent - 16 * coll_msgs0, s0.bytes_posted);
+        let coll_msgs1 = w1.sends - s1.batches_sent;
+        assert_eq!(w1.bytes_sent - 16 * coll_msgs1, s1.bytes_posted);
     }
 
     #[test]

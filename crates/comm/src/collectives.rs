@@ -269,6 +269,65 @@ impl Comm {
 mod tests {
     use crate::runtime::World;
 
+    /// Pin bytes-on-wire for every collective at np = 4, derived from
+    /// `Wire::wire_size` — the one source of truth shared by the traffic
+    /// counters, the trace ledger, and the machine comm-cost model. Any
+    /// algorithm change (tree shape, ring direction, framing) that alters
+    /// the wire footprint must update these constants consciously.
+    #[test]
+    fn bytes_on_wire_pinned_per_collective() {
+        use crate::wire::Wire;
+        let np = 4u32;
+        let out = World::run(np, |c| {
+            let mut deltas = Vec::new();
+            let mut mark = c.stats();
+            let mut step = |c: &mut crate::runtime::Comm, deltas: &mut Vec<(u64, u64)>| {
+                let now = c.stats();
+                let d = now.since(&mark);
+                deltas.push((d.sends, d.bytes_sent));
+                mark = now;
+            };
+            c.barrier();
+            step(c, &mut deltas);
+            let _ = c.bcast(0, 7u64);
+            step(c, &mut deltas);
+            let _ = c.reduce(0, 1u64, |a, b| a + b);
+            step(c, &mut deltas);
+            let _ = c.allreduce_sum_u64(1);
+            step(c, &mut deltas);
+            let _ = c.gather(0, c.rank() as u64);
+            step(c, &mut deltas);
+            let _ = c.allgather(c.rank() as u64);
+            step(c, &mut deltas);
+            let bucket: Vec<Vec<u64>> = (0..np).map(|d| vec![u64::from(d); 2]).collect();
+            let _ = c.alltoall(bucket);
+            step(c, &mut deltas);
+            deltas
+        });
+        // Sum each collective's (sends, bytes) across ranks.
+        let total = |i: usize| -> (u64, u64) {
+            out.results.iter().map(|r| r[i]).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+        };
+        let w = 7u64.wire_size() as u64; // scalar payload: 8 bytes
+        let npu = u64::from(np);
+        // barrier: ceil(log2 np) = 2 rounds × one empty message per rank.
+        assert_eq!(total(0), (2 * npu, 0));
+        // bcast / reduce: binomial tree, np−1 messages of one scalar.
+        assert_eq!(total(1), (npu - 1, (npu - 1) * w));
+        assert_eq!(total(2), (npu - 1, (npu - 1) * w));
+        // allreduce = reduce-to-0 + bcast.
+        assert_eq!(total(3), (2 * (npu - 1), 2 * (npu - 1) * w));
+        // gather: every non-root sends one scalar to root.
+        assert_eq!(total(4), (npu - 1, (npu - 1) * w));
+        // ring allgather: np−1 steps, every rank forwards one scalar.
+        assert_eq!(total(5), (npu * (npu - 1), npu * (npu - 1) * w));
+        // alltoall: np−1 buckets per rank; a Vec<u64> of len 2 frames as
+        // an 8-byte length prefix + 2 scalars.
+        let bucket_bytes = vec![0u64; 2].wire_size() as u64;
+        assert_eq!(bucket_bytes, 8 + 2 * w);
+        assert_eq!(total(6), (npu * (npu - 1), npu * (npu - 1) * bucket_bytes));
+    }
+
     #[test]
     fn barrier_orders_phases() {
         for np in [1u32, 2, 3, 4, 7, 8] {

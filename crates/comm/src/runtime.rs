@@ -73,6 +73,11 @@ impl TrafficStats {
     }
 
     /// Difference since an earlier snapshot (for per-phase accounting).
+    ///
+    /// `max_message` is a watermark, not a sum — a two-snapshot difference
+    /// cannot recover the interval's own maximum, so the field carries the
+    /// *absolute* high-water mark. Per-phase consumers (the trace ledger)
+    /// must ignore it; `hot_trace::Ledger::add_traffic` does.
     #[must_use]
     pub fn since(&self, earlier: &TrafficStats) -> TrafficStats {
         TrafficStats {
@@ -137,7 +142,17 @@ impl Comm {
     /// Send a typed value.
     pub fn send<T: Wire>(&mut self, dst: u32, tag: u32, v: &T) {
         debug_assert!(tag <= MAX_USER_TAG || is_internal_tag(tag));
-        self.send_bytes(dst, tag, to_bytes(v));
+        let data = to_bytes(v);
+        // Byte accounting charges actual encoded length; `wire_size` is the
+        // contract every cost model reasons with. They must never diverge.
+        debug_assert_eq!(
+            data.len(),
+            v.wire_size(),
+            "Wire impl out of sync: encoded {} bytes, wire_size() says {}",
+            data.len(),
+            v.wire_size()
+        );
+        self.send_bytes(dst, tag, data);
     }
 
     /// Blocking receive matching `src` (or any source when `None`) and

@@ -20,6 +20,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hot_base::Vec3;
 use hot_comm::{Comm, Wire};
 use hot_morton::Key;
+use hot_trace::{Counter, Ledger, Phase};
 
 /// A particle in flight between ranks.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -98,12 +99,29 @@ impl KeyIntervals {
 /// plenty for the load tolerances the tree cares about).
 pub fn decompose<C: Wire + Copy + Send>(
     comm: &mut Comm,
-    mut bodies: Vec<Body<C>>,
+    bodies: Vec<Body<C>>,
     oversample: usize,
 ) -> (Vec<Body<C>>, KeyIntervals) {
+    decompose_traced(comm, bodies, oversample, &mut Ledger::scratch())
+}
+
+/// [`decompose`], recording a [`Phase::Decomp`] span into `trace`: bodies
+/// received in the exchange, plus the sample-allgather and all-to-all
+/// traffic. Collective traffic is bitwise schedule-independent (the
+/// schedule checker enforces it), so raw `TrafficStats` deltas are safe
+/// here — unlike in the ABM-driven walk.
+pub fn decompose_traced<C: Wire + Copy + Send>(
+    comm: &mut Comm,
+    mut bodies: Vec<Body<C>>,
+    oversample: usize,
+    trace: &mut Ledger,
+) -> (Vec<Body<C>>, KeyIntervals) {
+    trace.begin(Phase::Decomp);
+    let wire_before = comm.stats();
     let np = comm.size() as usize;
     bodies.sort_unstable_by_key(|b| b.key);
     if np == 1 {
+        trace.end();
         return (bodies, KeyIntervals { bounds: vec![0, u64::MAX] });
     }
     let oversample = oversample.max(4);
@@ -170,6 +188,9 @@ pub fn decompose<C: Wire + Copy + Send>(
     let received = comm.alltoall(buckets);
     let mut mine: Vec<Body<C>> = received.into_iter().flatten().collect();
     mine.sort_unstable_by_key(|b| b.key);
+    trace.add(Counter::BodiesExchanged, mine.len() as u64);
+    trace.add_traffic(&comm.stats().since(&wire_before));
+    trace.end();
     (mine, intervals)
 }
 

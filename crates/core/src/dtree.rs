@@ -131,6 +131,24 @@ pub struct DistTree<M: Moments> {
 }
 
 impl<M: Moments> DistTree<M> {
+    /// [`DistTree::build`], recording into the current trace span: the
+    /// top-tree/branch nodes built and the branch-allgather traffic (a
+    /// collective, hence schedule-independent and safe to trace from raw
+    /// `TrafficStats`). Does not open a span of its own — callers wrap the
+    /// whole tree phase (local build + exchange) in one `TreeBuild` span.
+    pub fn build_traced(
+        comm: &mut Comm,
+        local: Tree<M>,
+        intervals: KeyIntervals,
+        trace: &mut hot_trace::Ledger,
+    ) -> Self {
+        let wire_before = comm.stats();
+        let dt = Self::build(comm, local, intervals);
+        trace.add(hot_trace::Counter::CellsBuilt, dt.nodes.len() as u64);
+        trace.add_traffic(&comm.stats().since(&wire_before));
+        dt
+    }
+
     /// Exchange branch cells and build the shared top tree.
     /// Collective: every rank calls with its local tree and the (identical)
     /// intervals from [`crate::decomp::decompose`].

@@ -62,8 +62,12 @@ pub struct DwalkStats {
     pub cell_requests: u64,
     /// Body-fetch requests sent.
     pub body_requests: u64,
-    /// Times a walk parked (the "context switches").
+    /// Times a walk parked (the "context switches"). Schedule-dependent:
+    /// how often a walk blocks depends on reply arrival timing.
     pub parks: u64,
+    /// ABM session counters. `posted`/`delivered`/bytes are logical and
+    /// schedule-independent; `batches_sent` is not.
+    pub abm: hot_comm::AbmStats,
 }
 
 /// Run the distributed traversal. Collective: every rank calls with its
@@ -73,6 +77,47 @@ pub struct DwalkStats {
 /// `group_size` is the sink-group particle bound (see
 /// [`crate::walk::default_group_size`]).
 pub fn dwalk<M: Moments, E: Evaluator<M>>(
+    comm: &mut Comm,
+    dt: &mut DistTree<M>,
+    mac: &Mac,
+    eval: &mut E,
+    group_size: usize,
+) -> DwalkStats {
+    dwalk_traced(comm, dt, mac, eval, group_size, &mut hot_trace::Ledger::scratch())
+}
+
+/// [`dwalk`], recording a `Walk` span into `trace`.
+///
+/// The walk phase must stay bitwise identical across message schedules, so
+/// the span records only *logical* quantities: cells opened, the number of
+/// cell/body requests (exactly one per distinct needed key, thanks to the
+/// parked-walk dedup), and the ABM layer's posted/delivered message and
+/// byte counts. Raw `TrafficStats` deltas are deliberately **not** folded
+/// in here: the number of termination-detection rounds — and therefore the
+/// allreduce traffic — depends on arrival interleaving, as do batch counts
+/// and `parks`.
+pub fn dwalk_traced<M: Moments, E: Evaluator<M>>(
+    comm: &mut Comm,
+    dt: &mut DistTree<M>,
+    mac: &Mac,
+    eval: &mut E,
+    group_size: usize,
+    trace: &mut hot_trace::Ledger,
+) -> DwalkStats {
+    trace.begin(hot_trace::Phase::Walk);
+    let stats = dwalk_inner(comm, dt, mac, eval, group_size);
+    stats.walk.record_traversal(trace);
+    trace.add(hot_trace::Counter::CellRequests, stats.cell_requests);
+    trace.add(hot_trace::Counter::BodyRequests, stats.body_requests);
+    trace.add(hot_trace::Counter::MsgsSent, stats.abm.posted);
+    trace.add(hot_trace::Counter::BytesSent, stats.abm.bytes_posted);
+    trace.add(hot_trace::Counter::MsgsRecvd, stats.abm.delivered);
+    trace.add(hot_trace::Counter::BytesRecvd, stats.abm.bytes_delivered);
+    trace.end();
+    stats
+}
+
+fn dwalk_inner<M: Moments, E: Evaluator<M>>(
     comm: &mut Comm,
     dt: &mut DistTree<M>,
     mac: &Mac,
@@ -134,6 +179,7 @@ pub fn dwalk<M: Moments, E: Evaluator<M>>(
         prev = totals;
     }
     debug_assert!(active.is_empty() && parked.is_empty());
+    stats.abm = abm.stats();
     stats
 }
 

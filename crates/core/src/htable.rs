@@ -14,9 +14,10 @@
 //! walk is exactly the overhead the original avoided.
 
 use hot_morton::Key;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Open-addressing `Key → u32` map.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct KeyTable {
     /// Keys; `Key::INVALID` (0) marks an empty slot.
     keys: Vec<Key>,
@@ -24,6 +25,23 @@ pub struct KeyTable {
     len: usize,
     /// Capacity - 1 (capacity is a power of two).
     mask: usize,
+    /// Slots examined across every `get`/`insert` (the paper's hash-probe
+    /// diagnostic). Relaxed atomic so shared (`&self`) lookups can count;
+    /// the *sum* is order-independent, hence deterministic whenever the
+    /// lookup multiset is. Not part of the table's logical state.
+    probes: AtomicU64,
+}
+
+impl Clone for KeyTable {
+    fn clone(&self) -> Self {
+        KeyTable {
+            keys: self.keys.clone(),
+            vals: self.vals.clone(),
+            len: self.len,
+            mask: self.mask,
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl KeyTable {
@@ -36,7 +54,20 @@ impl KeyTable {
             vals: vec![0; cap],
             len: 0,
             mask: cap - 1,
+            probes: AtomicU64::new(0),
         }
+    }
+
+    /// Total slots examined by `get` and `insert` since construction (or
+    /// [`KeyTable::reset_probes`]). Probes during internal growth count:
+    /// they are real memory touches.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Zero the probe counter.
+    pub fn reset_probes(&self) {
+        self.probes.store(0, Ordering::Relaxed);
     }
 
     /// Number of live entries.
@@ -67,19 +98,23 @@ impl KeyTable {
             self.grow();
         }
         let mut i = self.slot_of(key);
+        let mut probed = 1u64;
         loop {
             if self.keys[i] == Key::INVALID {
                 self.keys[i] = key;
                 self.vals[i] = val;
                 self.len += 1;
+                self.probes.fetch_add(probed, Ordering::Relaxed);
                 return None;
             }
             if self.keys[i] == key {
                 let old = self.vals[i];
                 self.vals[i] = val;
+                self.probes.fetch_add(probed, Ordering::Relaxed);
                 return Some(old);
             }
             i = (i + 1) & self.mask;
+            probed += 1;
         }
     }
 
@@ -88,15 +123,19 @@ impl KeyTable {
     pub fn get(&self, key: Key) -> Option<u32> {
         debug_assert!(key != Key::INVALID);
         let mut i = self.slot_of(key);
+        let mut probed = 1u64;
         loop {
             let k = self.keys[i];
             if k == key {
+                self.probes.fetch_add(probed, Ordering::Relaxed);
                 return Some(self.vals[i]);
             }
             if k == Key::INVALID {
+                self.probes.fetch_add(probed, Ordering::Relaxed);
                 return None;
             }
             i = (i + 1) & self.mask;
+            probed += 1;
         }
     }
 
@@ -219,6 +258,33 @@ mod tests {
             assert_eq!(k.0, i as u64 + 1);
             assert_eq!(v, (i as u32 + 1) * 2);
         }
+    }
+
+    #[test]
+    fn probe_counter_counts_hits_misses_and_resets() {
+        let build = || {
+            let mut t = KeyTable::with_capacity(8);
+            for i in 1..=20u64 {
+                t.insert(Key(i * 3), i as u32);
+            }
+            t
+        };
+        let t = build();
+        let after_insert = t.probes();
+        assert!(after_insert >= 20, "every insert probes at least once");
+        assert_eq!(t.get(Key(3)), Some(1));
+        assert!(t.probes() > after_insert, "hits count probes");
+        let p = t.probes();
+        assert_eq!(t.get(Key(1000)), None);
+        assert!(t.probes() > p, "misses count probes");
+        // The count is a pure function of the operation sequence.
+        let t2 = build();
+        assert_eq!(t2.probes(), after_insert);
+        t.reset_probes();
+        assert_eq!(t.probes(), 0);
+        // Cloning carries the counter value.
+        let _ = t.get(Key(3));
+        assert_eq!(t.clone().probes(), t.probes());
     }
 
     #[test]

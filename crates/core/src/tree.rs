@@ -262,6 +262,16 @@ impl<M: Moments> Tree<M> {
         self.cells.len()
     }
 
+    /// Record this tree's construction into a trace ledger (cells built
+    /// plus the key-table probes spent building). Call right after
+    /// [`Tree::build`], inside a `TreeBuild` span; both quantities are
+    /// pure functions of the input bodies, so they are safe for the
+    /// bitwise-deterministic report.
+    pub fn record_build(&self, trace: &mut hot_trace::Ledger) {
+        trace.add(hot_trace::Counter::CellsBuilt, self.n_cells() as u64);
+        trace.add(hot_trace::Counter::HashProbes, self.table.probes());
+    }
+
     /// The root cell.
     pub fn root(&self) -> &Cell<M> {
         &self.cells[0]

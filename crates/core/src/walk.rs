@@ -67,6 +67,15 @@ impl WalkStats {
     pub fn interactions(&self) -> u64 {
         self.pp + self.pc
     }
+
+    /// Record the traversal-side counter (cells opened) into the current
+    /// trace span. The interaction counts (`pp`/`pc`) belong to the
+    /// *force* phase and are recorded there (see
+    /// `hot_gravity::evaluator::record_force_phase`) — recording them in
+    /// both places would double-count the run totals.
+    pub fn record_traversal(&self, trace: &mut hot_trace::Ledger) {
+        trace.add(hot_trace::Counter::CellsOpened, self.opened);
+    }
 }
 
 /// Walk the tree for one sink group (`gi` indexes `tree.cells`).

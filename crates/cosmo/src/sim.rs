@@ -16,8 +16,9 @@
 
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, Vec3};
-use hot_gravity::treecode::{tree_accelerations_parallel, TreecodeOptions};
+use hot_gravity::treecode::{tree_accelerations_parallel_traced, TreecodeOptions};
 use hot_gravity::ForceResult;
+use hot_trace::{Ledger, Phase};
 
 /// Comoving background density for Ω = 1, G = 1, H₀ = 1.
 pub const RHO_BAR: f64 = 3.0 / (8.0 * std::f64::consts::PI);
@@ -82,14 +83,21 @@ impl CosmoSim {
     /// Peculiar accelerations at the current positions: treecode force
     /// plus the uniform-background correction.
     pub fn accelerations(&self, counter: &FlopCounter) -> ForceResult {
+        self.accelerations_traced(counter, &mut Ledger::scratch())
+    }
+
+    /// [`CosmoSim::accelerations`] with phase tracing (tree build, walk and
+    /// force spans recorded into `trace`).
+    pub fn accelerations_traced(&self, counter: &FlopCounter, trace: &mut Ledger) -> ForceResult {
         let domain = domain_for(&self.pos);
-        let mut res = tree_accelerations_parallel(
+        let mut res = tree_accelerations_parallel_traced(
             domain,
             &self.pos,
             &self.mass,
             &self.opts,
             counter,
             false,
+            trace,
         );
         let k = 4.0 * std::f64::consts::PI / 3.0 * RHO_BAR;
         for (acc, &p) in res.acc.iter_mut().zip(&self.pos) {
@@ -101,6 +109,21 @@ impl CosmoSim {
     /// One KDK step from `a` to `a + da`. Returns the walk's interaction
     /// count for diagnostics.
     pub fn step(&mut self, da: f64, counter: &FlopCounter) -> u64 {
+        self.step_traced(da, counter, &mut Ledger::scratch())
+    }
+
+    /// [`CosmoSim::step`] with phase tracing: the whole KDK step is wrapped
+    /// in a `Step` span, with the two force evaluations' `TreeBuild` /
+    /// `Walk` / `Force` sub-spans nested inside it (the kick/drift
+    /// arithmetic itself is the step span's exclusive time).
+    pub fn step_traced(&mut self, da: f64, counter: &FlopCounter, trace: &mut Ledger) -> u64 {
+        trace.begin(Phase::Step);
+        let n = self.step_inner(da, counter, trace);
+        trace.end();
+        n
+    }
+
+    fn step_inner(&mut self, da: f64, counter: &FlopCounter, trace: &mut Ledger) -> u64 {
         let a0 = self.a;
         let a1 = a0 + da;
         let t0 = cosmic_time(a0);
@@ -109,7 +132,7 @@ impl CosmoSim {
         let a_mid = ((t0 + 0.5 * dt) * 1.5).powf(2.0 / 3.0);
 
         // Kick (half, at a0).
-        let f0 = self.accelerations(counter);
+        let f0 = self.accelerations_traced(counter, trace);
         for (w, acc) in self.mom.iter_mut().zip(&f0.acc) {
             *w += *acc * (0.5 * dt / a0);
         }
@@ -120,7 +143,7 @@ impl CosmoSim {
         }
         // Kick (half, at a1).
         self.a = a1;
-        let f1 = self.accelerations(counter);
+        let f1 = self.accelerations_traced(counter, trace);
         for (w, acc) in self.mom.iter_mut().zip(&f1.acc) {
             *w += *acc * (0.5 * dt / a1);
         }

@@ -3,16 +3,17 @@
 //! headline runs exercise (322M particles on ASCI Red, 9.75M on Loki),
 //! here over the simulated message-passing machine.
 
-use crate::evaluator::GravityEvaluator;
+use crate::evaluator::{record_force_phase, GravityEvaluator};
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, Vec3};
 use hot_comm::Comm;
-use hot_core::decomp::{decompose, Body, KeyIntervals};
+use hot_core::decomp::{decompose_traced, Body, KeyIntervals};
 use hot_core::dtree::DistTree;
-use hot_core::dwalk::{dwalk, DwalkStats};
+use hot_core::dwalk::{dwalk_traced, DwalkStats};
 use hot_core::moments::MassMoments;
 use hot_core::tree::Tree;
 use hot_core::Mac;
+use hot_trace::{Ledger, Phase};
 
 /// Options for a distributed force evaluation.
 #[derive(Clone, Copy, Debug)]
@@ -66,15 +67,35 @@ pub fn distributed_accelerations(
     opts: &DistOptions,
     counter: &FlopCounter,
 ) -> DistForces {
-    let (bodies, intervals) = decompose(comm, bodies, opts.oversample);
+    distributed_accelerations_traced(comm, bodies, domain, opts, counter, &mut Ledger::scratch())
+}
+
+/// [`distributed_accelerations`] with phase tracing: decomposition, local
+/// build + branch exchange, traversal and force arithmetic land in the
+/// `Decomp` / `TreeBuild` / `Walk` / `Force` spans of `trace`. Every
+/// counter recorded is schedule-independent, so the resulting ledger is
+/// bitwise identical across message-delivery orders (collective call).
+pub fn distributed_accelerations_traced(
+    comm: &mut Comm,
+    bodies: Vec<Body<f64>>,
+    domain: Aabb,
+    opts: &DistOptions,
+    counter: &FlopCounter,
+    trace: &mut Ledger,
+) -> DistForces {
+    let (bodies, intervals) = decompose_traced(comm, bodies, opts.oversample, trace);
     let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
     let mass: Vec<f64> = bodies.iter().map(|b| b.charge).collect();
+    trace.begin(Phase::TreeBuild);
     let tree = Tree::<MassMoments>::build(domain, &pos, &mass, opts.bucket);
-    let mut dt = DistTree::build(comm, tree, intervals.clone());
+    tree.record_build(trace);
+    let mut dt = DistTree::build_traced(comm, tree, intervals.clone(), trace);
+    trace.end();
 
     let n = dt.local.n_particles();
     let mut acc_sorted = vec![Vec3::ZERO; n];
     let mut work_sorted = vec![0.0f32; n];
+    let flops_before = counter.report().flops();
     let stats = {
         let mut ev = GravityEvaluator {
             acc: &mut acc_sorted,
@@ -84,8 +105,9 @@ pub fn distributed_accelerations(
             counter,
             work: &mut work_sorted,
         };
-        dwalk(comm, &mut dt, &opts.mac, &mut ev, opts.group_size)
+        dwalk_traced(comm, &mut dt, &opts.mac, &mut ev, opts.group_size, trace)
     };
+    record_force_phase(trace, &stats.walk, counter.report().flops() - flops_before);
 
     // Map tree order back to the bodies' order and refresh work weights.
     let mut bodies_out = bodies;

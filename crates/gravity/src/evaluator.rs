@@ -110,6 +110,28 @@ impl Evaluator<MassMoments> for GravityEvaluator<'_> {
     }
 }
 
+/// Record the force-phase counters for one walk's worth of interactions:
+/// a [`hot_trace::Phase::Force`] span holding the particle–particle and
+/// particle–cell interaction counts plus the flops they cost.
+///
+/// This is the single place interaction counts enter the ledger — the walk
+/// span records only traversal-side counters (`CellsOpened`, requests,
+/// logical ABM traffic; see `WalkStats::record_traversal`), so totals are
+/// never double-counted. `flops` should be the *delta* of
+/// [`FlopCounter::report`]`().flops()` across the evaluation being
+/// attributed.
+pub fn record_force_phase(
+    trace: &mut hot_trace::Ledger,
+    walk: &hot_core::walk::WalkStats,
+    flops: u64,
+) {
+    trace.begin(hot_trace::Phase::Force);
+    trace.add(hot_trace::Counter::PpInteractions, walk.pp);
+    trace.add(hot_trace::Counter::PcInteractions, walk.pc);
+    trace.add(hot_trace::Counter::Flops, flops);
+    trace.end();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

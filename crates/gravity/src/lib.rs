@@ -24,8 +24,13 @@ pub mod leapfrog;
 pub mod models;
 pub mod treecode;
 
-pub use dist::{distributed_accelerations, DistForces, DistOptions};
+pub use dist::{
+    distributed_accelerations, distributed_accelerations_traced, DistForces, DistOptions,
+};
 pub use error::{force_accuracy, ForceErrorReport};
-pub use evaluator::GravityEvaluator;
+pub use evaluator::{record_force_phase, GravityEvaluator};
 pub use leapfrog::NBodySystem;
-pub use treecode::{tree_accelerations, tree_accelerations_parallel, ForceResult, TreecodeOptions};
+pub use treecode::{
+    tree_accelerations, tree_accelerations_parallel, tree_accelerations_parallel_traced,
+    tree_accelerations_traced, ForceResult, TreecodeOptions,
+};

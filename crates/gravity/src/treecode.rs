@@ -1,12 +1,13 @@
 //! High-level treecode force evaluation, serial and shared-memory parallel.
 
-use crate::evaluator::GravityEvaluator;
+use crate::evaluator::{record_force_phase, GravityEvaluator};
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, Vec3};
 use hot_core::moments::MassMoments;
 use hot_core::tree::Tree;
 use hot_core::walk::{default_group_size, walk_group, WalkStats};
 use hot_core::Mac;
+use hot_trace::{Ledger, Phase};
 use rayon::prelude::*;
 
 /// Options for a treecode force evaluation.
@@ -56,12 +57,34 @@ pub fn tree_accelerations(
     counter: &FlopCounter,
     want_pot: bool,
 ) -> ForceResult {
+    tree_accelerations_traced(domain, pos, mass, opts, counter, want_pot, &mut Ledger::scratch())
+}
+
+/// [`tree_accelerations`] with phase tracing: tree build, traversal and
+/// force arithmetic are attributed to `TreeBuild` / `Walk` / `Force`
+/// spans of `trace`.
+#[allow(clippy::too_many_arguments)]
+pub fn tree_accelerations_traced(
+    domain: Aabb,
+    pos: &[Vec3],
+    mass: &[f64],
+    opts: &TreecodeOptions,
+    counter: &FlopCounter,
+    want_pot: bool,
+    trace: &mut Ledger,
+) -> ForceResult {
+    trace.begin(Phase::TreeBuild);
     let tree = Tree::<MassMoments>::build(domain, pos, mass, opts.bucket);
+    tree.record_build(trace);
+    trace.end();
+
     let n = pos.len();
     let mut acc_sorted = vec![Vec3::ZERO; n];
     let mut pot_sorted = vec![0.0f64; n];
     let mut work_sorted = vec![0.0f32; n];
     let mut stats = WalkStats::default();
+    let flops_before = counter.report().flops();
+    trace.begin(Phase::Walk);
     {
         let mut ev = GravityEvaluator {
             acc: &mut acc_sorted,
@@ -75,6 +98,9 @@ pub fn tree_accelerations(
             stats.merge(&walk_group(&tree, &opts.mac, gi, &mut ev));
         }
     }
+    stats.record_traversal(trace);
+    trace.end();
+    record_force_phase(trace, &stats, counter.report().flops() - flops_before);
     unsort(&tree, &acc_sorted, &pot_sorted, &work_sorted, stats, want_pot)
 }
 
@@ -88,7 +114,37 @@ pub fn tree_accelerations_parallel(
     counter: &FlopCounter,
     want_pot: bool,
 ) -> ForceResult {
+    tree_accelerations_parallel_traced(
+        domain,
+        pos,
+        mass,
+        opts,
+        counter,
+        want_pot,
+        &mut Ledger::scratch(),
+    )
+}
+
+/// [`tree_accelerations_parallel`] with phase tracing. The recorded
+/// counters are identical to the serial traced variant's: the traversal is
+/// deterministic regardless of which rayon worker walks each group, and
+/// the flop delta sums atomic per-kind counts.
+#[allow(clippy::too_many_arguments)]
+pub fn tree_accelerations_parallel_traced(
+    domain: Aabb,
+    pos: &[Vec3],
+    mass: &[f64],
+    opts: &TreecodeOptions,
+    counter: &FlopCounter,
+    want_pot: bool,
+    trace: &mut Ledger,
+) -> ForceResult {
+    trace.begin(Phase::TreeBuild);
     let tree = Tree::<MassMoments>::build(domain, pos, mass, opts.bucket);
+    tree.record_build(trace);
+    trace.end();
+    let flops_before = counter.report().flops();
+    trace.begin(Phase::Walk);
     let n = pos.len();
     let groups = tree.groups(default_group_size(opts.bucket));
 
@@ -131,6 +187,9 @@ pub fn tree_accelerations_parallel(
         work_sorted[span].copy_from_slice(&w);
         stats.merge(&s);
     }
+    stats.record_traversal(trace);
+    trace.end();
+    record_force_phase(trace, &stats, counter.report().flops() - flops_before);
     unsort(&tree, &acc_sorted, &pot_sorted, &work_sorted, stats, want_pot)
 }
 

@@ -1,0 +1,156 @@
+//! Property tests of the ledger algebra (proptest shim).
+//!
+//! Three laws, straight from ISSUE requirements:
+//! 1. counter merge is associative and commutative,
+//! 2. span nesting never produces negative self-time (exclusive counters
+//!    and model seconds are non-negative, and children partition their
+//!    parent's inclusive counts),
+//! 3. the per-rank reduce is independent of record arrival order.
+
+#![cfg(test)]
+
+use crate::report::RunReport;
+use crate::{Counter, CounterSet, Ledger, ModelClock, Phase, COUNTERS, COUNTER_COUNT, PHASES};
+use proptest::prelude::*;
+
+fn set_from(vals: &[u64]) -> CounterSet {
+    let mut c = CounterSet::new();
+    for (i, &v) in vals.iter().enumerate() {
+        c.add(COUNTERS[i % COUNTER_COUNT], v);
+    }
+    c
+}
+
+/// A tiny op language driving a `Ledger`: interpreted leniently so every
+/// generated program is valid (ends are ignored when nothing is open and
+/// all spans are closed at the end).
+#[derive(Clone, Debug)]
+enum Op {
+    Begin(usize),
+    End,
+    Add(usize, u64),
+}
+
+fn run_program(ops: &[Op]) -> Ledger {
+    let mut l = Ledger::new(ModelClock::paper_loki());
+    let mut depth = 0usize;
+    for op in ops {
+        match *op {
+            Op::Begin(p) => {
+                l.begin(PHASES[p % PHASES.len()]);
+                depth += 1;
+            }
+            Op::End => {
+                if depth > 0 {
+                    l.end();
+                    depth -= 1;
+                }
+            }
+            Op::Add(c, n) => l.add(COUNTERS[c % COUNTER_COUNT], n % 1_000_000),
+        }
+    }
+    for _ in 0..depth {
+        l.end();
+    }
+    l
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..16, 0u64..1_000_000, 0u8..3).prop_map(|(a, n, kind)| match kind {
+        0 => Op::Begin(a),
+        1 => Op::End,
+        _ => Op::Add(a, n),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Law 1a: merge is commutative.
+    #[test]
+    fn merge_commutes(a in proptest::collection::vec(0u64..1u64 << 40, COUNTER_COUNT..COUNTER_COUNT + 1),
+                      b in proptest::collection::vec(0u64..1u64 << 40, COUNTER_COUNT..COUNTER_COUNT + 1)) {
+        let (sa, sb) = (set_from(&a), set_from(&b));
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Law 1b: merge is associative.
+    #[test]
+    fn merge_associates(a in proptest::collection::vec(0u64..1u64 << 40, COUNTER_COUNT..COUNTER_COUNT + 1),
+                        b in proptest::collection::vec(0u64..1u64 << 40, COUNTER_COUNT..COUNTER_COUNT + 1),
+                        c in proptest::collection::vec(0u64..1u64 << 40, COUNTER_COUNT..COUNTER_COUNT + 1)) {
+        let (sa, sb, sc) = (set_from(&a), set_from(&b), set_from(&c));
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Law 2: for any program of nested spans and counter bumps, every
+    /// span's exclusive counters fit inside its inclusive counters, model
+    /// self-time is non-negative, and top-level inclusive counts never
+    /// exceed the ledger totals.
+    #[test]
+    fn nesting_never_goes_negative(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let l = run_program(&ops);
+        let mut top_level = CounterSet::new();
+        for s in l.spans() {
+            prop_assert!(s.exclusive.le(&s.inclusive), "exclusive > inclusive in {s:?}");
+            prop_assert!(s.self_seconds >= 0.0, "negative self time in {s:?}");
+            prop_assert!(
+                l.clock().seconds(&s.exclusive) == s.self_seconds,
+                "self time not a pure function of exclusive counters"
+            );
+            if s.depth == 0 {
+                top_level.merge(&s.inclusive);
+            }
+        }
+        prop_assert!(top_level.le(l.totals()), "spans attribute more than was recorded");
+        // Exclusive counters across *all* spans partition the attributed
+        // work: they sum to exactly the top-level inclusive counts.
+        let mut excl_sum = CounterSet::new();
+        for s in l.spans() {
+            excl_sum.merge(&s.exclusive);
+        }
+        prop_assert_eq!(excl_sum, top_level);
+    }
+
+    /// Law 3: the reduce is a pure function of the record *set*; rotating
+    /// or reversing arrival order changes nothing.
+    #[test]
+    fn reduce_ignores_arrival_order(
+        seeds in proptest::collection::vec(proptest::collection::vec(0u64..1u64 << 30, 4..5), 1..7),
+        rot in 0usize..7,
+    ) {
+        let records: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(rank, s)| {
+                let mut l = Ledger::new(ModelClock::paper_loki());
+                l.span(Phase::Walk, |l| l.add(Counter::CellsOpened, s[0]));
+                l.span(Phase::Force, |l| {
+                    l.add(Counter::PpInteractions, s[1]);
+                    l.add(Counter::Flops, s[2].saturating_mul(38));
+                    l.add(Counter::BytesSent, s[3]);
+                });
+                l.rank_record(rank as u32)
+            })
+            .collect();
+        let reference = RunReport::from_records(&records);
+        let mut rotated = records.clone();
+        rotated.rotate_left(rot % records.len().max(1));
+        prop_assert_eq!(&RunReport::from_records(&rotated), &reference);
+        let mut reversed = records;
+        reversed.reverse();
+        prop_assert_eq!(&RunReport::from_records(&reversed), &reference);
+        prop_assert_eq!(RunReport::from_records(&reversed).to_json(), reference.to_json());
+    }
+}

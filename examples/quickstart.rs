@@ -10,8 +10,9 @@ use hot_base::flops::FlopCounter;
 use hot_core::Mac;
 use hot_gravity::direct::direct_serial_pot;
 use hot_gravity::models::{bounding_domain, plummer};
-use hot_gravity::treecode::{tree_accelerations, TreecodeOptions};
+use hot_gravity::treecode::{tree_accelerations, tree_accelerations_traced, TreecodeOptions};
 use hot_gravity::NBodySystem;
+use hot_trace::{Ledger, ModelClock, RunReport};
 use rand::SeedableRng;
 
 fn main() {
@@ -30,7 +31,8 @@ fn main() {
         quadrupole: true,
     };
     let domain = bounding_domain(&pos);
-    let res = tree_accelerations(domain, &pos, &mass, &opts, &counter, false);
+    let mut trace = Ledger::new(ModelClock::paper_loki());
+    let res = tree_accelerations_traced(domain, &pos, &mass, &opts, &counter, false, &mut trace);
     let (exact, pot) = direct_serial_pot(&pos, &mass, 1e-4, &counter);
     let mut rms = 0.0;
     for (a, e) in res.acc.iter().zip(&exact) {
@@ -43,6 +45,10 @@ fn main() {
         n * (n - 1),
         (rms / n as f64).sqrt()
     );
+
+    // Where that force evaluation spent its (model-clock) time, phase by
+    // phase — the same ledger the distributed runs reduce across ranks.
+    println!("{}", RunReport::from_single(&trace).render_table());
 
     // A short integration with the treecode in the loop.
     let mut sys = NBodySystem::new(pos, vel, mass, 1e-4);
