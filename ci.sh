@@ -21,4 +21,10 @@ cargo run -q --offline --release -p hot-analyze -- lint
 echo "==> hot-analyze schedules --seeds 32 (tracing enabled)"
 cargo run -q --offline --release -p hot-analyze -- schedules --seeds 32
 
+echo "==> hot-analyze faults --seeds 32 (fault plans × fuzzed schedules)"
+cargo run -q --offline --release -p hot-analyze -- faults --seeds 32
+
+echo "==> checkpoint/restart smoke (bitwise-identical resume)"
+cargo test -q --offline --release -p hot-cosmo checkpoint
+
 echo "==> ci.sh: all green"

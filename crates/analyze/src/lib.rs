@@ -11,11 +11,18 @@
 //!   collectives and ABM traversal under many seeded rank interleavings
 //!   (via [`hot_comm::FuzzScheduler`]) and asserts freedom from deadlock,
 //!   undrained teardown messages, and schedule-dependent results.
+//! * [`faults`] — the same workloads crossed with seeded fault plans
+//!   (drop/duplicate/reorder/corrupt/stall at ≥ 10% each), asserting the
+//!   reliable transport keeps results and the `hot-trace` report bitwise
+//!   identical to the fault-free reference.
 //!
-//! Run as `cargo run -p hot-analyze -- lint` and
-//! `cargo run -p hot-analyze -- schedules --seeds 32`. Both exit non-zero
+//! Run as `cargo run -p hot-analyze -- lint`,
+//! `cargo run -p hot-analyze -- schedules --seeds 32`, and
+//! `cargo run -p hot-analyze -- faults --seeds 32`. All exit non-zero
 //! on findings; `ci.sh` wires them into the verify pipeline. Rules,
 //! rationale and suppression syntax are documented in `VERIFICATION.md`.
 
+pub mod faults;
 pub mod lint;
 pub mod schedules;
+pub(crate) mod workloads;

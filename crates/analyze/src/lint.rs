@@ -49,11 +49,13 @@ const F32_SCOPE: [&str; 5] =
 
 /// Files whose map iteration order can leak into reduction results or wire
 /// bytes.
-const DETERMINISM_SCOPE: [&str; 9] = [
+const DETERMINISM_SCOPE: [&str; 11] = [
     "comm/src/collectives.rs",
     "comm/src/wire.rs",
     "comm/src/abm.rs",
     "comm/src/runtime.rs",
+    "comm/src/fault.rs",
+    "comm/src/reliable.rs",
     "core/src/dwalk.rs",
     "core/src/moments.rs",
     "core/src/wirevec.rs",
@@ -226,8 +228,13 @@ fn code_part(line: &str) -> &str {
 }
 
 /// Mark lines inside `#[cfg(test)] mod ... { }` blocks (including the
-/// attribute line itself) by brace tracking.
+/// attribute line itself) by brace tracking. A file-level inner attribute
+/// (`#![cfg(test)]`, as used by the `proptests.rs` modules) exempts the
+/// whole file.
 fn test_mask(lines: &[&str]) -> Vec<bool> {
+    if lines.iter().any(|l| l.trim_start().starts_with("#![cfg(test)]")) {
+        return vec![true; lines.len()];
+    }
     let mut mask = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
@@ -440,6 +447,13 @@ mod tests {
                    let t = Instant::now();\n        let v = Some(1).unwrap();\n    }\n}\n";
         assert!(rules_hit("crates/core/src/moments.rs", src).is_empty());
         assert!(rules_hit("crates/comm/src/collectives.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_inner_attribute_exempts_the_whole_file() {
+        let src = "//! Property tests.\n\n#![cfg(test)]\n\nfn t() {\n    \
+                   let v = Some(1).unwrap();\n    let t = Instant::now();\n}\n";
+        assert!(rules_hit("crates/cosmo/src/proptests.rs", src).is_empty());
     }
 
     #[test]

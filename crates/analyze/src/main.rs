@@ -3,19 +3,21 @@
 //! ```text
 //! hot-analyze lint [--root PATH]
 //! hot-analyze schedules [--seeds N]
+//! hot-analyze faults [--seeds N]
 //! ```
 //!
-//! Both subcommands exit 0 when clean and 1 on findings, so they slot
+//! Every subcommand exits 0 when clean and 1 on findings, so they slot
 //! directly into `ci.sh`. See VERIFICATION.md for the rule catalog.
 
-use hot_analyze::{lint, schedules};
+use hot_analyze::{faults, lint, schedules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hot-analyze lint [--root PATH]       static invariant linter\n  \
-         hot-analyze schedules [--seeds N]    seeded schedule checker\n\nlint rules: {}",
+         hot-analyze schedules [--seeds N]    seeded schedule checker\n  \
+         hot-analyze faults [--seeds N]       fault-plan × schedule checker\n\nlint rules: {}",
         lint::RULES.join(", ")
     );
     ExitCode::from(2)
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("schedules") => run_schedules(&args[1..]),
+        Some("faults") => run_faults(&args[1..]),
         _ => usage(),
     }
 }
@@ -66,19 +69,26 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
-fn run_schedules(args: &[String]) -> ExitCode {
-    let seeds: u64 = match flag_value(args, "--seeds") {
-        None => 32,
+fn parse_seeds(cmd: &str, args: &[String]) -> Result<u64, ExitCode> {
+    match flag_value(args, "--seeds") {
+        None => Ok(32),
         Some(s) => match s.parse() {
-            Ok(n) if n > 0 => n,
-            // 0 would compare the reference schedule against nothing — a
-            // vacuous pass — and a non-number silently becoming the
-            // default would hide CI typos.
+            Ok(n) if n > 0 => Ok(n),
+            // 0 would compare the reference against nothing — a vacuous
+            // pass — and a non-number silently becoming the default would
+            // hide CI typos.
             _ => {
-                eprintln!("hot-analyze schedules: --seeds needs a positive integer, got {s:?}");
-                return ExitCode::from(2);
+                eprintln!("hot-analyze {cmd}: --seeds needs a positive integer, got {s:?}");
+                Err(ExitCode::from(2))
             }
         },
+    }
+}
+
+fn run_schedules(args: &[String]) -> ExitCode {
+    let seeds: u64 = match parse_seeds("schedules", args) {
+        Ok(n) => n,
+        Err(code) => return code,
     };
     let reports = schedules::check_all(seeds);
     let mut failed = false;
@@ -98,6 +108,49 @@ fn run_schedules(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!("hot-analyze schedules: all workloads schedule-independent");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_faults(args: &[String]) -> ExitCode {
+    let seeds: u64 = match parse_seeds("faults", args) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let cap = faults::pipeline_seed_cap(seeds);
+    if cap < seeds {
+        println!("note: traced-pipeline sweep capped at {cap} of {seeds} fault seeds (cost)");
+    }
+    let reports = faults::check_all(seeds);
+    let mut failed = false;
+    for rep in &reports {
+        if rep.passed() {
+            let i = &rep.recovery.injected;
+            let t = &rep.recovery.totals;
+            println!(
+                "ok   {} ({} fault seeds × {} schedules): injected {}, \
+                 recovered via {} retries / {} crc rejects / {} dups suppressed",
+                rep.name,
+                rep.fault_seeds,
+                rep.schedules,
+                i.total(),
+                t.retries,
+                t.crc_rejects,
+                t.dup_suppressed
+            );
+        } else {
+            failed = true;
+            println!("FAIL {} ({} fault seeds × {} schedules)", rep.name, rep.fault_seeds, rep.schedules);
+            for f in &rep.failures {
+                println!("     {f}");
+            }
+        }
+    }
+    if failed {
+        println!("hot-analyze faults: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("hot-analyze faults: results and trace reports identical under all fault plans");
         ExitCode::SUCCESS
     }
 }

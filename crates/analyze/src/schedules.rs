@@ -17,7 +17,8 @@
 //!    boundaries legitimately vary with the schedule (documented in
 //!    VERIFICATION.md).
 
-use hot_comm::{Abm, Comm, FuzzScheduler, TrafficStats, World};
+use crate::workloads;
+use hot_comm::{Comm, FuzzScheduler, TrafficStats, World};
 use std::fmt::Debug;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -130,105 +131,30 @@ where
     WorkloadReport { name, seeds, failures }
 }
 
-/// Collectives sweep: every collective the runtime offers, chained so that
-/// tag reuse across phases is also exercised. Deterministic by
+/// Collectives sweep (see [`workloads::collectives`]): deterministic by
 /// construction, so results *and* traffic must match bitwise across seeds.
 #[must_use]
 pub fn check_collectives(np: u32, seeds: u64) -> WorkloadReport {
-    check_workload("collectives", np, seeds, true, |c| {
-        let r = f64::from(c.rank());
-        c.barrier();
-        let s1 = c.allreduce_sum_f64(r + 1.0);
-        let s2 = c.allreduce_max_f64(r * 2.0);
-        let v = c.allgather(c.rank() as u64);
-        let sends: Vec<Vec<u64>> =
-            (0..c.size()).map(|d| vec![u64::from(c.rank() * 100 + d)]).collect();
-        let a2a = c.alltoall(sends);
-        let bc = c.bcast(0, if c.rank() == 0 { 42u64 } else { 0 });
-        let (before, total) = c.exscan_sum_u64(u64::from(c.rank()) + 1);
-        c.barrier();
-        (s1.to_bits(), s2.to_bits(), v, a2a, bc, before, total)
-    })
+    check_workload("collectives", np, seeds, true, workloads::collectives)
 }
 
-/// ABM traversal: the cascading request/reply pattern of the latency-hiding
-/// tree walk. Each rank posts a request to every peer; each request spawns
-/// a reply; quiescence is reached through the double-count termination
-/// protocol. Results and posted/delivered counts must be schedule-free;
-/// batch counts (and hence raw traffic) legitimately are not.
+/// ABM traversal (see [`workloads::abm_traversal`]): results and
+/// posted/delivered counts must be schedule-free; batch counts (and hence
+/// raw traffic) legitimately are not.
 #[must_use]
 pub fn check_abm(np: u32, seeds: u64) -> WorkloadReport {
-    const K_REQ: u16 = 1;
-    const K_REP: u16 = 2;
-    check_workload("abm-traversal", np, seeds, false, |c| {
-        let me = c.rank();
-        let np = c.size();
-        let mut acc = 0u64;
-        let mut abm = Abm::new(c, 64);
-        for peer in 0..np {
-            if peer != me {
-                abm.post(peer, K_REQ, &u64::from(me));
-            }
-        }
-        abm.complete(|ep, src, kind, payload| match kind {
-            K_REQ => {
-                let from: u64 = hot_comm::from_bytes(payload);
-                ep.post(src, K_REP, &(from * 1000 + u64::from(ep.rank())));
-            }
-            K_REP => {
-                let v: u64 = hot_comm::from_bytes(payload);
-                acc += v;
-            }
-            other => panic!("unexpected ABM kind {other}"),
-        });
-        let stats = abm.stats();
-        (acc, stats.posted, stats.delivered)
-    })
+    check_workload("abm-traversal", np, seeds, false, workloads::abm_traversal)
 }
 
-/// Traced treecode pipeline: the full distributed force evaluation
-/// (decompose → build → branch exchange → ABM walk) with the `hot-trace`
-/// ledger recording every phase, reduced to the run-level report on every
-/// rank. The workload returns the report JSON plus an acceleration
-/// checksum, so a pass proves the *ledger itself* is bitwise
-/// schedule-independent — the property the golden-snapshot test and the
-/// paper-style phase tables rely on. Raw traffic is not compared (ABM
-/// batch boundaries legitimately vary); the ledger only ever records the
-/// schedule-free counters, which is exactly what this check enforces.
+/// Traced treecode pipeline (see [`workloads::traced_pipeline`]): a pass
+/// proves the *ledger itself* is bitwise schedule-independent — the
+/// property the golden-snapshot test and the paper-style phase tables rely
+/// on. Raw traffic is not compared (ABM batch boundaries legitimately
+/// vary); the ledger only ever records the schedule-free counters, which
+/// is exactly what this check enforces.
 #[must_use]
 pub fn check_traced_pipeline(np: u32, seeds: u64) -> WorkloadReport {
-    use hot_base::flops::FlopCounter;
-    use hot_base::{Aabb, Vec3};
-    use hot_core::decomp::Body;
-    use hot_gravity::{distributed_accelerations_traced, DistOptions};
-    use rand::{Rng, SeedableRng};
-
-    check_workload("traced-pipeline", np, seeds, false, move |c| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1234 + u64::from(c.rank()));
-        let bodies: Vec<Body<f64>> = (0..120)
-            .map(|i| {
-                let pos = Vec3::new(rng.gen(), rng.gen(), rng.gen());
-                Body {
-                    key: hot_morton::Key::from_point(pos, &Aabb::unit()),
-                    pos,
-                    charge: rng.gen_range(0.5..1.5),
-                    work: 1.0,
-                    id: u64::from(c.rank()) * 1000 + i,
-                }
-            })
-            .collect();
-        let counter = FlopCounter::new();
-        let opts = DistOptions { eps2: 1e-6, ..Default::default() };
-        let mut trace = hot_trace::Ledger::new(hot_trace::ModelClock::paper_loki());
-        let res =
-            distributed_accelerations_traced(c, bodies, Aabb::unit(), &opts, &counter, &mut trace);
-        let report = hot_trace::reduce(c, &trace);
-        let checksum: u64 = res
-            .acc
-            .iter()
-            .fold(0u64, |h, a| h ^ a.x.to_bits() ^ a.y.to_bits().rotate_left(1) ^ a.z.to_bits().rotate_left(2));
-        (report.to_json(), checksum, res.bodies.len())
-    })
+    check_workload("traced-pipeline", np, seeds, false, workloads::traced_pipeline)
 }
 
 /// The full checker: all workloads at several machine sizes.

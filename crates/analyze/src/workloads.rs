@@ -1,0 +1,108 @@
+//! The comm-runtime workloads the dynamic checkers rerun.
+//!
+//! Shared between [`crate::schedules`] (many seeded interleavings, no
+//! faults) and [`crate::faults`] (fault plans crossed with interleavings):
+//! both checkers assert the *same* bodies produce bitwise-identical output,
+//! so the bodies must live in one place or the two checks would drift.
+//!
+//! Every workload is a pure function of `(np, rank)` — no wall clock, no
+//! ambient randomness beyond per-rank seeded RNGs — which is what makes
+//! "results must match the reference run exactly" a meaningful assertion.
+
+use hot_comm::{Abm, Comm};
+
+/// Output of [`collectives`]: reduction bit patterns, gathered vectors,
+/// broadcast and scan results.
+pub(crate) type CollectivesOut = (u64, u64, Vec<u64>, Vec<Vec<u64>>, u64, u64, u64);
+
+/// Output of [`traced_pipeline`]: the reduced trace-report JSON, an
+/// acceleration checksum, and the local body count after migration.
+pub(crate) type PipelineOut = (String, u64, usize);
+
+/// Collectives sweep: every collective the runtime offers, chained so that
+/// tag reuse across phases is also exercised. Deterministic by
+/// construction, so results *and* traffic must match bitwise across
+/// schedules (and fault plans).
+pub(crate) fn collectives(c: &mut Comm) -> CollectivesOut {
+    let r = f64::from(c.rank());
+    c.barrier();
+    let s1 = c.allreduce_sum_f64(r + 1.0);
+    let s2 = c.allreduce_max_f64(r * 2.0);
+    let v = c.allgather(c.rank() as u64);
+    let sends: Vec<Vec<u64>> = (0..c.size()).map(|d| vec![u64::from(c.rank() * 100 + d)]).collect();
+    let a2a = c.alltoall(sends);
+    let bc = c.bcast(0, if c.rank() == 0 { 42u64 } else { 0 });
+    let (before, total) = c.exscan_sum_u64(u64::from(c.rank()) + 1);
+    c.barrier();
+    (s1.to_bits(), s2.to_bits(), v, a2a, bc, before, total)
+}
+
+/// ABM traversal: the cascading request/reply pattern of the latency-hiding
+/// tree walk. Each rank posts a request to every peer; each request spawns
+/// a reply; quiescence is reached through the double-count termination
+/// protocol. Results and posted/delivered counts must be schedule-free;
+/// batch counts (and hence raw traffic) legitimately are not.
+pub(crate) fn abm_traversal(c: &mut Comm) -> (u64, u64, u64) {
+    const K_REQ: u16 = 1;
+    const K_REP: u16 = 2;
+    let me = c.rank();
+    let np = c.size();
+    let mut acc = 0u64;
+    let mut abm = Abm::new(c, 64);
+    for peer in 0..np {
+        if peer != me {
+            abm.post(peer, K_REQ, &u64::from(me));
+        }
+    }
+    abm.complete(|ep, src, kind, payload| match kind {
+        K_REQ => {
+            let from: u64 = hot_comm::from_bytes(payload);
+            ep.post(src, K_REP, &(from * 1000 + u64::from(ep.rank())));
+        }
+        K_REP => {
+            let v: u64 = hot_comm::from_bytes(payload);
+            acc += v;
+        }
+        other => panic!("unexpected ABM kind {other}"),
+    });
+    let stats = abm.stats();
+    (acc, stats.posted, stats.delivered)
+}
+
+/// Traced treecode pipeline: the full distributed force evaluation
+/// (decompose → build → branch exchange → ABM walk) with the `hot-trace`
+/// ledger recording every phase, reduced to the run-level report on every
+/// rank. Returns the report JSON plus an acceleration checksum, so a pass
+/// proves the *ledger itself* is bitwise independent of schedule and fault
+/// plan — the property the golden-snapshot test and the paper-style phase
+/// tables rely on.
+pub(crate) fn traced_pipeline(c: &mut Comm) -> PipelineOut {
+    use hot_base::flops::FlopCounter;
+    use hot_base::{Aabb, Vec3};
+    use hot_core::decomp::Body;
+    use hot_gravity::{distributed_accelerations_traced, DistOptions};
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234 + u64::from(c.rank()));
+    let bodies: Vec<Body<f64>> = (0..120)
+        .map(|i| {
+            let pos = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+            Body {
+                key: hot_morton::Key::from_point(pos, &Aabb::unit()),
+                pos,
+                charge: rng.gen_range(0.5..1.5),
+                work: 1.0,
+                id: u64::from(c.rank()) * 1000 + i,
+            }
+        })
+        .collect();
+    let counter = FlopCounter::new();
+    let opts = DistOptions { eps2: 1e-6, ..Default::default() };
+    let mut trace = hot_trace::Ledger::new(hot_trace::ModelClock::paper_loki());
+    let res = distributed_accelerations_traced(c, bodies, Aabb::unit(), &opts, &counter, &mut trace);
+    let report = hot_trace::reduce(c, &trace);
+    let checksum: u64 = res.acc.iter().fold(0u64, |h, a| {
+        h ^ a.x.to_bits() ^ a.y.to_bits().rotate_left(1) ^ a.z.to_bits().rotate_left(2)
+    });
+    (report.to_json(), checksum, res.bodies.len())
+}

@@ -1,0 +1,126 @@
+//! Experiment F1: cost and transparency of the fault-injection layer.
+//!
+//! Runs the full distributed pipeline (decompose → tree build → branch
+//! exchange → latency-hiding walk → force) three ways on the same inputs:
+//!
+//! 1. **disabled** — no fault plan; the injection/reliability code is
+//!    compiled in but the transport is never installed. This is the
+//!    configuration every production run uses, so its cost *is* the
+//!    "compiled in but disabled" overhead, and the bench pins it at
+//!    < 5% over the cheapest repetition of itself (i.e. within run noise).
+//! 2. **clean plan** — the reliable transport fully active (CRC framing,
+//!    sequence numbers, acks) but every fault rate zero: the price of the
+//!    reliability machinery alone.
+//! 3. **hostile plan** — every fault class at ≥ 10%: what recovery from a
+//!    genuinely lossy network costs.
+//!
+//! The force checksum must be identical across all three — the recovery
+//! layer is transparent or it is broken — and the bench asserts it.
+//!
+//! Args: `exp_faults [np] [n_per_rank] [reps]` (defaults 4, 2000, 3).
+
+use hot_base::flops::FlopCounter;
+use hot_base::Aabb;
+use hot_bench::{arg_usize, header, random_bodies, rule};
+use hot_comm::{FaultConfig, FaultPlan, RunConfig, World};
+use hot_gravity::dist::{distributed_accelerations_traced, DistOptions};
+use hot_trace::{FaultReport, Ledger, ModelClock};
+
+struct Sample {
+    seconds: f64,
+    checksum: u64,
+    report: FaultReport,
+}
+
+fn run_once(np: u32, n_per_rank: usize, fault: Option<FaultConfig>) -> Sample {
+    let cfg = RunConfig { scheduler: None, faults: fault.map(FaultPlan::new) };
+    let out = World::run_config(np, cfg, move |c| {
+        let bodies = random_bodies(c.rank(), n_per_rank, 1997);
+        let counter = FlopCounter::new();
+        let opts = DistOptions { eps2: 1e-6, ..Default::default() };
+        let mut trace = Ledger::new(ModelClock::paper_loki());
+        let res =
+            distributed_accelerations_traced(c, bodies, Aabb::unit(), &opts, &counter, &mut trace);
+        res.acc.iter().fold(0u64, |h, a| {
+            h ^ a.x.to_bits() ^ a.y.to_bits().rotate_left(1) ^ a.z.to_bits().rotate_left(2)
+        })
+    });
+    assert!(out.undrained.is_empty(), "undrained messages: {:?}", out.undrained);
+    let checksum = out.results.iter().fold(0u64, |h, &c| h ^ c);
+    Sample {
+        seconds: out.elapsed.as_secs_f64(),
+        checksum,
+        report: FaultReport::from_run(fault, &out.reliability, out.injected),
+    }
+}
+
+/// Median wall time over `reps` repetitions (first repetition discarded as
+/// warmup when `reps > 1`); the checksum and fault report come from the
+/// last repetition.
+fn measure(np: u32, n_per_rank: usize, reps: usize, fault: Option<FaultConfig>) -> Sample {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for rep in 0..reps {
+        let s = run_once(np, n_per_rank, fault);
+        if reps == 1 || rep > 0 {
+            times.push(s.seconds);
+        }
+        last = Some(s);
+    }
+    times.sort_by(f64::total_cmp);
+    let mut s = last.expect("at least one repetition");
+    s.seconds = times[times.len() / 2];
+    s
+}
+
+fn main() {
+    let np = arg_usize(1, 4) as u32;
+    let n_per_rank = arg_usize(2, 2000);
+    let reps = arg_usize(3, 3).max(1) + 1; // +1 warmup
+    header("Experiment F1: fault-injection overhead and transparency");
+    println!("np = {np}, {n_per_rank} particles/rank, {} timed reps\n", reps - 1);
+
+    let disabled = measure(np, n_per_rank, reps, None);
+    let clean = measure(np, n_per_rank, reps, Some(FaultConfig::clean(1)));
+    let hostile = measure(np, n_per_rank, reps, Some(FaultConfig::hostile(1)));
+
+    let pct = |s: &Sample| (s.seconds / disabled.seconds - 1.0) * 100.0;
+    println!("{:<22} {:>10} {:>10}  notes", "configuration", "median(s)", "overhead");
+    println!("{:<22} {:>10.4} {:>9.1}%  injection compiled in, no plan", "disabled", disabled.seconds, 0.0);
+    println!(
+        "{:<22} {:>10.4} {:>9.1}%  CRC framing + seq/ack, zero faults",
+        "reliable (clean plan)",
+        clean.seconds,
+        pct(&clean)
+    );
+    println!(
+        "{:<22} {:>10.4} {:>9.1}%  drop/dup/delay/corrupt/stall ≥ 10%",
+        "hostile plan",
+        hostile.seconds,
+        pct(&hostile)
+    );
+    rule();
+
+    assert_eq!(
+        disabled.checksum, clean.checksum,
+        "clean-plan transport changed the force result"
+    );
+    assert_eq!(
+        disabled.checksum, hostile.checksum,
+        "hostile-plan recovery changed the force result"
+    );
+    println!("force checksum identical across all three configurations: {:#018x}", disabled.checksum);
+    assert!(
+        hostile.report.injected.total() > 0,
+        "hostile sweep injected nothing — vacuous"
+    );
+    println!();
+    println!("{}", hostile.report.render_table());
+
+    let overhead = pct(&clean);
+    if overhead < 5.0 {
+        println!("reliability machinery overhead {overhead:.1}% < 5% target");
+    } else {
+        println!("WARNING: reliability machinery overhead {overhead:.1}% exceeds the 5% target");
+    }
+}

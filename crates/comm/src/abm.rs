@@ -17,19 +17,34 @@
 //! traffic pattern.
 
 use crate::runtime::Comm;
-use crate::wire::{to_bytes, Wire};
+use crate::wire::{crc32, to_bytes, Wire};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Internal tag for ABM batch traffic.
-const ABM_TAG: u32 = 0x9000_0000;
+pub(crate) const ABM_TAG: u32 = 0x9000_0000;
 
 /// Wire overhead of one logical ABM message: a `u16` kind plus a `u32`
 /// payload length, written little-endian ahead of the payload. This is the
-/// single source of truth for ABM byte accounting — [`AbmStats`] charges it
-/// per logical message, so a session's `bytes_posted` equals *exactly* the
-/// batch bytes the underlying [`Comm`] puts on the wire (pinned by the
+/// single source of truth for per-message ABM byte accounting — [`AbmStats`]
+/// charges it per logical message, so a session's `bytes_posted` equals
+/// *exactly* the message bytes packed into batches (pinned by the
 /// `logical_bytes_reconcile_with_wire_traffic` test).
 pub const ABM_MSG_HEADER_BYTES: u64 = 6;
+
+/// Wire overhead of one physical ABM batch: a `u64` batch sequence number,
+/// a `u64` piggybacked cumulative ack, and a `u32` CRC32 over the batch
+/// body, written little-endian ahead of the packed messages. Batch bytes
+/// on the wire are therefore
+/// `bytes_posted + ABM_BATCH_HEADER_BYTES × batches_sent` — the wire
+/// reconciliation test pins this identity.
+///
+/// The sequence number makes re-delivered batches idempotently
+/// suppressible, the ack lets a sender observe how far its peer has
+/// consumed its batch stream, and the CRC is an end-to-end integrity check
+/// *above* the transport's frame CRC: a corrupt batch reaching this layer
+/// means the reliability machinery itself failed, which is a panic, not a
+/// retry.
+pub const ABM_BATCH_HEADER_BYTES: u64 = 20;
 
 /// Counters describing an ABM session.
 ///
@@ -53,6 +68,10 @@ pub struct AbmStats {
     /// Physical batches sent (each one point-to-point message).
     /// Schedule-dependent; never compare across schedules.
     pub batches_sent: u64,
+    /// Batches re-delivered with an already-consumed sequence number and
+    /// suppressed. Always zero in normal operation — the transport dedups
+    /// first — but the ABM layer defends end-to-end regardless.
+    pub dup_batches: u64,
 }
 
 /// An active-message endpoint over a [`Comm`].
@@ -61,6 +80,14 @@ pub struct Abm<'a> {
     batch_capacity: usize,
     out: Vec<BytesMut>,
     stats: AbmStats,
+    /// Next batch sequence number per destination.
+    out_seq: Vec<u64>,
+    /// Next in-order batch sequence expected per source; doubles as the
+    /// cumulative ack piggybacked on outgoing batches.
+    in_expected: Vec<u64>,
+    /// Highest cumulative ack received from each peer: how many of our
+    /// batches that peer has consumed.
+    peer_acked: Vec<u64>,
 }
 
 impl<'a> Abm<'a> {
@@ -74,6 +101,9 @@ impl<'a> Abm<'a> {
             batch_capacity: batch_capacity.max(16),
             out: (0..np).map(|_| BytesMut::new()).collect(),
             stats: AbmStats::default(),
+            out_seq: vec![0; np],
+            in_expected: vec![0; np],
+            peer_acked: vec![0; np],
         }
     }
 
@@ -114,15 +144,30 @@ impl<'a> Abm<'a> {
         }
     }
 
-    /// Ship the pending batch for `dst`, if any.
+    /// Ship the pending batch for `dst`, if any, framed with its sequence
+    /// number, a piggybacked cumulative ack, and a CRC32 over the body.
     pub fn flush_one(&mut self, dst: u32) {
         let buf = &mut self.out[dst as usize];
         if buf.is_empty() {
             return;
         }
-        let batch = buf.split().freeze();
+        let body = buf.split().freeze();
+        let seq = self.out_seq[dst as usize];
+        self.out_seq[dst as usize] += 1;
+        let mut framed = BytesMut::with_capacity(ABM_BATCH_HEADER_BYTES as usize + body.len());
+        framed.put_u64_le(seq);
+        framed.put_u64_le(self.in_expected[dst as usize]);
+        framed.put_u32_le(crc32(&body));
+        framed.put_slice(&body);
         self.stats.batches_sent += 1;
-        self.comm.send_bytes(dst, ABM_TAG, batch);
+        self.comm.send_bytes(dst, ABM_TAG, framed.freeze());
+    }
+
+    /// Cumulative ack received from `peer`: how many of this rank's
+    /// batches to `peer` are known consumed.
+    #[must_use]
+    pub fn acked_by(&self, peer: u32) -> u64 {
+        self.peer_acked[peer as usize]
     }
 
     /// Ship every pending batch.
@@ -141,12 +186,44 @@ impl<'a> Abm<'a> {
         &mut self,
         handler: &mut impl FnMut(&mut Abm<'_>, u32, u16, Bytes),
     ) -> u64 {
-        let Some((src, batch)) = self.comm.try_recv_bytes(None, ABM_TAG) else {
-            return 0;
+        let (src, mut cursor) = loop {
+            let Some((src, batch)) = self.comm.try_recv_bytes(None, ABM_TAG) else {
+                return 0;
+            };
+            let mut cursor = batch;
+            assert!(
+                cursor.remaining() >= ABM_BATCH_HEADER_BYTES as usize,
+                "ABM batch from rank {src} shorter than its header"
+            );
+            let seq = cursor.get_u64_le();
+            let ack = cursor.get_u64_le();
+            let stored_crc = cursor.get_u32_le();
+            // End-to-end integrity above the transport's frame CRC: a bad
+            // batch here means reliability itself is broken — a bug, not a
+            // wire fault to retry.
+            assert_eq!(
+                crc32(&cursor),
+                stored_crc,
+                "ABM batch {seq} from rank {src} failed its CRC past the reliable transport"
+            );
+            let s = src as usize;
+            self.peer_acked[s] = self.peer_acked[s].max(ack);
+            let expected = self.in_expected[s];
+            if seq < expected {
+                // Re-delivered batch: already consumed, idempotently skip.
+                self.stats.dup_batches += 1;
+                continue;
+            }
+            assert_eq!(
+                seq, expected,
+                "ABM batch gap from rank {src}: got {seq}, expected {expected} \
+                 (transport lost a batch)"
+            );
+            self.in_expected[s] = expected + 1;
+            break (src, cursor);
         };
         let mut handled = 0;
         let mut handled_bytes = 0;
-        let mut cursor = batch;
         while cursor.has_remaining() {
             let kind = cursor.get_u16_le();
             let len = cursor.get_u32_le() as usize;
@@ -353,13 +430,114 @@ mod tests {
         assert_eq!(s1.bytes_posted, 0);
         // Wire traffic = ABM batches + the termination allreduce. Subtract
         // the collective's own bytes (16 per allreduce message) by counting
-        // only the ABM-tag bytes: batches carry every posted byte, nothing
-        // more. The allreduce sends 16-byte tuples, so bytes on the wire
-        // minus 16×(collective msgs) must equal bytes_posted.
+        // only the ABM-tag bytes: batches carry every posted byte plus one
+        // 20-byte seq/ack/CRC batch header each, nothing more. The
+        // allreduce sends 16-byte tuples, so bytes on the wire minus
+        // 16×(collective msgs) minus the batch headers must equal
+        // bytes_posted exactly.
         let coll_msgs0 = w0.sends - s0.batches_sent;
-        assert_eq!(w0.bytes_sent - 16 * coll_msgs0, s0.bytes_posted);
+        assert_eq!(
+            w0.bytes_sent - 16 * coll_msgs0 - ABM_BATCH_HEADER_BYTES * s0.batches_sent,
+            s0.bytes_posted
+        );
         let coll_msgs1 = w1.sends - s1.batches_sent;
-        assert_eq!(w1.bytes_sent - 16 * coll_msgs1, s1.bytes_posted);
+        assert_eq!(
+            w1.bytes_sent - 16 * coll_msgs1 - ABM_BATCH_HEADER_BYTES * s1.batches_sent,
+            s1.bytes_posted
+        );
+    }
+
+    /// A batch wearing an already-consumed sequence number must be
+    /// suppressed without re-dispatching its messages — the ABM layer's
+    /// own idempotency, independent of the transport's.
+    #[test]
+    fn duplicate_batches_are_suppressed() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                // Hand-build one batch (seq 0, ack 0, CRC over body) and
+                // deliver it twice, bypassing the Abm sender's sequencing.
+                let mut body = BytesMut::new();
+                body.put_u16_le(4);
+                body.put_u32_le(8);
+                body.put_u64_le(777);
+                let body = body.freeze();
+                let mut batch = BytesMut::new();
+                batch.put_u64_le(0);
+                batch.put_u64_le(0);
+                batch.put_u32_le(crc32(&body));
+                batch.put_slice(&body);
+                let batch = batch.freeze();
+                c.send_bytes(1, ABM_TAG, batch.clone());
+                c.send_bytes(1, ABM_TAG, batch);
+                0u64
+            } else {
+                let mut got = 0u64;
+                let mut abm = Abm::new(c, 64);
+                {
+                    let got = &mut got;
+                    let mut handler = move |_: &mut Abm<'_>, _: u32, _: u16, payload: Bytes| {
+                        *got += crate::wire::from_bytes::<u64>(payload);
+                    };
+                    // First poll dispatches the batch; the second must see
+                    // the replay and suppress it.
+                    while abm.poll_once(&mut handler) == 0 {
+                        std::hint::spin_loop();
+                    }
+                    assert_eq!(abm.poll_once(&mut handler), 0);
+                }
+                assert_eq!(abm.stats().dup_batches, 1);
+                assert_eq!(abm.stats().delivered, 1);
+                got
+            }
+        });
+        assert_eq!(out.results[1], 777);
+    }
+
+    /// A corrupt batch reaching the ABM layer is a reliability failure,
+    /// not a wire fault: it must panic loudly instead of mis-dispatching.
+    #[test]
+    fn corrupt_batch_panics_past_the_transport() {
+        let result = std::panic::catch_unwind(|| {
+            World::run(2, |c| {
+                if c.rank() == 0 {
+                    let mut batch = BytesMut::new();
+                    batch.put_u64_le(0); // seq
+                    batch.put_u64_le(0); // ack
+                    batch.put_u32_le(0xBAD_F00D); // wrong CRC for the body
+                    batch.put_u16_le(1);
+                    batch.put_u32_le(0);
+                    c.send_bytes(1, ABM_TAG, batch.freeze());
+                } else {
+                    let mut abm = Abm::new(c, 64);
+                    let mut handler = |_: &mut Abm<'_>, _: u32, _: u16, _: Bytes| {};
+                    while abm.poll_once(&mut handler) == 0 {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        });
+        assert!(result.is_err(), "corrupt batch must panic");
+    }
+
+    /// Acks piggyback on reply batches: after a request/reply exchange the
+    /// requester knows the responder consumed its batch.
+    #[test]
+    fn acks_piggyback_on_replies() {
+        let out = World::run(2, |c| {
+            let rank = c.rank();
+            let mut abm = Abm::new(c, 64);
+            if rank == 0 {
+                abm.post(1, 1, &5u64);
+            }
+            abm.complete(|ep, src, kind, _| {
+                if kind == 1 {
+                    ep.post(src, 2, &1u64);
+                }
+            });
+            abm.acked_by(1 - rank)
+        });
+        // Rank 1's reply batch carried ack=1 for rank 0's request batch.
+        assert_eq!(out.results[0], 1);
     }
 
     #[test]

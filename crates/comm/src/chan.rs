@@ -72,6 +72,26 @@ impl Mailbox {
     pub(crate) fn drain_all(&self) -> Vec<Envelope> {
         self.q.lock().expect("mailbox lock").drain(..).collect()
     }
+
+    /// Remove and return every queued envelope carrying `tag`, preserving
+    /// arrival order among them and leaving all other traffic queued in
+    /// order. The reliable transport's frame-intake path: raw frames are
+    /// pulled out wholesale, verified, resequenced, and re-enqueued as
+    /// ordinary logical envelopes.
+    pub(crate) fn drain_tag(&self, tag: u32) -> Vec<Envelope> {
+        let mut q = self.q.lock().expect("mailbox lock");
+        let mut out = Vec::new();
+        let mut keep = VecDeque::with_capacity(q.len());
+        for e in q.drain(..) {
+            if e.tag == tag {
+                out.push(e);
+            } else {
+                keep.push_back(e);
+            }
+        }
+        *q = keep;
+        out
+    }
 }
 
 #[cfg(test)]

@@ -14,12 +14,12 @@ use crate::runtime::Comm;
 use crate::wire::Wire;
 
 const COLL_BASE: u32 = 0x8000_0000;
-const TAG_BARRIER: u32 = COLL_BASE;
-const TAG_BCAST: u32 = COLL_BASE + 0x100;
-const TAG_REDUCE: u32 = COLL_BASE + 0x200;
-const TAG_GATHER: u32 = COLL_BASE + 0x300;
-const TAG_ALLGATHER_RING: u32 = COLL_BASE + 0x400;
-const TAG_ALLTOALL: u32 = COLL_BASE + 0x500;
+pub(crate) const TAG_BARRIER: u32 = COLL_BASE;
+pub(crate) const TAG_BCAST: u32 = COLL_BASE + 0x100;
+pub(crate) const TAG_REDUCE: u32 = COLL_BASE + 0x200;
+pub(crate) const TAG_GATHER: u32 = COLL_BASE + 0x300;
+pub(crate) const TAG_ALLGATHER_RING: u32 = COLL_BASE + 0x400;
+pub(crate) const TAG_ALLTOALL: u32 = COLL_BASE + 0x500;
 
 impl Comm {
     /// Dissemination barrier: `ceil(log2 np)` rounds, each rank sends one

@@ -1,0 +1,350 @@
+//! Deterministic fault injection for the simulated transport.
+//!
+//! The paper's machines were not polite: Loki and Hyglac ran MPI over
+//! fast ethernet that drops, delays and reorders packets, and a multi-hour
+//! ASCI Red run sees transient node stalls. A [`FaultPlan`] reproduces that
+//! hostility *deterministically*: every fault decision is a pure function
+//! of the plan's seed and the message's flow identity `(src, dst, seq,
+//! attempt)`, never of wall-clock or arrival interleaving — so a failing
+//! fault run replays exactly from its seed, the same way a
+//! [`crate::sched::FuzzScheduler`] schedule replays.
+//!
+//! The plan decides; the reliable transport in [`crate::reliable`] recovers.
+//! `hot-analyze faults` crosses fault seeds with fuzzed schedules and
+//! asserts results stay bitwise identical to a fault-free run.
+
+use std::sync::Mutex;
+
+/// Per-run fault-injection rates and bounds. All probabilities are in
+/// `[0, 1]` and evaluated independently per frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed every fault decision derives from.
+    pub seed: u64,
+    /// Probability a frame is dropped on the wire.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame is held back (reordering past later traffic).
+    pub delay: f64,
+    /// Maximum hold-back in subsequent-delivery slots (bounded delay; the
+    /// transport may force-release a held frame once a receiver needs it).
+    pub max_delay_slots: u32,
+    /// Probability exactly one bit of the frame is flipped in flight.
+    pub corrupt: f64,
+    /// Probability a rank stalls transiently at a channel operation.
+    pub stall: f64,
+    /// A frame is injected with faults at most this many times; the
+    /// retransmission after that is delivered clean. Bounds recovery work
+    /// so every run terminates (a real network's loss bursts are finite
+    /// too).
+    pub max_faults_per_frame: u32,
+}
+
+impl FaultConfig {
+    /// A fault-free plan (all rates zero) under `seed`. Useful for
+    /// measuring the overhead of the reliability machinery itself.
+    #[must_use]
+    pub fn clean(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay_slots: 0,
+            corrupt: 0.0,
+            stall: 0.0,
+            max_faults_per_frame: 3,
+        }
+    }
+
+    /// The hostile defaults `hot-analyze faults` runs under: every fault
+    /// class at ≥ 10%, bounded delay of 4 slots.
+    #[must_use]
+    pub fn hostile(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            drop: 0.15,
+            duplicate: 0.15,
+            delay: 0.15,
+            max_delay_slots: 4,
+            corrupt: 0.10,
+            stall: 0.10,
+            max_faults_per_frame: 3,
+        }
+    }
+}
+
+/// What the plan decided for one `(src, dst, seq, attempt)` frame
+/// transmission. At most one wire fault applies per attempt — like a real
+/// network, a packet is lost *or* corrupted *or* delayed, and duplication
+/// rides alongside whichever copy survives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct FaultDecision {
+    /// Do not deliver this attempt at all.
+    pub drop: bool,
+    /// Deliver a second copy of this attempt.
+    pub duplicate: bool,
+    /// Flip this bit index (modulo frame length) in the delivered copy.
+    pub corrupt_bit: Option<u64>,
+    /// Hold the frame for this many delivery slots before releasing it.
+    pub delay_slots: u32,
+}
+
+impl FaultDecision {
+    /// True when any wire fault applies.
+    #[must_use]
+    pub fn is_faulty(&self) -> bool {
+        self.drop || self.duplicate || self.corrupt_bit.is_some() || self.delay_slots > 0
+    }
+}
+
+/// A targeted, test-oriented injection: fault exactly one identified frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Targeted {
+    src: u32,
+    dst: u32,
+    seq: u64,
+    decision: FaultDecision,
+}
+
+/// Counts of faults the plan actually injected (not merely configured).
+/// Used by checkers to reject vacuous passes: a fault run that injected
+/// nothing proves nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Frames dropped.
+    pub drops: u64,
+    /// Extra copies delivered.
+    pub duplicates: u64,
+    /// Frames with a bit flipped.
+    pub corruptions: u64,
+    /// Frames held back.
+    pub delays: u64,
+    /// Rank stalls injected.
+    pub stalls: u64,
+}
+
+impl InjectedFaults {
+    /// Total injected fault events.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.drops + self.duplicates + self.corruptions + self.delays + self.stalls
+    }
+}
+
+/// A seeded, replayable fault plan: the adversary the reliable transport
+/// must beat. Construct one per run and hand it to
+/// [`crate::runtime::RunConfig`].
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    targeted: Vec<Targeted>,
+    injected: Mutex<InjectedFaults>,
+}
+
+/// splitmix64: the same generator the fuzz scheduler uses, so a fault
+/// decision is a pure function of `seed ^ identity`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a draw to `[0, 1)`.
+fn unit(draw: u64) -> f64 {
+    (draw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// Plan over `config`.
+    #[must_use]
+    pub fn new(config: FaultConfig) -> FaultPlan {
+        FaultPlan { config, targeted: Vec::new(), injected: Mutex::new(InjectedFaults::default()) }
+    }
+
+    /// The configuration this plan draws from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Test hook: additionally apply `decision` to the single frame
+    /// identified by `(src, dst, seq)` on its first attempt. Targeted
+    /// injections stack on top of (and override) the seeded decision.
+    #[must_use]
+    pub fn with_targeted(mut self, src: u32, dst: u32, seq: u64, decision: FaultDecision) -> Self {
+        self.targeted.push(Targeted { src, dst, seq, decision });
+        self
+    }
+
+    /// Faults injected so far (monotone over a run).
+    #[must_use]
+    pub fn injected(&self) -> InjectedFaults {
+        *self.injected.lock().expect("fault ledger lock")
+    }
+
+    fn draw(&self, what: u64, src: u32, dst: u32, seq: u64, attempt: u32) -> u64 {
+        let id = splitmix64(self.config.seed ^ what.rotate_left(48))
+            ^ splitmix64(u64::from(src) << 32 | u64::from(dst))
+            ^ splitmix64(seq.wrapping_mul(0x9E37_79B9))
+            ^ u64::from(attempt);
+        splitmix64(id)
+    }
+
+    /// Decide the fate of transmission `attempt` of frame `(src, dst,
+    /// seq)`. Deterministic: same plan, same identity → same decision.
+    /// Attempts at or beyond `max_faults_per_frame` are always clean, so
+    /// retransmission converges.
+    pub fn decide(&self, src: u32, dst: u32, seq: u64, attempt: u32) -> FaultDecision {
+        let mut d = FaultDecision::default();
+        if attempt < self.config.max_faults_per_frame {
+            // One wire fault class per attempt: drop, else corrupt, else
+            // delay. Duplication is decided independently.
+            if unit(self.draw(1, src, dst, seq, attempt)) < self.config.drop {
+                d.drop = true;
+            } else if unit(self.draw(2, src, dst, seq, attempt)) < self.config.corrupt {
+                d.corrupt_bit = Some(self.draw(3, src, dst, seq, attempt));
+            } else if unit(self.draw(4, src, dst, seq, attempt)) < self.config.delay {
+                let span = u64::from(self.config.max_delay_slots.max(1));
+                d.delay_slots = 1 + (self.draw(5, src, dst, seq, attempt) % span) as u32;
+            }
+            if unit(self.draw(6, src, dst, seq, attempt)) < self.config.duplicate {
+                d.duplicate = true;
+            }
+        }
+        if attempt == 0 {
+            for t in &self.targeted {
+                if t.src == src && t.dst == dst && t.seq == seq {
+                    d = t.decision;
+                }
+            }
+        }
+        let mut inj = self.injected.lock().expect("fault ledger lock");
+        if d.drop {
+            inj.drops += 1;
+        }
+        if d.duplicate {
+            inj.duplicates += 1;
+        }
+        if d.corrupt_bit.is_some() {
+            inj.corruptions += 1;
+        }
+        if d.delay_slots > 0 {
+            inj.delays += 1;
+        }
+        d
+    }
+
+    /// Decide whether rank `rank` stalls at its `op_index`-th channel
+    /// operation. A stall is a scheduling perturbation (extra yield
+    /// points), not a wire fault.
+    pub fn decide_stall(&self, rank: u32, op_index: u64) -> bool {
+        let s = unit(self.draw(7, rank, rank, op_index, 0)) < self.config.stall;
+        if s {
+            self.injected.lock().expect("fault ledger lock").stalls += 1;
+        }
+        s
+    }
+
+    /// Flip the decided bit in `data` (bit index taken modulo the frame
+    /// length, so every byte — header, payload and CRC — is reachable).
+    #[must_use]
+    pub fn corrupt(data: &[u8], bit: u64) -> Vec<u8> {
+        let mut out = data.to_vec();
+        if !out.is_empty() {
+            let nbits = out.len() as u64 * 8;
+            let b = bit % nbits;
+            out[(b / 8) as usize] ^= 1 << (b % 8);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::new(FaultConfig::hostile(7));
+        let b = FaultPlan::new(FaultConfig::hostile(7));
+        for seq in 0..200 {
+            assert_eq!(a.decide(0, 1, seq, 0), b.decide(0, 1, seq, 0));
+        }
+        assert_eq!(a.injected(), b.injected());
+    }
+
+    #[test]
+    fn seeds_change_decisions() {
+        let a = FaultPlan::new(FaultConfig::hostile(1));
+        let b = FaultPlan::new(FaultConfig::hostile(2));
+        let mut differ = false;
+        for seq in 0..200 {
+            if a.decide(0, 1, seq, 0) != b.decide(0, 1, seq, 0) {
+                differ = true;
+            }
+        }
+        assert!(differ, "200 frames decided identically under different seeds");
+    }
+
+    #[test]
+    fn rates_are_roughly_honest() {
+        let plan = FaultPlan::new(FaultConfig::hostile(42));
+        let n = 4000u64;
+        for seq in 0..n {
+            let _ = plan.decide(0, 1, seq, 0);
+        }
+        let inj = plan.injected();
+        // 15% drop over 4000 frames: expect ~600, allow wide slack.
+        assert!(inj.drops > 300 && inj.drops < 1000, "drops {}", inj.drops);
+        assert!(inj.duplicates > 300 && inj.duplicates < 1000, "dups {}", inj.duplicates);
+        assert!(inj.corruptions > 150 && inj.corruptions < 800, "corr {}", inj.corruptions);
+        assert!(inj.delays > 150 && inj.delays < 800, "delays {}", inj.delays);
+    }
+
+    #[test]
+    fn clean_config_injects_nothing() {
+        let plan = FaultPlan::new(FaultConfig::clean(9));
+        for seq in 0..500 {
+            assert_eq!(plan.decide(0, 1, seq, 0), FaultDecision::default());
+            assert!(!plan.decide_stall(0, seq));
+        }
+        assert_eq!(plan.injected().total(), 0);
+    }
+
+    #[test]
+    fn attempts_beyond_cap_are_clean() {
+        let cfg = FaultConfig { drop: 1.0, ..FaultConfig::hostile(3) };
+        let plan = FaultPlan::new(cfg);
+        assert!(plan.decide(0, 1, 0, 0).drop);
+        assert!(plan.decide(0, 1, 0, 1).drop);
+        assert!(plan.decide(0, 1, 0, 2).drop);
+        assert_eq!(plan.decide(0, 1, 0, 3), FaultDecision::default());
+    }
+
+    #[test]
+    fn targeted_overrides_seeded_decision() {
+        let plan = FaultPlan::new(FaultConfig::clean(0)).with_targeted(
+            2,
+            5,
+            11,
+            FaultDecision { corrupt_bit: Some(77), ..FaultDecision::default() },
+        );
+        assert_eq!(plan.decide(2, 5, 11, 0).corrupt_bit, Some(77));
+        assert_eq!(plan.decide(2, 5, 12, 0), FaultDecision::default());
+        // Retransmission (attempt 1) of the targeted frame is clean.
+        assert_eq!(plan.decide(2, 5, 11, 1), FaultDecision::default());
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let data = vec![0u8; 16];
+        for bit in [0u64, 7, 8, 127, 128, 1000] {
+            let bad = FaultPlan::corrupt(&data, bit);
+            let flipped: u32 = bad.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(flipped, 1, "bit {bit}");
+        }
+    }
+}

@@ -31,17 +31,21 @@
 pub mod abm;
 mod chan;
 pub mod collectives;
+pub mod fault;
 pub mod netmodel;
 #[cfg(test)]
 mod proptests;
+pub mod reliable;
 pub mod runtime;
 pub mod sched;
 pub mod wire;
 
 pub use abm::{Abm, AbmStats};
+pub use fault::{FaultConfig, FaultDecision, FaultPlan, InjectedFaults};
 pub use netmodel::NetworkModel;
+pub use reliable::{ReliabilityStats, ReliableComm};
 pub use runtime::{
-    Comm, Envelope, RunOutput, TrafficStats, Undrained, World, MAX_USER_TAG, POISON_TAG,
+    Comm, Envelope, RunConfig, RunOutput, TrafficStats, Undrained, World, MAX_USER_TAG, POISON_TAG,
 };
 pub use sched::{Deadlock, FuzzScheduler, RealScheduler, SchedOp, Scheduler, Want};
-pub use wire::{from_bytes, to_bytes, Wire};
+pub use wire::{crc32, frame_message, from_bytes, to_bytes, unframe_message, Frame, FrameError, Wire};

@@ -17,9 +17,12 @@
 //! and audit teardown for undrained messages.
 
 use crate::chan::{Mailbox, Scan};
+use crate::fault::{FaultPlan, InjectedFaults};
+use crate::reliable::{ReliabilityStats, Transport, FRAME_TAG};
 use crate::sched::{RealScheduler, SchedOp, Scheduler, Want};
 use crate::wire::{from_bytes, to_bytes, Wire};
 use bytes::Bytes;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 // Wall-clock here times the host machine's run for Gflop/s reporting; the
 // simulation itself never reads it (enforced by `hot-analyze lint`).
@@ -94,6 +97,9 @@ struct Machine {
     np: u32,
     mailboxes: Vec<Mailbox>,
     sched: Arc<dyn Scheduler>,
+    /// Reliable transport over a faulty wire; present iff the run installed
+    /// a [`FaultPlan`].
+    transport: Option<Transport>,
 }
 
 /// A rank's handle onto the simulated machine.
@@ -104,6 +110,8 @@ pub struct Comm {
     rank: u32,
     machine: Arc<Machine>,
     stats: TrafficStats,
+    /// Channel operations performed, indexing the fault plan's stall draws.
+    ops: u64,
 }
 
 impl Comm {
@@ -121,21 +129,67 @@ impl Comm {
         self.machine.np
     }
 
-    /// Communication counters so far.
+    /// Communication counters so far. These are *logical* counters — under
+    /// a fault plan, retransmissions, duplicates, acks and frame overhead
+    /// are excluded, so the numbers are bitwise-identical to a fault-free
+    /// run (see [`Comm::reliability_stats`] for the recovery traffic).
     #[must_use]
     pub fn stats(&self) -> TrafficStats {
         self.stats
+    }
+
+    /// Reliability counters attributed to this rank; all zero when the run
+    /// has no fault plan.
+    #[must_use]
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        self.machine.transport.as_ref().map(|t| t.stats(self.rank)).unwrap_or_default()
+    }
+
+    /// Drive reliable-transport progress for this rank: verify and
+    /// resequence framed intake, deliver in-order messages, and recover
+    /// losses. No-op when the run has no fault plan.
+    pub fn pump_transport(&mut self) {
+        if let Some(t) = &self.machine.transport {
+            t.pump(self.rank, &self.machine.mailboxes[self.rank as usize]);
+        }
+    }
+
+    /// Fault-plan hook: possibly stall this rank at a channel operation by
+    /// spending extra schedule yields (a transient node hiccup — the rank
+    /// loses its turn a few times but performs no I/O).
+    fn maybe_stall(&mut self, op: SchedOp) {
+        if let Some(t) = &self.machine.transport {
+            let idx = self.ops;
+            self.ops += 1;
+            if t.plan.decide_stall(self.rank, idx) {
+                t.note_stall(self.rank);
+                for _ in 0..2 {
+                    self.machine.sched.yield_point(self.rank, op);
+                }
+            }
+        }
     }
 
     /// Send encoded bytes to `dst` with `tag`. Asynchronous: never blocks
     /// (infinite buffering, like an eager-protocol MPI send of modest size).
     pub fn send_bytes(&mut self, dst: u32, tag: u32, data: Bytes) {
         assert!(dst < self.machine.np, "send to rank {dst} of {}", self.machine.np);
-        self.machine.sched.yield_point(self.rank, SchedOp::Send { dst, tag });
+        let op = SchedOp::Send { dst, tag };
+        self.machine.sched.yield_point(self.rank, op);
+        self.maybe_stall(op);
         self.stats.sends += 1;
         self.stats.bytes_sent += data.len() as u64;
         self.stats.max_message = self.stats.max_message.max(data.len() as u64);
-        self.machine.mailboxes[dst as usize].push(Envelope { src: self.rank, tag, data });
+        match &self.machine.transport {
+            // Poison is a teardown signal, not a message: it bypasses
+            // framing and faults so a dying machine always unblocks.
+            Some(t) if tag != POISON_TAG => {
+                t.on_send(self.rank, dst, tag, &data, &self.machine.mailboxes[dst as usize]);
+            }
+            _ => {
+                self.machine.mailboxes[dst as usize].push(Envelope { src: self.rank, tag, data });
+            }
+        }
         self.machine.sched.notify(dst);
     }
 
@@ -164,9 +218,16 @@ impl Comm {
     /// proves the machine deadlocked (checker runs only — the production
     /// scheduler blocks forever like a real MPI).
     pub fn recv_bytes(&mut self, src: Option<u32>, tag: u32) -> (u32, Bytes) {
-        self.machine.sched.yield_point(self.rank, SchedOp::Recv { src, tag });
+        let op = SchedOp::Recv { src, tag };
+        self.machine.sched.yield_point(self.rank, op);
+        self.maybe_stall(op);
+        let rank = self.rank;
+        let transport = self.machine.transport.as_ref();
         let mbox = &self.machine.mailboxes[self.rank as usize];
         loop {
+            if let Some(t) = transport {
+                t.pump(rank, mbox);
+            }
             match mbox.take_match(src, tag) {
                 Scan::Matched(e) => {
                     self.stats.recvs += 1;
@@ -181,6 +242,12 @@ impl Comm {
             let want = Want { src, tag, queued: mbox.queued_tags() };
             if let Err(deadlock) =
                 self.machine.sched.wait_message(self.rank, &want, &mut || {
+                    // While blocked, every wake drives transport progress:
+                    // a dropped frame's notify lands here and recovery
+                    // retransmits it, so loss never wedges a receiver.
+                    if let Some(t) = transport {
+                        t.pump(rank, mbox);
+                    }
                     mbox.has_match_or_poison(src, tag)
                 })
             {
@@ -208,7 +275,10 @@ impl Comm {
     ///
     /// Panics when a peer rank died and no matching message remains.
     pub fn try_recv_bytes(&mut self, src: Option<u32>, tag: u32) -> Option<(u32, Bytes)> {
-        self.machine.sched.yield_point(self.rank, SchedOp::TryRecv { tag });
+        let op = SchedOp::TryRecv { tag };
+        self.machine.sched.yield_point(self.rank, op);
+        self.maybe_stall(op);
+        self.pump_transport();
         match self.machine.mailboxes[self.rank as usize].take_match(src, tag) {
             Scan::Matched(e) => {
                 self.stats.recvs += 1;
@@ -268,15 +338,67 @@ impl Drop for Comm {
 }
 
 /// A message still queued at a rank's mailbox after its SPMD body returned
-/// — evidence of a communication-matching bug (or expected poison).
+/// — evidence of a communication-matching bug (or expected poison). On a
+/// fault-plan run this also covers *silent loss*: frames a sender still
+/// holds unacked because they were dropped on the wire and no receive ever
+/// recovered them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Undrained {
-    /// Rank whose mailbox held the message.
+    /// Rank whose mailbox held (or should have held) the message.
     pub at: u32,
     /// Sending rank.
     pub src: u32,
     /// Message tag.
     pub tag: u32,
+    /// Human-readable class of `tag` — `"user"`, `"coll:barrier"`,
+    /// `"abm"`, … — so fault-run failures are diagnosable without a tag
+    /// table at hand.
+    pub tag_name: &'static str,
+    /// Transport flow sequence number; `None` on runs without a fault plan.
+    pub seq: Option<u64>,
+}
+
+impl Undrained {
+    /// Build a report entry, classifying the tag.
+    #[must_use]
+    pub fn new(at: u32, src: u32, tag: u32, seq: Option<u64>) -> Undrained {
+        Undrained { at, src, tag, tag_name: tag_class_name(tag), seq }
+    }
+}
+
+impl fmt::Display for Undrained {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {}: undrained {} message from rank {} (tag {:#x}",
+            self.at, self.tag_name, self.src, self.tag
+        )?;
+        if let Some(seq) = self.seq {
+            write!(f, ", flow seq {seq}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Classify a tag for diagnostics: which subsystem's traffic was it?
+#[must_use]
+pub fn tag_class_name(tag: u32) -> &'static str {
+    use crate::collectives::{
+        TAG_ALLGATHER_RING, TAG_ALLTOALL, TAG_BARRIER, TAG_BCAST, TAG_GATHER, TAG_REDUCE,
+    };
+    match tag {
+        POISON_TAG => "poison",
+        FRAME_TAG => "frame",
+        crate::abm::ABM_TAG => "abm",
+        TAG_BARRIER => "coll:barrier",
+        TAG_BCAST => "coll:bcast",
+        TAG_REDUCE => "coll:reduce",
+        TAG_GATHER => "coll:gather",
+        TAG_ALLGATHER_RING => "coll:allgather",
+        TAG_ALLTOALL => "coll:alltoall",
+        t if t <= MAX_USER_TAG => "user",
+        _ => "internal",
+    }
 }
 
 /// Result of running an SPMD program on the simulated machine.
@@ -290,8 +412,19 @@ pub struct RunOutput<T> {
     pub elapsed: Duration,
     /// Messages never received by the time their destination rank returned,
     /// poison excluded. Always worth asserting empty in tests: a non-empty
-    /// list means a send had no matching recv.
+    /// list means a send had no matching recv. On fault-plan runs this is
+    /// normalized per logical message (sorted, transport duplicates
+    /// excluded, lost-but-unrecovered frames included), so it compares
+    /// bitwise across schedules.
     pub undrained: Vec<Undrained>,
+    /// Per-rank reliability counters, indexed by rank; all zero without a
+    /// fault plan. Deliberately *not* part of the deterministic trace
+    /// contract — recovery work depends on fault seed and schedule.
+    pub reliability: Vec<ReliabilityStats>,
+    /// Faults the plan actually injected over the run; all zero without a
+    /// fault plan. Checkers assert this is non-zero to reject vacuous
+    /// "survived faults" passes.
+    pub injected: InjectedFaults,
 }
 
 impl<T> RunOutput<T> {
@@ -304,6 +437,18 @@ impl<T> RunOutput<T> {
         }
         t
     }
+}
+
+/// Per-run machine configuration: scheduling policy and fault injection.
+#[derive(Default)]
+pub struct RunConfig {
+    /// Scheduling policy; `None` uses the production [`RealScheduler`].
+    pub scheduler: Option<Arc<dyn Scheduler>>,
+    /// Fault plan; when set, every non-poison message travels CRC-framed
+    /// through the plan's seeded adversary and the reliable transport
+    /// ([`crate::reliable`]) recovers drops, duplicates, reordering,
+    /// delays, and bit-flips transparently.
+    pub faults: Option<FaultPlan>,
 }
 
 /// The simulated machine: spawns `np` ranks and runs `f` on each.
@@ -320,7 +465,7 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        Self::run_with_scheduler(np, Arc::new(RealScheduler::new(np)), f)
+        Self::run_config(np, RunConfig::default(), f)
     }
 
     /// [`World::run`] under an explicit scheduling policy — the entry point
@@ -330,11 +475,25 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
+        Self::run_config(np, RunConfig { scheduler: Some(sched), faults: None }, f)
+    }
+
+    /// [`World::run`] under full configuration — scheduling policy and/or
+    /// a fault plan. The `hot-analyze faults` checker crosses both.
+    pub fn run_config<T, F>(np: u32, cfg: RunConfig, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
         assert!(np >= 1, "need at least one rank");
+        let sched = cfg
+            .scheduler
+            .unwrap_or_else(|| Arc::new(RealScheduler::new(np)) as Arc<dyn Scheduler>);
         let machine = Arc::new(Machine {
             np,
             mailboxes: (0..np).map(|_| Mailbox::default()).collect(),
             sched,
+            transport: cfg.faults.map(|plan| Transport::new(np, plan)),
         });
         let results: Vec<Mutex<Option<(T, TrafficStats)>>> =
             (0..np).map(|_| Mutex::new(None)).collect();
@@ -353,8 +512,12 @@ impl World {
                     .stack_size(16 << 20)
                     .spawn_scoped(scope, move || {
                         machine.sched.rank_started(rank);
-                        let mut comm =
-                            Comm { rank, machine: machine.clone(), stats: TrafficStats::default() };
+                        let mut comm = Comm {
+                            rank,
+                            machine: machine.clone(),
+                            stats: TrafficStats::default(),
+                            ops: 0,
+                        };
                         let out = f(&mut comm);
                         let stats = comm.stats();
                         // `comm` drops here, releasing the schedule slot.
@@ -376,14 +539,30 @@ impl World {
         });
         let elapsed = t0.elapsed();
 
-        let mut undrained = Vec::new();
+        // Teardown audit. Without a transport this is a straight mailbox
+        // sweep; with one, leftover raw frames are unframed and cross-
+        // checked against the flow tables so lost-on-the-wire messages are
+        // reported too instead of vanishing silently.
+        let mut leftover = Vec::new();
         for (at, mbox) in machine.mailboxes.iter().enumerate() {
             for env in mbox.drain_all() {
-                if env.tag != POISON_TAG {
-                    undrained.push(Undrained { at: at as u32, src: env.src, tag: env.tag });
-                }
+                leftover.push((at as u32, env));
             }
         }
+        let undrained = match &machine.transport {
+            Some(t) => t.teardown_undrained(&leftover),
+            None => leftover
+                .iter()
+                .filter(|(_, env)| env.tag != POISON_TAG)
+                .map(|(at, env)| Undrained::new(*at, env.src, env.tag, None))
+                .collect(),
+        };
+        let reliability = match &machine.transport {
+            Some(t) => (0..np).map(|r| t.stats(r)).collect(),
+            None => vec![ReliabilityStats::default(); np as usize],
+        };
+        let injected =
+            machine.transport.as_ref().map(|t| t.plan.injected()).unwrap_or_default();
 
         let mut out_results = Vec::with_capacity(np as usize);
         let mut out_stats = Vec::with_capacity(np as usize);
@@ -395,7 +574,14 @@ impl World {
             out_results.push(r);
             out_stats.push(s);
         }
-        RunOutput { results: out_results, stats: out_stats, elapsed, undrained }
+        RunOutput {
+            results: out_results,
+            stats: out_stats,
+            elapsed,
+            undrained,
+            reliability,
+            injected,
+        }
     }
 }
 
@@ -566,7 +752,11 @@ mod tests {
                 c.send(1, 9, &3u32); // never received
             }
         });
-        assert_eq!(out.undrained, vec![Undrained { at: 1, src: 0, tag: 9 }]);
+        assert_eq!(out.undrained, vec![Undrained::new(1, 0, 9, None)]);
+        assert_eq!(out.undrained[0].tag_name, "user");
+        let shown = out.undrained[0].to_string();
+        assert!(shown.contains("user"), "{shown}");
+        assert!(shown.contains("0x9"), "{shown}");
     }
 
     #[test]

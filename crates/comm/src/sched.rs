@@ -100,9 +100,11 @@ impl fmt::Display for Deadlock {
 
 /// Hook interface between [`crate::runtime::Comm`] and a scheduling policy.
 ///
-/// `check` closures passed to [`Scheduler::wait_message`] are pure
-/// observations of the caller's mailbox (match-or-poison present); the
-/// scheduler never consumes messages itself.
+/// `check` closures passed to [`Scheduler::wait_message`] observe the
+/// caller's mailbox (match-or-poison present) and may first drive the
+/// caller's *own* reliable-transport progress (frame intake and loss
+/// recovery — see `crate::reliable`); they never call back into the
+/// scheduler, and the scheduler never consumes messages itself.
 pub trait Scheduler: Send + Sync {
     /// A rank's thread has started executing its SPMD body.
     fn rank_started(&self, rank: u32);

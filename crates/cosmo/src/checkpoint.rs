@@ -1,0 +1,348 @@
+//! Checkpoint/restart for [`CosmoSim`]: schema-versioned, checksummed,
+//! bitwise-exact.
+//!
+//! The paper reports *"no crashes, no restarts"* for the Loki runs as a
+//! point of pride precisely because restarts were routine on machines of
+//! that era — production treecodes checkpointed at step boundaries and
+//! resumed after node failures. This module is that restart path, with one
+//! requirement the original codes shared: a resumed run must be
+//! **bitwise identical** to an uninterrupted one.
+//!
+//! That rules out the particle [`snapshot`](crate::snapshot) format as a
+//! carrier: snapshots store coordinate velocities `u = w/a²`, and the
+//! `w → u → w` round trip through two multiplications is not exact in
+//! IEEE-754. A checkpoint instead stores the raw canonical momenta `w`
+//! together with everything else a resume needs — scale factor, step
+//! count, sphere center, and the full treecode configuration — so
+//! [`load`] reconstructs the simulation without any re-supplied arguments.
+//!
+//! ## Format (version 2)
+//!
+//! Little-endian throughout, `u64` sizes (the same >2³¹-byte discipline as
+//! the snapshot writer):
+//!
+//! ```text
+//! magic   u64   "HOT97CKP"
+//! version u64   2
+//! len     u64   body length in bytes
+//! crc     u32   CRC-32 (IEEE) of the body
+//! body:
+//!   steps u64, a f64, center 3×f64,
+//!   mac_kind u8 (0 = BarnesHut, 1 = SalmonWarren), mac_param f64,
+//!   bucket u64, eps2 f64, quadrupole u8,
+//!   n u64, pos 3n×f64, mom 3n×f64, mass n×f64
+//! ```
+//!
+//! Version 1 was the snapshot-backed checkpoint (velocities, no opts); it
+//! is not readable here — the magic differs, so a v1 file fails fast with
+//! a clear error rather than resuming with silently perturbed momenta.
+
+use crate::sim::CosmoSim;
+use hot_base::Vec3;
+use hot_comm::crc32;
+use hot_core::Mac;
+use hot_gravity::treecode::TreecodeOptions;
+use std::io::{Error, ErrorKind, Read, Result, Write};
+use std::path::Path;
+
+const MAGIC: u64 = 0x484F_5439_3743_4B50; // "HOT97CKP"
+
+/// Checkpoint schema version. Version 1 was the lossy snapshot-backed
+/// checkpoint; version 2 stores raw momenta and the full configuration.
+pub const CHECKPOINT_VERSION: u64 = 2;
+
+fn bad(msg: String) -> Error {
+    Error::new(ErrorKind::InvalidData, msg)
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vec3(out: &mut Vec<u8>, v: Vec3) {
+    put_f64(out, v.x);
+    put_f64(out, v.y);
+    put_f64(out, v.z);
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.data.len() - self.at < n {
+            return Err(bad(format!(
+                "truncated checkpoint body: need {n} bytes at offset {}",
+                self.at
+            )));
+        }
+        let s = &self.data[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    fn vec3(&mut self) -> Result<Vec3> {
+        Ok(Vec3::new(self.f64()?, self.f64()?, self.f64()?))
+    }
+}
+
+/// Serialize the full resume state of `sim` into a version-2 body.
+fn encode_body(sim: &CosmoSim) -> Vec<u8> {
+    let n = sim.pos.len();
+    let mut body = Vec::with_capacity(8 + 8 + 24 + 1 + 8 + 8 + 8 + 1 + 8 + n * 56);
+    put_u64(&mut body, sim.steps);
+    put_f64(&mut body, sim.a);
+    put_vec3(&mut body, sim.center);
+    let (kind, param) = match sim.opts.mac {
+        Mac::BarnesHut { theta } => (0u8, theta),
+        Mac::SalmonWarren { delta } => (1u8, delta),
+    };
+    body.push(kind);
+    put_f64(&mut body, param);
+    put_u64(&mut body, sim.opts.bucket as u64);
+    put_f64(&mut body, sim.opts.eps2);
+    body.push(u8::from(sim.opts.quadrupole));
+    put_u64(&mut body, n as u64);
+    for &p in &sim.pos {
+        put_vec3(&mut body, p);
+    }
+    for &w in &sim.mom {
+        put_vec3(&mut body, w);
+    }
+    for &m in &sim.mass {
+        put_f64(&mut body, m);
+    }
+    body
+}
+
+/// Reconstruct a [`CosmoSim`] from a version-2 body.
+fn decode_body(body: &[u8]) -> Result<CosmoSim> {
+    let mut c = Cursor { data: body, at: 0 };
+    let steps = c.u64()?;
+    let a = c.f64()?;
+    let center = c.vec3()?;
+    let kind = c.u8()?;
+    let param = c.f64()?;
+    let mac = match kind {
+        0 => Mac::BarnesHut { theta: param },
+        1 => Mac::SalmonWarren { delta: param },
+        other => return Err(bad(format!("unknown MAC kind {other}"))),
+    };
+    let bucket = c.u64()? as usize;
+    let eps2 = c.f64()?;
+    let quadrupole = c.u8()? != 0;
+    let opts = TreecodeOptions { mac, bucket, eps2, quadrupole };
+    let n = c.u64()? as usize;
+    let mut pos = Vec::with_capacity(n);
+    for _ in 0..n {
+        pos.push(c.vec3()?);
+    }
+    let mut mom = Vec::with_capacity(n);
+    for _ in 0..n {
+        mom.push(c.vec3()?);
+    }
+    let mut mass = Vec::with_capacity(n);
+    for _ in 0..n {
+        mass.push(c.f64()?);
+    }
+    if c.at != body.len() {
+        return Err(bad(format!(
+            "trailing garbage: {} bytes past the decoded state",
+            body.len() - c.at
+        )));
+    }
+    Ok(CosmoSim { pos, mom, mass, a, center, opts, steps })
+}
+
+/// Write a checkpoint of `sim` to `path`. Returns bytes written.
+///
+/// The body is checksummed (CRC-32) so a torn or bit-rotted file is
+/// rejected at [`load`] instead of resuming a subtly wrong run.
+pub fn save(sim: &CosmoSim, path: &Path) -> Result<u64> {
+    let body = encode_body(sim);
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&CHECKPOINT_VERSION.to_le_bytes())?;
+    w.write_all(&(body.len() as u64).to_le_bytes())?;
+    w.write_all(&crc32(&body).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(28 + body.len() as u64)
+}
+
+/// Read a checkpoint back. Fails with `InvalidData` on a wrong magic,
+/// an unsupported version, a length mismatch, or a CRC mismatch.
+pub fn load(path: &Path) -> Result<CosmoSim> {
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut head = [0u8; 28];
+    r.read_exact(&mut head)?;
+    let magic = u64::from_le_bytes(head[0..8].try_into().expect("8-byte slice"));
+    if magic != MAGIC {
+        return Err(bad(format!("bad checkpoint magic {magic:#x}")));
+    }
+    let version = u64::from_le_bytes(head[8..16].try_into().expect("8-byte slice"));
+    if version != CHECKPOINT_VERSION {
+        return Err(bad(format!(
+            "unsupported checkpoint version {version} (want {CHECKPOINT_VERSION})"
+        )));
+    }
+    let len = u64::from_le_bytes(head[16..24].try_into().expect("8-byte slice")) as usize;
+    let crc = u32::from_le_bytes(head[24..28].try_into().expect("4-byte slice"));
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let mut extra = [0u8; 1];
+    if r.read(&mut extra)? != 0 {
+        return Err(bad("checkpoint file longer than its declared body".into()));
+    }
+    let got = crc32(&body);
+    if got != crc {
+        return Err(bad(format!(
+            "checkpoint CRC mismatch: stored {crc:#010x}, computed {got:#010x}"
+        )));
+    }
+    decode_body(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn sample(n: usize, seed: u64, opts: TreecodeOptions) -> CosmoSim {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut r = move || rng.gen::<f64>() * 2.0 - 1.0;
+        CosmoSim {
+            pos: (0..n).map(|_| Vec3::new(r(), r(), r()) * 10.0).collect(),
+            mom: (0..n).map(|_| Vec3::new(r(), r(), r()) * 0.3).collect(),
+            mass: (0..n).map(|_| 0.5 + (r() + 1.0)).collect(),
+            a: 0.37,
+            center: Vec3::new(1.0, -2.0, 3.0),
+            opts,
+            steps: 17,
+        }
+    }
+
+    fn assert_bitwise_equal(a: &CosmoSim, b: &CosmoSim) {
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.a.to_bits(), b.a.to_bits());
+        assert_eq!(a.center, b.center);
+        assert_eq!(a.opts, b.opts);
+        assert_eq!(a.pos.len(), b.pos.len());
+        for i in 0..a.pos.len() {
+            for (x, y) in [
+                (a.pos[i].x, b.pos[i].x),
+                (a.pos[i].y, b.pos[i].y),
+                (a.pos[i].z, b.pos[i].z),
+                (a.mom[i].x, b.mom[i].x),
+                (a.mom[i].y, b.mom[i].y),
+                (a.mom[i].z, b.mom[i].z),
+                (a.mass[i], b.mass[i]),
+            ] {
+                assert_eq!(x.to_bits(), y.to_bits(), "particle {i} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let dir = std::env::temp_dir().join("hot97_ckpt_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.bin");
+        for (seed, opts) in [
+            (1, TreecodeOptions::default()),
+            (
+                2,
+                TreecodeOptions {
+                    mac: Mac::SalmonWarren { delta: 1e-5 },
+                    bucket: 24,
+                    eps2: 0.0025,
+                    quadrupole: false,
+                },
+            ),
+        ] {
+            let sim = sample(137, seed, opts);
+            let bytes = save(&sim, &path).unwrap();
+            assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+            let back = load(&path).unwrap();
+            assert_bitwise_equal(&sim, &back);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_sim_roundtrips() {
+        let dir = std::env::temp_dir().join("hot97_ckpt_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.bin");
+        let sim = sample(0, 3, TreecodeOptions::default());
+        save(&sim, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_bitwise_equal(&sim, &back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn any_corruption_is_rejected() {
+        let dir = std::env::temp_dir().join("hot97_ckpt_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.bin");
+        let sim = sample(20, 4, TreecodeOptions::default());
+        save(&sim, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit in the magic, the version, the CRC field and a
+        // spread of body positions: every single one must be rejected.
+        let probes = [0usize, 8, 24, 28, 40, 64, clean.len() / 2, clean.len() - 1];
+        for &at in &probes {
+            let mut data = clean.clone();
+            data[at] ^= 0x10;
+            std::fs::write(&path, &data).unwrap();
+            assert!(load(&path).is_err(), "corruption at byte {at} accepted");
+        }
+        // Truncation and extension are also rejected.
+        std::fs::write(&path, &clean[..clean.len() - 1]).unwrap();
+        assert!(load(&path).is_err(), "truncated file accepted");
+        let mut longer = clean.clone();
+        longer.push(0);
+        std::fs::write(&path, &longer).unwrap();
+        assert!(load(&path).is_err(), "over-long file accepted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_1_snapshot_is_not_a_checkpoint() {
+        // A v1 "checkpoint" was a particle snapshot; its magic differs and
+        // it must be rejected loudly, not resumed with rounded momenta.
+        let dir = std::env::temp_dir().join("hot97_ckpt_v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("old");
+        let snap = crate::snapshot::Snapshot {
+            a: 0.5,
+            pos: vec![Vec3::ZERO],
+            vel: vec![Vec3::ZERO],
+            mass: vec![1.0],
+            id: vec![0],
+        };
+        crate::snapshot::write_stripe(&base, 0, &snap).unwrap();
+        let err = load(&base.with_extension("stripe0000")).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

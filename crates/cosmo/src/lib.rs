@@ -16,17 +16,22 @@
 //! * [`image`] — log projected-density imaging (Figures 1 and 2).
 //! * [`snapshot`] — striped binary particle dumps with 64-bit offsets
 //!   (the paper's >2³¹-byte files, written striped over the node disks).
+//! * [`checkpoint`] — schema-versioned, checksummed checkpoint/restart;
+//!   a resumed run is bitwise identical to an uninterrupted one.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod fft;
 pub mod fof;
 pub mod ics;
 pub mod image;
 pub mod power;
+mod proptests;
 pub mod sim;
 pub mod snapshot;
 
+pub use checkpoint::CHECKPOINT_VERSION;
 pub use fft::{Complex, Grid3};
 pub use fof::{friends_of_friends, Halo};
 pub use ics::{gaussian_field, sphere_with_buffer, zeldovich, DensityField, ZeldovichIcs};

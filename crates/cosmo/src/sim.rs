@@ -45,6 +45,7 @@ pub fn zeldovich_velocity_factor(a: f64) -> f64 {
 }
 
 /// A comoving cosmological simulation state.
+#[derive(Clone, Debug)]
 pub struct CosmoSim {
     /// Comoving positions.
     pub pos: Vec<Vec3>,
@@ -157,30 +158,20 @@ impl CosmoSim {
         self.mom.iter().map(|&w| w * inv_a2).collect()
     }
 
-    /// Checkpoint to a (stripe-0) snapshot file. The paper's production
-    /// runs leaned on exactly this ("no crashes, no restarts" was worth
-    /// reporting because restarts were routine elsewhere).
-    pub fn save_checkpoint(&self, base: &std::path::Path) -> std::io::Result<u64> {
-        let snap = crate::snapshot::Snapshot {
-            a: self.a,
-            pos: self.pos.clone(),
-            vel: self.velocities(),
-            mass: self.mass.clone(),
-            id: (0..self.pos.len() as u64).collect(),
-        };
-        crate::snapshot::write_stripe(base, 0, &snap)
+    /// Checkpoint the full resume state to `path` (see
+    /// [`checkpoint`](crate::checkpoint) for the format). The paper's
+    /// production runs leaned on exactly this ("no crashes, no restarts"
+    /// was worth reporting because restarts were routine elsewhere).
+    pub fn save_checkpoint(&self, path: &std::path::Path) -> std::io::Result<u64> {
+        crate::checkpoint::save(self, path)
     }
 
     /// Restore from a checkpoint written by [`CosmoSim::save_checkpoint`].
-    /// `center` and `opts` are not stored in the snapshot and must be
-    /// re-supplied.
-    pub fn load_checkpoint(
-        base: &std::path::Path,
-        center: Vec3,
-        opts: TreecodeOptions,
-    ) -> std::io::Result<Self> {
-        let snap = crate::snapshot::read_stripe(base, 0)?;
-        Ok(CosmoSim::new(snap.pos, snap.vel, snap.mass, snap.a, center, opts))
+    /// Everything — raw momenta, step count, center, treecode options — is
+    /// in the file, so the resumed run is bitwise identical to one that
+    /// never stopped.
+    pub fn load_checkpoint(path: &std::path::Path) -> std::io::Result<Self> {
+        crate::checkpoint::load(path)
     }
 }
 
@@ -346,13 +337,24 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("ckpt");
         b_run.save_checkpoint(&base).unwrap();
-        let mut b2 = CosmoSim::load_checkpoint(&base, center, opts).unwrap();
+        let mut b2 = CosmoSim::load_checkpoint(&base).unwrap();
         for _ in 0..2 {
             b2.step(0.01, &counter);
         }
-        assert!((b2.a - a_run.a).abs() < 1e-12);
+        // Bitwise, not approximately: the checkpoint stores raw momenta
+        // and the full configuration, so the resumed trajectory is the
+        // uninterrupted one down to the last ulp.
+        assert_eq!(b2.a.to_bits(), a_run.a.to_bits());
+        assert_eq!(b2.steps, a_run.steps);
         for (x, y) in a_run.pos.iter().zip(&b2.pos) {
-            assert!((*x - *y).norm() < 1e-9, "positions diverged: {x:?} vs {y:?}");
+            assert_eq!(x.x.to_bits(), y.x.to_bits(), "positions diverged: {x:?} vs {y:?}");
+            assert_eq!(x.y.to_bits(), y.y.to_bits(), "positions diverged: {x:?} vs {y:?}");
+            assert_eq!(x.z.to_bits(), y.z.to_bits(), "positions diverged: {x:?} vs {y:?}");
+        }
+        for (x, y) in a_run.mom.iter().zip(&b2.mom) {
+            assert_eq!(x.x.to_bits(), y.x.to_bits(), "momenta diverged: {x:?} vs {y:?}");
+            assert_eq!(x.y.to_bits(), y.y.to_bits(), "momenta diverged: {x:?} vs {y:?}");
+            assert_eq!(x.z.to_bits(), y.z.to_bits(), "momenta diverged: {x:?} vs {y:?}");
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -11,7 +11,7 @@ use hot_trace::{Ledger, Phase};
 use rayon::prelude::*;
 
 /// Options for a treecode force evaluation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TreecodeOptions {
     /// Acceptance criterion.
     pub mac: Mac,

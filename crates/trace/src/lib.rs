@@ -38,8 +38,10 @@
 
 use hot_comm::{NetworkModel, TrafficStats, Wire};
 
+pub mod faults;
 pub mod report;
 
+pub use faults::{FaultReport, FAULT_SCHEMA};
 pub use report::{reduce, RankStat, RunReport, SCHEMA};
 
 /// The monotonic event counters the ledger understands.

@@ -247,7 +247,7 @@ fn json_stat(s: &RankStat) -> String {
 
 /// Shortest-roundtrip decimal for a finite f64 — Rust's `{:?}` formatting,
 /// which is deterministic across runs and platforms.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     assert!(v.is_finite(), "non-finite value {v} in trace JSON");
     format!("{v:?}")
 }
