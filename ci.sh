@@ -18,6 +18,9 @@ cargo test -q --offline --test trace_golden --test trace_differential
 echo "==> hot-analyze lint"
 cargo run -q --offline --release -p hot-analyze -- lint
 
+echo "==> exp_kernels smoke (list pipeline vs scalar callback, bitwise gate)"
+cargo run -q --offline --release -p hot-bench --bin exp_kernels -- 4096 2
+
 echo "==> hot-analyze schedules --seeds 32 (tracing enabled)"
 cargo run -q --offline --release -p hot-analyze -- schedules --seeds 32
 

@@ -39,8 +39,14 @@ impl fmt::Display for Finding {
 }
 
 /// Names of every rule, for `--help` output and docs cross-checking.
-pub const RULES: [&str; 5] =
-    ["f32-accumulation", "flop-accounting", "determinism", "wall-clock", "unwrap-audit"];
+pub const RULES: [&str; 6] = [
+    "f32-accumulation",
+    "flop-accounting",
+    "determinism",
+    "wall-clock",
+    "unwrap-audit",
+    "evaluator-api",
+];
 
 /// Files (by suffix match) forming the f64 accumulation paths: multipole
 /// moments, tree walks, and the interaction kernels.
@@ -83,8 +89,24 @@ const FLOP_EVIDENCE: [&str; 3] = ["counter.add(", "FlopCounter", "add(Kind::"];
 
 /// Benchmark/experiment crates: self-timing by design, so the wall-clock
 /// and flop-accounting rules skip them. The NPB suite's whole contract is
-/// "time yourself and report Mop/s", and `bench` drives experiments.
+/// "time yourself and report Mop/s", and `bench` drives experiments (and
+/// keeps a scalar-callback `Evaluator` baseline for the kernel-throughput
+/// comparison, so `evaluator-api` skips it too).
 const SELF_TIMING_CRATES: [&str; 2] = ["crates/npb/", "crates/bench/"];
+
+/// Deprecated callback-era force entry points: production code goes
+/// through `ForceCalc` now; the shims exist for one release only.
+const DEPRECATED_FORCE_CALLS: [&str; 4] = [
+    "tree_accelerations(",
+    "tree_accelerations_traced(",
+    "tree_accelerations_parallel(",
+    "tree_accelerations_parallel_traced(",
+];
+
+/// Files allowed to mention the callback `Evaluator` trait outside tests:
+/// the trait's own definition site and the list-builder adaptor that is
+/// the one remaining in-tree implementor.
+const EVALUATOR_EXEMPT: [&str; 2] = ["core/src/walk.rs", "core/src/ilist.rs"];
 
 /// Lint one source file. `rel` is the workspace-relative path with `/`
 /// separators; `allow_unwrap` is the list of allowlisted paths for the
@@ -215,7 +237,49 @@ pub fn lint_source(rel: &str, source: &str, allow_unwrap: &[String]) -> Vec<Find
         }
     }
 
+    // Rule: evaluator-api.
+    if !EVALUATOR_EXEMPT.iter().any(|s| rel.ends_with(s)) && !self_timing {
+        for (i, line) in lines.iter().enumerate() {
+            let code = code_part(line);
+            if code.contains("fn ") || code.contains("use ") {
+                continue;
+            }
+            let impls_callback = code.contains("impl") && has_bare_evaluator(code);
+            let calls_deprecated =
+                DEPRECATED_FORCE_CALLS.iter().any(|k| code.contains(k));
+            if impls_callback || calls_deprecated {
+                emit(
+                    "evaluator-api",
+                    i,
+                    "callback-style force evaluation: implement ListConsumer and go \
+                     through ForceCalc / walk_lists instead; the Evaluator trait and \
+                     the tree_accelerations* entry points are deprecated and removed \
+                     next release"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
     findings
+}
+
+/// True when the line mentions the bare `Evaluator<` trait (word-boundary
+/// match, so `GravityEvaluator<'a>` and friends do not count).
+fn has_bare_evaluator(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = code[from..].find("Evaluator<") {
+        let at = from + p;
+        let boundary = code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|ch| !ch.is_alphanumeric() && ch != '_');
+        if boundary {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
 }
 
 /// Everything before a `//` comment marker. Naive about `//` inside string
@@ -461,6 +525,35 @@ mod tests {
         let src = "fn f() {\n    // discussion of as f32 and HashMap here\n}\n";
         assert!(rules_hit("crates/core/src/moments.rs", src).is_empty());
         assert!(rules_hit("crates/comm/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn evaluator_api_rule_flags_callback_impls_and_deprecated_calls() {
+        let impl_bad = "impl Evaluator<MassMoments> for Thing<'_> {\n}\n";
+        assert_eq!(rules_hit("crates/gravity/src/other.rs", impl_bad), ["evaluator-api"]);
+        let call_bad = "fn go() {\n    let r = tree_accelerations(d, &p, &m, &o, &c, false);\n}\n";
+        assert_eq!(rules_hit("crates/cosmo/src/other.rs", call_bad), ["evaluator-api"]);
+        let call_bad2 =
+            "fn go() {\n    tree_accelerations_parallel_traced(d, &p, &m, &o, &c, false, t);\n}\n";
+        assert_eq!(rules_hit("crates/cosmo/src/other.rs", call_bad2), ["evaluator-api"]);
+    }
+
+    #[test]
+    fn evaluator_api_rule_word_boundary_and_exemptions() {
+        // Named consumers ending in "Evaluator" are fine.
+        let named = "impl ListConsumer<MassMoments> for GravityEvaluator<'_> {\n}\n";
+        assert!(rules_hit("crates/gravity/src/evaluator.rs", named).is_empty());
+        // Declaration sites (`fn`/`use` lines) and the trait's home are fine.
+        let sig = "pub fn walk<M: Moments, E: Evaluator<M>>(t: &Tree<M>) {\n}\n";
+        assert!(rules_hit("crates/gravity/src/other.rs", sig).is_empty());
+        let imp = "impl<M: Moments> Evaluator<M> for ListBuilder<'_, M> {\n}\n";
+        assert!(rules_hit("crates/core/src/ilist.rs", imp).is_empty());
+        // Bench keeps the scalar-callback baseline on purpose.
+        assert!(rules_hit("crates/bench/src/bin/exp_kernels.rs", imp).is_empty());
+        // Suppression works like every other rule.
+        let sup = "// hot-lint: allow(evaluator-api): migration shim\n\
+                   impl Evaluator<MassMoments> for Thing {\n}\n";
+        assert!(rules_hit("crates/gravity/src/other.rs", sup).is_empty());
     }
 
     #[test]

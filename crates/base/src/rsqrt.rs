@@ -23,7 +23,6 @@
 //!
 //! No division or square root instruction appears anywhere on the fast path.
 
-use std::sync::OnceLock;
 
 /// log2 of the seed-table size.
 pub const TABLE_BITS: u32 = 6;
@@ -46,18 +45,36 @@ struct Entry {
     inv_m: f64,
 }
 
-fn table() -> &'static [Entry; TABLE_SIZE] {
-    static TABLE: OnceLock<[Entry; TABLE_SIZE]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [Entry { r: 0.0, inv_m: 0.0 }; TABLE_SIZE];
-        for (i, e) in t.iter_mut().enumerate() {
-            // Interval [1 + i/T, 1 + (i+1)/T); interpolate about its midpoint.
-            let m_i = 1.0 + (i as f64 + 0.5) / TABLE_SIZE as f64;
-            *e = Entry { r: 1.0 / m_i.sqrt(), inv_m: 1.0 / m_i };
-        }
-        t
-    })
+/// Converged Newton iteration for `sqrt(x)` — `f64::sqrt` is not callable
+/// in const contexts. For the table's `x ∈ [1, 2]` the fixed point (within
+/// one ulp of the true root) is reached long before the iteration cap, and
+/// a one-ulp seed difference washes out in [`rsqrt`]'s two Newton–Raphson
+/// passes.
+const fn const_sqrt(x: f64) -> f64 {
+    let mut y = x;
+    let mut i = 0;
+    while i < 64 {
+        y = 0.5 * (y + x / y);
+        i += 1;
+    }
+    y
 }
+
+/// The seed table, built at compile time: a plain static keeps the lookup
+/// off any lazy-init path — the load sits on the serial dependency chain
+/// of every interaction, so even an atomic-load-plus-branch ahead of it is
+/// measurable in the kernel inner loops.
+static TABLE: [Entry; TABLE_SIZE] = {
+    let mut t = [Entry { r: 0.0, inv_m: 0.0 }; TABLE_SIZE];
+    let mut i = 0;
+    while i < TABLE_SIZE {
+        // Interval [1 + i/T, 1 + (i+1)/T); interpolate about its midpoint.
+        let m_i = 1.0 + (i as f64 + 0.5) / TABLE_SIZE as f64;
+        t[i] = Entry { r: 1.0 / const_sqrt(m_i), inv_m: 1.0 / m_i };
+        i += 1;
+    }
+    t
+};
 
 const MANT_MASK: u64 = (1u64 << 52) - 1;
 const EXP_BIAS: i64 = 1023;
@@ -80,7 +97,7 @@ pub fn rsqrt(x: f64) -> f64 {
     // Mantissa with the exponent forced to 0 => m in [1, 2).
     let m = f64::from_bits((bits & MANT_MASK) | ((EXP_BIAS as u64) << 52));
     let idx = ((bits & MANT_MASK) >> (52 - TABLE_BITS)) as usize;
-    let ent = table()[idx];
+    let ent = TABLE[idx];
 
     // Seed: r_i * (1 - t/2 + 3 t^2 / 8) with t = m/m_i - 1 = m*inv_m - 1,
     // |t| <= 1/(2*TABLE_SIZE). One multiply + one subtract, no divide.
@@ -109,7 +126,7 @@ pub fn rsqrt_f32(x: f32) -> f32 {
     let e = ((bits >> 52) & 0x7ff) as i64 - EXP_BIAS;
     let m = f64::from_bits((bits & MANT_MASK) | ((EXP_BIAS as u64) << 52));
     let idx = ((bits & MANT_MASK) >> (52 - TABLE_BITS)) as usize;
-    let ent = table()[idx];
+    let ent = TABLE[idx];
     let t = m * ent.inv_m - 1.0;
     let y0 = ent.r * (1.0 + t * (-0.5 + t * 0.375));
     let y1 = y0 * (1.5 - 0.5 * m * y0 * y0);

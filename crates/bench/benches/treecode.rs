@@ -16,7 +16,7 @@ use hot_core::moments::MassMoments;
 use hot_core::tree::Tree;
 use hot_core::Mac;
 use hot_gravity::models::uniform_box;
-use hot_gravity::treecode::{tree_accelerations, TreecodeOptions};
+use hot_gravity::treecode::{ForceCalc, TreecodeOptions};
 use rand::SeedableRng;
 
 fn bench_build(c: &mut Criterion) {
@@ -46,14 +46,16 @@ fn bench_force(c: &mut Criterion) {
                 bucket: 16,
                 eps2: 1e-8,
                 quadrupole: true,
+                ..Default::default()
             };
             g.bench_with_input(
                 BenchmarkId::new(format!("theta{theta}"), n),
                 &n,
                 |b, _| {
                     let counter = FlopCounter::new();
+                    let mut calc = ForceCalc::new();
                     b.iter(|| {
-                        tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false)
+                        calc.compute(Aabb::unit(), &pos, &mass, &opts, &counter, false)
                             .stats
                             .interactions()
                     });

@@ -69,7 +69,7 @@ fn ablation_mac() {
     let pos = uniform_box(&mut rng, n, &Aabb::unit());
     let mass = vec![1.0 / n as f64; n];
     for mac in [Mac::BarnesHut { theta: 0.55 }, Mac::SalmonWarren { delta: 3e-6 }] {
-        let opts = TreecodeOptions { mac, bucket: 16, eps2: 1e-10, quadrupole: true };
+        let opts = TreecodeOptions { mac, bucket: 16, eps2: 1e-10, quadrupole: true, ..Default::default() };
         let rep = force_accuracy(Aabb::unit(), &pos, &mass, &opts);
         println!(
             "  {:>18}: rms {:.2e}  interactions {}",
@@ -94,6 +94,7 @@ fn ablation_multipole() {
             bucket: 16,
             eps2: 1e-10,
             quadrupole: quad,
+            ..Default::default()
         };
         let rep = force_accuracy(Aabb::unit(), &pos, &mass, &opts);
         let flops = rep.tree_interactions
@@ -145,8 +146,11 @@ fn ablation_decomp() {
                 quadrupole: false,
                 counter: &counter,
                 work: &mut work,
+                base: 0,
             };
-            let stats = hot_core::walk::walk(&tree, &Mac::BarnesHut { theta: 0.7 }, &mut ev);
+            let mut scratch = hot_core::ilist::InteractionList::new();
+            let stats =
+                hot_core::walk::walk_lists(&tree, &Mac::BarnesHut { theta: 0.7 }, &mut ev, &mut scratch);
             stats.interactions()
         });
         let max = *out.results.iter().max().unwrap() as f64;

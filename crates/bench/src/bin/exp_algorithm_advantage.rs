@@ -8,7 +8,7 @@ use hot_base::flops::FlopCounter;
 use hot_base::FLOPS_PER_GRAV_INTERACTION;
 use hot_bench::{arg_usize, header};
 use hot_gravity::models::uniform_box;
-use hot_gravity::treecode::{tree_accelerations, TreecodeOptions};
+use hot_gravity::treecode::{ForceCalc, TreecodeOptions};
 use hot_machine::specs::ASCI_RED_6800;
 use rand::SeedableRng;
 
@@ -19,6 +19,7 @@ fn main() {
     // Measure interactions/particle at a ladder of N, fit the log.
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut fit_pts = Vec::new();
+    let mut calc = ForceCalc::new();
     println!("{:>9} {:>14} {:>14} {:>10}", "N", "tree inter", "N^2 inter", "ratio");
     for mult in [1usize, 2, 4] {
         let n = base_n * mult;
@@ -26,8 +27,7 @@ fn main() {
         let mass = vec![1.0 / n as f64; n];
         let counter = FlopCounter::new();
         let opts = TreecodeOptions { eps2: 1e-8, ..Default::default() };
-        let res =
-            tree_accelerations(hot_base::Aabb::unit(), &pos, &mass, &opts, &counter, false);
+        let res = calc.compute(hot_base::Aabb::unit(), &pos, &mass, &opts, &counter, false);
         let tree_i = res.stats.interactions();
         let n2_i = (n as u64) * (n as u64 - 1);
         println!(

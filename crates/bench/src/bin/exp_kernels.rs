@@ -1,0 +1,207 @@
+//! Experiment K1: list-apply kernel throughput.
+//!
+//! The interaction-list redesign splits force evaluation into a list-build
+//! walk and a batched list-apply stage. This experiment times both against
+//! the old scalar-callback evaluation (kept here, and only here, as a
+//! baseline), checks the two pipelines agree *bitwise*, and reports the
+//! apply-phase speedup the cache-blocked `SoA` kernels buy — the paper's
+//! motivation for shipping interaction lists to the force loop instead of
+//! interleaving traversal and arithmetic.
+//!
+//! Results go to `results/BENCH_kernels.json`. At full size (N ≥ 32768)
+//! the run *asserts* apply-phase throughput ≥ 1.5× the fused baseline;
+//! smoke sizes only report.
+//!
+//! Args: `exp_kernels [n] [reps]` (defaults 32768, 5).
+
+use hot_base::flops::FlopCounter;
+use hot_base::{Aabb, Vec3, FLOPS_PER_GRAV_INTERACTION, FLOPS_PER_QUAD_INTERACTION};
+use hot_bench::{arg_usize, header, rule};
+use hot_core::ilist::{InteractionList, ListConsumer};
+use hot_core::moments::MassMoments;
+use hot_core::tree::Tree;
+use hot_core::walk::{default_group_size, walk, walk_group_list, Evaluator, WalkStats};
+use hot_core::Mac;
+use hot_gravity::kernels::{pc_mono_acc, pc_quad_acc, pp_acc};
+use hot_gravity::models::uniform_box;
+use hot_gravity::GravityEvaluator;
+use rand::SeedableRng;
+use std::ops::Range;
+use std::time::Instant;
+
+/// The pre-redesign evaluation: scalar kernels invoked from the traversal
+/// callbacks, arithmetic interleaved with the walk. Accumulation order is
+/// the contract the list pipeline reproduces — per sink, each P-P callback
+/// sums into a fresh accumulator added once, each accepted cell adds
+/// directly — so the two must agree bitwise.
+struct ScalarCallback<'a> {
+    acc: &'a mut [Vec3],
+    eps2: f64,
+    quadrupole: bool,
+}
+
+impl Evaluator<MassMoments> for ScalarCallback<'_> {
+    fn particle_cell(
+        &mut self,
+        tree: &Tree<MassMoments>,
+        sinks: Range<usize>,
+        center: Vec3,
+        m: &MassMoments,
+    ) {
+        for i in sinks {
+            let d = tree.pos[i] - center;
+            self.acc[i] += if self.quadrupole {
+                pc_quad_acc(d, m.mass, &m.quad, self.eps2)
+            } else {
+                pc_mono_acc(d, m.mass, self.eps2)
+            };
+        }
+    }
+
+    fn particle_particle(
+        &mut self,
+        tree: &Tree<MassMoments>,
+        sinks: Range<usize>,
+        src_pos: &[Vec3],
+        src_charge: &[f64],
+        src_start: Option<usize>,
+    ) {
+        for i in sinks {
+            let xi = tree.pos[i];
+            let mut a = Vec3::ZERO;
+            for (j, (&xj, &mj)) in src_pos.iter().zip(src_charge).enumerate() {
+                if src_start.is_some_and(|s0| s0 + j == i) {
+                    continue;
+                }
+                a += pp_acc(xi - xj, mj, self.eps2);
+            }
+            self.acc[i] += a;
+        }
+    }
+}
+
+fn main() {
+    let n = arg_usize(1, 32_768);
+    let reps = arg_usize(2, 5).max(1);
+    header("Experiment K1: batched list-apply kernels vs scalar callbacks");
+
+    let eps2 = 1e-8;
+    let quadrupole = true;
+    let mac = Mac::BarnesHut { theta: 0.7 };
+    let bucket = 16;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1997);
+    let pos = uniform_box(&mut rng, n, &Aabb::unit());
+    let mass = vec![1.0 / n as f64; n];
+    let tree = Tree::<MassMoments>::build(Aabb::unit(), &pos, &mass, bucket);
+    let groups: Vec<u32> = tree.groups(default_group_size(tree.bucket));
+    println!("N = {n}, theta = 0.7, bucket = {bucket}, {} sink groups, best of {reps}", groups.len());
+
+    // Baseline: fused traversal + scalar arithmetic, timed whole.
+    let mut acc_base = vec![Vec3::ZERO; n];
+    let mut stats_base = WalkStats::default();
+    let mut t_base = f64::INFINITY;
+    for _ in 0..reps {
+        acc_base.fill(Vec3::ZERO);
+        let mut ev = ScalarCallback { acc: &mut acc_base, eps2, quadrupole };
+        let t0 = Instant::now();
+        stats_base = walk(&tree, &mac, &mut ev);
+        t_base = t_base.min(t0.elapsed().as_secs_f64());
+    }
+
+    // List pipeline, phases timed separately. The per-group lists are kept
+    // so the apply phase streams finished lists only — exactly the split
+    // the production ForceCalc runs (there with one reused scratch list).
+    let mut lists: Vec<InteractionList<MassMoments>> =
+        groups.iter().map(|_| InteractionList::new()).collect();
+    let mut stats_list = WalkStats::default();
+    let mut t_build = f64::INFINITY;
+    for _ in 0..reps {
+        stats_list = WalkStats::default();
+        let t0 = Instant::now();
+        for (k, &gi) in groups.iter().enumerate() {
+            stats_list.merge(&walk_group_list(&tree, &mac, gi, &mut lists[k]));
+        }
+        t_build = t_build.min(t0.elapsed().as_secs_f64());
+    }
+
+    let counter = FlopCounter::new();
+    let mut acc_list = vec![Vec3::ZERO; n];
+    let mut t_apply = f64::INFINITY;
+    for _ in 0..reps {
+        acc_list.fill(Vec3::ZERO);
+        let mut ev = GravityEvaluator {
+            acc: &mut acc_list,
+            pot: None,
+            eps2,
+            quadrupole,
+            counter: &counter,
+            work: &mut [],
+            base: 0,
+        };
+        let t0 = Instant::now();
+        for (k, &gi) in groups.iter().enumerate() {
+            let sinks = tree.cells[gi as usize].span();
+            ev.consume(&tree.pos, &tree.charge, sinks, &lists[k]);
+        }
+        t_apply = t_apply.min(t0.elapsed().as_secs_f64());
+    }
+
+    // Gates: identical interaction accounting, bitwise-identical forces.
+    assert_eq!(
+        (stats_base.pp, stats_base.pc),
+        (stats_list.pp, stats_list.pc),
+        "pipelines disagree on interaction counts"
+    );
+    for i in 0..n {
+        assert_eq!(
+            [acc_base[i].x.to_bits(), acc_base[i].y.to_bits(), acc_base[i].z.to_bits()],
+            [acc_list[i].x.to_bits(), acc_list[i].y.to_bits(), acc_list[i].z.to_bits()],
+            "accelerations differ at sink {i}"
+        );
+    }
+    println!("bitwise gate: {n} sinks identical across pipelines");
+
+    let pc_cost =
+        if quadrupole { FLOPS_PER_QUAD_INTERACTION } else { FLOPS_PER_GRAV_INTERACTION };
+    let flops = (stats_base.pp * FLOPS_PER_GRAV_INTERACTION + stats_base.pc * pc_cost) as f64;
+    let mf_base = flops / t_base / 1e6;
+    let mf_apply = flops / t_apply / 1e6;
+    let speedup = t_base / t_apply;
+    println!(
+        "interactions: {} pp + {} pc ({:.3e} flops, paper convention)",
+        stats_base.pp, stats_base.pc, flops
+    );
+    println!("  scalar-callback baseline: {:>9.2} ms  {:>8.1} Mflop/s", t_base * 1e3, mf_base);
+    println!("  list build:               {:>9.2} ms", t_build * 1e3);
+    println!("  list apply:               {:>9.2} ms  {:>8.1} Mflop/s", t_apply * 1e3, mf_apply);
+    println!(
+        "  apply vs baseline: {speedup:.2}x   build+apply vs baseline: {:.2}x",
+        t_base / (t_build + t_apply)
+    );
+    rule();
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = format!(
+        "{{\n  \"schema\": \"bench-kernels/v1\",\n  \"n\": {n},\n  \"reps\": {reps},\n  \
+         \"theta\": 0.7,\n  \"bucket\": {bucket},\n  \"quadrupole\": {quadrupole},\n  \
+         \"pp_interactions\": {},\n  \"pc_interactions\": {},\n  \"flops\": {flops:.0},\n  \
+         \"baseline_s\": {t_base:.6},\n  \"build_s\": {t_build:.6},\n  \"apply_s\": {t_apply:.6},\n  \
+         \"baseline_mflops\": {mf_base:.1},\n  \"apply_mflops\": {mf_apply:.1},\n  \
+         \"apply_speedup\": {speedup:.3},\n  \"bitwise_match\": true\n}}\n",
+        stats_base.pp, stats_base.pc
+    );
+    let path = std::path::Path::new("results").join("BENCH_kernels.json");
+    std::fs::write(&path, json).expect("write BENCH_kernels.json");
+    println!("results written to {}", path.display());
+
+    if n >= 32_768 {
+        assert!(
+            speedup >= 1.5,
+            "apply-phase throughput regression: {speedup:.2}x < 1.5x at N = {n}"
+        );
+        println!("throughput gate passed: {speedup:.2}x >= 1.5x");
+    } else {
+        println!("(smoke size N = {n} < 32768: throughput gate reported, not enforced)");
+    }
+}

@@ -5,19 +5,25 @@
 //! non-local data access, we effectively do explicit 'context switching'."*
 //!
 //! Each sink group carries an independent walk (an explicit stack of node
-//! references). When a walk needs data that is not resident — the children
-//! of a remote cell, or the bodies of a remote leaf — it posts a request
-//! through the [`Abm`] active-message layer and is *parked*; the rank
-//! switches to another group's walk instead of stalling. Replies install
-//! the fetched cells into the global view (so later walks hit them for
-//! free) and re-activate the parked walks. The whole exchange runs to
-//! quiescence with ABM's termination protocol, with every rank also serving
-//! its peers' fetch requests from its local tree throughout.
+//! references) that records its accepted sources into the group's
+//! [`InteractionList`] — the distributed flavour of the list-build stage.
+//! When a walk needs data that is not resident — the children of a remote
+//! cell, or the bodies of a remote leaf — it posts a request through the
+//! [`Abm`] active-message layer and is *parked*; the rank switches to
+//! another group's walk instead of stalling. Replies install the fetched
+//! cells into the global view (so later walks hit them for free) and
+//! re-activate the parked walks. When a walk completes, its finished list
+//! is handed to the rank's [`ListConsumer`] (the apply stage) and its
+//! interaction counts are pinned against the list lengths. The whole
+//! exchange runs to quiescence with ABM's termination protocol, with every
+//! rank also serving its peers' fetch requests from its local tree
+//! throughout.
 
 use crate::dtree::{CellRecord, DChildren, DistTree};
+use crate::ilist::{InteractionList, ListConsumer};
 use crate::mac::Mac;
 use crate::moments::Moments;
-use crate::walk::{Evaluator, WalkStats};
+use crate::walk::WalkStats;
 use bytes::Bytes;
 use hot_base::Vec3;
 use hot_comm::{from_bytes, Abm, Comm};
@@ -38,12 +44,18 @@ enum Ref {
     Node(u32),
 }
 
-/// One sink group's suspended traversal.
-struct GroupWalk {
+/// One sink group's suspended traversal: its stack, the interaction list
+/// it is building, and its own interaction counts (pinned against the
+/// list when the walk completes).
+struct GroupWalk<M: Moments> {
     /// Index of the group cell in the local tree.
     gi: u32,
     /// Remaining node references to process.
     stack: Vec<Ref>,
+    /// The group's interaction list under construction.
+    list: InteractionList<M>,
+    /// This walk's interaction counts so far.
+    stats: WalkStats,
 }
 
 /// Why a walk parked.
@@ -56,7 +68,7 @@ enum Want {
 /// Statistics of one rank's distributed walk.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DwalkStats {
-    /// Interaction counts (paper units).
+    /// Interaction counts (paper units), including the list-entry counts.
     pub walk: WalkStats,
     /// Cell-fetch requests sent.
     pub cell_requests: u64,
@@ -71,41 +83,41 @@ pub struct DwalkStats {
 }
 
 /// Run the distributed traversal. Collective: every rank calls with its
-/// [`DistTree`] and its own evaluator; returns when the machine-wide
-/// exchange is quiescent.
+/// [`DistTree`] and its own list consumer (the apply stage); returns when
+/// the machine-wide exchange is quiescent.
 ///
 /// `group_size` is the sink-group particle bound (see
 /// [`crate::walk::default_group_size`]).
-pub fn dwalk<M: Moments, E: Evaluator<M>>(
+pub fn dwalk<M: Moments, C: ListConsumer<M>>(
     comm: &mut Comm,
     dt: &mut DistTree<M>,
     mac: &Mac,
-    eval: &mut E,
+    consumer: &mut C,
     group_size: usize,
 ) -> DwalkStats {
-    dwalk_traced(comm, dt, mac, eval, group_size, &mut hot_trace::Ledger::scratch())
+    dwalk_traced(comm, dt, mac, consumer, group_size, &mut hot_trace::Ledger::scratch())
 }
 
 /// [`dwalk`], recording a `Walk` span into `trace`.
 ///
 /// The walk phase must stay bitwise identical across message schedules, so
-/// the span records only *logical* quantities: cells opened, the number of
-/// cell/body requests (exactly one per distinct needed key, thanks to the
-/// parked-walk dedup), and the ABM layer's posted/delivered message and
-/// byte counts. Raw `TrafficStats` deltas are deliberately **not** folded
-/// in here: the number of termination-detection rounds — and therefore the
-/// allreduce traffic — depends on arrival interleaving, as do batch counts
-/// and `parks`.
-pub fn dwalk_traced<M: Moments, E: Evaluator<M>>(
+/// the span records only *logical* quantities: cells opened, list entries,
+/// the number of cell/body requests (exactly one per distinct needed key,
+/// thanks to the parked-walk dedup), and the ABM layer's posted/delivered
+/// message and byte counts. Raw `TrafficStats` deltas are deliberately
+/// **not** folded in here: the number of termination-detection rounds —
+/// and therefore the allreduce traffic — depends on arrival interleaving,
+/// as do batch counts and `parks`.
+pub fn dwalk_traced<M: Moments, C: ListConsumer<M>>(
     comm: &mut Comm,
     dt: &mut DistTree<M>,
     mac: &Mac,
-    eval: &mut E,
+    consumer: &mut C,
     group_size: usize,
     trace: &mut hot_trace::Ledger,
 ) -> DwalkStats {
     trace.begin(hot_trace::Phase::Walk);
-    let stats = dwalk_inner(comm, dt, mac, eval, group_size);
+    let stats = dwalk_inner(comm, dt, mac, consumer, group_size);
     stats.walk.record_traversal(trace);
     trace.add(hot_trace::Counter::CellRequests, stats.cell_requests);
     trace.add(hot_trace::Counter::BodyRequests, stats.body_requests);
@@ -117,26 +129,31 @@ pub fn dwalk_traced<M: Moments, E: Evaluator<M>>(
     stats
 }
 
-fn dwalk_inner<M: Moments, E: Evaluator<M>>(
+fn dwalk_inner<M: Moments, C: ListConsumer<M>>(
     comm: &mut Comm,
     dt: &mut DistTree<M>,
     mac: &Mac,
-    eval: &mut E,
+    consumer: &mut C,
     group_size: usize,
 ) -> DwalkStats {
     let mut stats = DwalkStats::default();
     let root = Ref::Node(dt.root);
-    let mut active: Vec<GroupWalk> = dt
+    let mut active: Vec<GroupWalk<M>> = dt
         .local
         .groups(group_size)
         .into_iter()
-        .map(|gi| GroupWalk { gi, stack: vec![root] })
+        .map(|gi| GroupWalk {
+            gi,
+            stack: vec![root],
+            list: InteractionList::new(),
+            stats: WalkStats::default(),
+        })
         .collect();
     // The only iteration over this map is the pending-count reduction
     // below, an order-independent exact u64 sum; walks are otherwise
     // accessed per-key when their reply arrives, so hash order cannot leak
     // into results. hot-lint: allow(determinism)
-    let mut parked: HashMap<Want, Vec<GroupWalk>> = HashMap::new();
+    let mut parked: HashMap<Want, Vec<GroupWalk<M>>> = HashMap::new();
     let mut abm = Abm::new(comm, 4096);
 
     // Main service loop, structured as globally synchronized rounds so
@@ -153,9 +170,24 @@ fn dwalk_inner<M: Moments, E: Evaluator<M>>(
     loop {
         loop {
             while let Some(mut w) = active.pop() {
-                match run_walk(dt, mac, eval, &mut w, &mut abm, &mut stats, &mut parked) {
-                    WalkOutcome::Done => {}
-                    WalkOutcome::Parked => stats.parks += 1,
+                match run_walk(dt, mac, &mut w) {
+                    WalkOutcome::Done => finish_walk(dt, consumer, w, &mut stats),
+                    WalkOutcome::Park { want, owner } => {
+                        stats.parks += 1;
+                        if !parked.contains_key(&want) {
+                            match want {
+                                Want::Children(key) => {
+                                    abm.post(owner, K_REQ_CHILDREN, &key);
+                                    stats.cell_requests += 1;
+                                }
+                                Want::Bodies(key) => {
+                                    abm.post(owner, K_REQ_BODIES, &key);
+                                    stats.body_requests += 1;
+                                }
+                            }
+                        }
+                        parked.entry(want).or_default().push(w);
+                    }
                 }
             }
             abm.flush_all();
@@ -183,22 +215,40 @@ fn dwalk_inner<M: Moments, E: Evaluator<M>>(
     stats
 }
 
-enum WalkOutcome {
-    Done,
-    Parked,
+/// Apply a completed walk's list (the distributed list-apply stage): pin
+/// the walk's incremental pair accounting against the finished list's
+/// closed form, fold its counts into the rank totals, and hand the list
+/// to the consumer.
+fn finish_walk<M: Moments, C: ListConsumer<M>>(
+    dt: &DistTree<M>,
+    consumer: &mut C,
+    mut w: GroupWalk<M>,
+    stats: &mut DwalkStats,
+) {
+    let sinks = dt.local.cells[w.gi as usize].span();
+    let (pp, pc) = w.list.expected_stats(&sinks);
+    assert_eq!(
+        (w.stats.pp, w.stats.pc),
+        (pp, pc),
+        "dwalk stats for group {} disagree with its interaction list",
+        w.gi
+    );
+    w.stats.listed_pp = w.list.pp_entries();
+    w.stats.listed_pc = w.list.pc_entries();
+    stats.walk.merge(&w.stats);
+    consumer.consume(&dt.local.pos, &dt.local.charge, sinks, &w.list);
 }
 
-/// Drive one walk until it completes or blocks on non-resident data.
-fn run_walk<M: Moments, E: Evaluator<M>>(
-    dt: &DistTree<M>,
-    mac: &Mac,
-    eval: &mut E,
-    w: &mut GroupWalk,
-    abm: &mut Abm<'_>,
-    stats: &mut DwalkStats,
-    // hot-lint: allow(determinism): per-key parking slot, never iterated.
-    parked: &mut HashMap<Want, Vec<GroupWalk>>,
-) -> WalkOutcome {
+enum WalkOutcome {
+    Done,
+    /// The walk blocked on non-resident data; the caller posts the fetch
+    /// (once per distinct key) and parks the walk under `want`.
+    Park { want: Want, owner: u32 },
+}
+
+/// Drive one walk until it completes or blocks on non-resident data,
+/// recording accepted sources into the walk's own interaction list.
+fn run_walk<M: Moments>(dt: &DistTree<M>, mac: &Mac, w: &mut GroupWalk<M>) -> WalkOutcome {
     let g = &dt.local.cells[w.gi as usize];
     let gc = g.center;
     let gr = g.bmax;
@@ -209,14 +259,12 @@ fn run_walk<M: Moments, E: Evaluator<M>>(
         match r {
             Ref::Local(ci) => {
                 if ci == w.gi {
-                    eval.particle_particle(
-                        &dt.local,
-                        sinks.clone(),
+                    w.list.push_pp(
                         &dt.local.pos[sinks.clone()],
                         &dt.local.charge[sinks.clone()],
                         Some(sinks.start),
                     );
-                    stats.walk.pp += gn * (gn - 1);
+                    w.stats.pp += gn * (gn - 1);
                     continue;
                 }
                 let c = &dt.local.cells[ci as usize];
@@ -224,19 +272,17 @@ fn run_walk<M: Moments, E: Evaluator<M>>(
                     continue;
                 }
                 if mac.accepts(c, gc, gr) {
-                    eval.particle_cell(&dt.local, sinks.clone(), c.center, &c.moments);
-                    stats.walk.pc += gn;
+                    w.list.push_pc(c.center, &c.moments);
+                    w.stats.pc += gn;
                 } else if c.is_leaf() {
-                    eval.particle_particle(
-                        &dt.local,
-                        sinks.clone(),
+                    w.list.push_pp(
                         &dt.local.pos[c.span()],
                         &dt.local.charge[c.span()],
                         Some(c.first as usize),
                     );
-                    stats.walk.pp += gn * c.n as u64;
+                    w.stats.pp += gn * c.n as u64;
                 } else {
-                    stats.walk.opened += 1;
+                    w.stats.opened += 1;
                     w.stack.extend(dt.local.children(c).map(|k| Ref::Local(k as u32)));
                 }
             }
@@ -246,13 +292,13 @@ fn run_walk<M: Moments, E: Evaluator<M>>(
                     continue;
                 }
                 if mac.accepts_raw(node.center, node.bmax, node.moments.b2(), gc, gr) {
-                    eval.particle_cell(&dt.local, sinks.clone(), node.center, &node.moments);
-                    stats.walk.pc += gn;
+                    w.list.push_pc(node.center, &node.moments);
+                    w.stats.pc += gn;
                     continue;
                 }
                 match &node.children {
                     DChildren::Nodes(kids) => {
-                        stats.walk.opened += 1;
+                        w.stats.opened += 1;
                         w.stack.extend(kids.iter().map(|&k| Ref::Node(k)));
                     }
                     DChildren::LocalSubtree => {
@@ -264,58 +310,48 @@ fn run_walk<M: Moments, E: Evaluator<M>>(
                         } else {
                             // Virtual branch: its particles live in a span
                             // of the local arrays (possibly aliasing the
-                            // sink span — src_start lets the evaluator
-                            // exclude self pairs).
+                            // sink span — src_start lets the apply stage
+                            // exclude self pairs). When the span *is* the
+                            // sink span, count like the self-interaction
+                            // case: gn·(len−1) pairs, not gn·len — the
+                            // historical double-count this path had.
                             let span = dt.span_of(node.key);
                             if !span.is_empty() {
-                                eval.particle_particle(
-                                    &dt.local,
-                                    sinks.clone(),
+                                w.list.push_pp(
                                     &dt.local.pos[span.clone()],
                                     &dt.local.charge[span.clone()],
                                     Some(span.start),
                                 );
-                                stats.walk.pp += gn * span.len() as u64;
+                                let len = span.len() as u64;
+                                w.stats.pp += if span == sinks {
+                                    gn * (len - 1)
+                                } else {
+                                    gn * len
+                                };
                             }
                         }
                     }
                     DChildren::RemoteLeaf => {
                         if let Some((bp, bq)) = dt.body_cache.get(&ni) {
-                            eval.particle_particle(&dt.local, sinks.clone(), bp, bq, None);
-                            stats.walk.pp += gn * bp.len() as u64;
+                            w.list.push_pp(bp, bq, None);
+                            w.stats.pp += gn * bp.len() as u64;
                         } else {
-                            let want = Want::Bodies(node.key.0);
-                            let owner = node.owner;
-                            let first = !parked.contains_key(&want);
-                            if first {
-                                abm.post(owner, K_REQ_BODIES, &node.key.0);
-                                stats.body_requests += 1;
-                            }
                             // Park: remember the blocking node by pushing it
                             // back; the resume path re-pops it with the
                             // cache filled.
                             w.stack.push(Ref::Node(ni));
-                            parked
-                                .entry(want)
-                                .or_default()
-                                .push(GroupWalk { gi: w.gi, stack: std::mem::take(&mut w.stack) });
-                            return WalkOutcome::Parked;
+                            return WalkOutcome::Park {
+                                want: Want::Bodies(node.key.0),
+                                owner: node.owner,
+                            };
                         }
                     }
                     DChildren::RemoteUnfetched => {
-                        let want = Want::Children(node.key.0);
-                        let owner = node.owner;
-                        let first = !parked.contains_key(&want);
-                        if first {
-                            abm.post(owner, K_REQ_CHILDREN, &node.key.0);
-                            stats.cell_requests += 1;
-                        }
                         w.stack.push(Ref::Node(ni));
-                        parked
-                            .entry(want)
-                            .or_default()
-                            .push(GroupWalk { gi: w.gi, stack: std::mem::take(&mut w.stack) });
-                        return WalkOutcome::Parked;
+                        return WalkOutcome::Park {
+                            want: Want::Children(node.key.0),
+                            owner: node.owner,
+                        };
                     }
                 }
             }
@@ -327,9 +363,9 @@ fn run_walk<M: Moments, E: Evaluator<M>>(
 /// Build the ABM handler that serves peers and absorbs replies.
 fn make_handler<'h, M: Moments>(
     dt: &'h mut DistTree<M>,
-    active: &'h mut Vec<GroupWalk>,
+    active: &'h mut Vec<GroupWalk<M>>,
     // hot-lint: allow(determinism): per-key removal on reply, never iterated.
-    parked: &'h mut HashMap<Want, Vec<GroupWalk>>,
+    parked: &'h mut HashMap<Want, Vec<GroupWalk<M>>>,
 ) -> impl FnMut(&mut Abm<'_>, u32, u16, Bytes) + 'h {
     move |ep, src, kind, payload| match kind {
         K_REQ_CHILDREN => {
@@ -381,6 +417,7 @@ fn make_handler<'h, M: Moments>(
 mod tests {
     use super::*;
     use crate::decomp::{decompose, Body};
+    use crate::ilist::Segment;
     use crate::moments::MassMoments;
     use crate::tree::Tree;
     use hot_base::Aabb;
@@ -389,33 +426,28 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use std::ops::Range;
 
-    /// Mass-coverage evaluator, distributed flavour: tracks per-sink seen
-    /// mass plus each sink's id for global assembly.
+    /// Mass-coverage consumer, distributed flavour: every source entry in
+    /// a group's list (particles and cell masses alike) is "seen" once by
+    /// each sink in the group.
     struct MassCoverage {
         seen: Vec<f64>,
     }
 
-    impl Evaluator<MassMoments> for MassCoverage {
-        fn particle_cell(
+    impl ListConsumer<MassMoments> for MassCoverage {
+        fn consume(
             &mut self,
-            _t: &Tree<MassMoments>,
+            _pos: &[Vec3],
+            _charge: &[f64],
             sinks: Range<usize>,
-            _c: Vec3,
-            m: &MassMoments,
+            list: &InteractionList<MassMoments>,
         ) {
-            for i in sinks {
-                self.seen[i] += m.mass;
+            let mut total = 0.0;
+            for seg in list.segments() {
+                match seg {
+                    Segment::Pp(v) => total += v.q.iter().sum::<f64>(),
+                    Segment::Pc(c) => total += c.m.iter().map(|m| m.mass).sum::<f64>(),
+                }
             }
-        }
-        fn particle_particle(
-            &mut self,
-            _t: &Tree<MassMoments>,
-            sinks: Range<usize>,
-            _sp: &[Vec3],
-            sq: &[f64],
-            _src_start: Option<usize>,
-        ) {
-            let total: f64 = sq.iter().sum();
             for i in sinks {
                 self.seen[i] += total;
             }
@@ -515,12 +547,17 @@ mod tests {
             (0..n_total).map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen())).collect();
         let all_q = vec![1.0f64; n_total];
 
-        // Serial reference.
+        // Serial reference (list-build only; the counts are all we need).
         let tree = Tree::<MassMoments>::build(Aabb::unit(), &all_pos, &all_q, 8);
-        let mut cov = MassCoverage { seen: vec![0.0; n_total] };
+        let mut scratch = InteractionList::new();
         let mut serial_total = 0.0;
         for gi in tree.groups(16) {
-            let s = crate::walk::walk_group(&tree, &Mac::BarnesHut { theta: 0.7 }, gi, &mut cov);
+            let s = crate::walk::walk_group_list(
+                &tree,
+                &Mac::BarnesHut { theta: 0.7 },
+                gi,
+                &mut scratch,
+            );
             serial_total += s.interactions() as f64;
         }
 
@@ -555,5 +592,43 @@ mod tests {
             (0.6..1.67).contains(&ratio),
             "distributed {dist_total} vs serial {serial_total} (ratio {ratio})"
         );
+    }
+
+    /// Every rank's pair accounting must reconcile with its list-entry
+    /// counts: interactions are the per-sink fan-out of the listed
+    /// entries, minus exactly one self-pair per sink.
+    #[test]
+    fn listed_entries_reconcile_with_interactions() {
+        let out = World::run(2, |c| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(77 + c.rank() as u64);
+            let bodies: Vec<Body<f64>> = (0..300)
+                .map(|i| {
+                    let pos = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+                    Body {
+                        key: Key::from_point(pos, &Aabb::unit()),
+                        pos,
+                        charge: 1.0,
+                        work: 1.0,
+                        id: c.rank() as u64 * 1_000_000 + i,
+                    }
+                })
+                .collect();
+            let (mine, iv) = decompose(c, bodies, 32);
+            let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
+            let q: Vec<f64> = mine.iter().map(|b| b.charge).collect();
+            let tree = Tree::<MassMoments>::build(Aabb::unit(), &pos, &q, 8);
+            let mut dt = DistTree::build(c, tree, iv);
+            let mut cov = MassCoverage { seen: vec![0.0; dt.local.n_particles()] };
+            let stats = dwalk(c, &mut dt, &Mac::BarnesHut { theta: 0.6 }, &mut cov, 16);
+            stats.walk
+        });
+        for w in out.results {
+            assert!(w.listed_pp > 0 && w.listed_pc > 0);
+            // Fan-out bound: each listed entry is seen by at least one and
+            // at most group_size sinks (self-pairs only ever subtract).
+            assert!(w.pp >= w.listed_pp.saturating_sub(1));
+            assert!(w.pp <= w.listed_pp * 16);
+            assert!(w.pc >= w.listed_pc && w.pc <= w.listed_pc * 16);
+        }
     }
 }

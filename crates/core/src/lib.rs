@@ -29,6 +29,7 @@ pub mod decomp;
 pub mod dtree;
 pub mod dwalk;
 pub mod htable;
+pub mod ilist;
 pub mod mac;
 pub mod moments;
 #[cfg(test)]
@@ -38,7 +39,8 @@ pub mod walk;
 pub mod wirevec;
 
 pub use htable::KeyTable;
+pub use ilist::{InteractionList, ListConsumer};
 pub use mac::Mac;
 pub use moments::{MassMoments, Moments, MonoMoments, VectorMoments};
 pub use tree::{Cell, Tree, NO_CHILD};
-pub use walk::{walk, walk_group, Evaluator, WalkStats};
+pub use walk::{walk, walk_group, walk_lists, Evaluator, WalkStats};

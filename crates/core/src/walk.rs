@@ -8,6 +8,7 @@
 //! nor cares whether it is computing gravity, vorticity or SPH neighbour
 //! lists, which is precisely the paper's library/application split.
 
+use crate::ilist::{InteractionList, ListBuilder, ListConsumer};
 use crate::mac::Mac;
 use crate::moments::Moments;
 use crate::tree::Tree;
@@ -53,6 +54,12 @@ pub struct WalkStats {
     pub pc: u64,
     /// Cells opened (MAC rejections that recursed).
     pub opened: u64,
+    /// P-P source *entries* recorded into interaction lists (list-build
+    /// side; zero for callback-style walks). One entry fans out to one
+    /// interaction per sink in its group.
+    pub listed_pp: u64,
+    /// P-C accepted-cell entries recorded into interaction lists.
+    pub listed_pc: u64,
 }
 
 impl WalkStats {
@@ -61,6 +68,8 @@ impl WalkStats {
         self.pp += o.pp;
         self.pc += o.pc;
         self.opened += o.opened;
+        self.listed_pp += o.listed_pp;
+        self.listed_pc += o.listed_pc;
     }
 
     /// Total interactions.
@@ -68,13 +77,17 @@ impl WalkStats {
         self.pp + self.pc
     }
 
-    /// Record the traversal-side counter (cells opened) into the current
-    /// trace span. The interaction counts (`pp`/`pc`) belong to the
-    /// *force* phase and are recorded there (see
+    /// Record the traversal-side counters (cells opened, list entries)
+    /// into the current trace span. The interaction counts (`pp`/`pc`)
+    /// belong to the *force* phase and are recorded there (see
     /// `hot_gravity::evaluator::record_force_phase`) — recording them in
-    /// both places would double-count the run totals.
+    /// both places would double-count the run totals. Listed entries are
+    /// a list-*build* cost, distinct from the per-sink interaction
+    /// fan-out, so they live in the walk span.
     pub fn record_traversal(&self, trace: &mut hot_trace::Ledger) {
         trace.add(hot_trace::Counter::CellsOpened, self.opened);
+        trace.add(hot_trace::Counter::PpListed, self.listed_pp);
+        trace.add(hot_trace::Counter::PcListed, self.listed_pc);
     }
 }
 
@@ -135,6 +148,53 @@ pub fn walk<M: Moments, E: Evaluator<M>>(tree: &Tree<M>, mac: &Mac, eval: &mut E
     let mut stats = WalkStats::default();
     for gi in tree.groups(default_group_size(tree.bucket)) {
         stats.merge(&walk_group(tree, mac, gi, eval));
+    }
+    stats
+}
+
+/// Walk one sink group into an interaction list (list-build stage).
+///
+/// `list` is cleared first and holds exactly this group's accepted
+/// sources afterwards. The returned stats carry the list-entry counts,
+/// and the walk's pair accounting is pinned against the list lengths —
+/// the two are computed independently (incremental counters during the
+/// walk vs. a closed form over the finished list), so a double- or
+/// under-counted `WalkStats` panics here rather than silently skewing
+/// the paper's interaction totals.
+pub fn walk_group_list<M: Moments>(
+    tree: &Tree<M>,
+    mac: &Mac,
+    gi: u32,
+    list: &mut InteractionList<M>,
+) -> WalkStats {
+    list.clear();
+    let mut stats = walk_group(tree, mac, gi, &mut ListBuilder::new(list));
+    let sinks = tree.cells[gi as usize].span();
+    let (pp, pc) = list.expected_stats(&sinks);
+    assert_eq!(
+        (stats.pp, stats.pc),
+        (pp, pc),
+        "walk stats for group {gi} disagree with its interaction list"
+    );
+    stats.listed_pp = list.pp_entries();
+    stats.listed_pc = list.pc_entries();
+    stats
+}
+
+/// The two-stage evaluation: build each sink group's interaction list,
+/// then hand it to `consumer` (the apply stage). `scratch` is the reused
+/// list buffer — steady state allocates nothing.
+pub fn walk_lists<M: Moments, C: ListConsumer<M>>(
+    tree: &Tree<M>,
+    mac: &Mac,
+    consumer: &mut C,
+    scratch: &mut InteractionList<M>,
+) -> WalkStats {
+    let mut stats = WalkStats::default();
+    for gi in tree.groups(default_group_size(tree.bucket)) {
+        stats.merge(&walk_group_list(tree, mac, gi, scratch));
+        let sinks = tree.cells[gi as usize].span();
+        consumer.consume(&tree.pos, &tree.charge, sinks, scratch);
     }
     stats
 }

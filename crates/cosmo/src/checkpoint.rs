@@ -16,20 +16,20 @@
 //! count, sphere center, and the full treecode configuration — so
 //! [`load`] reconstructs the simulation without any re-supplied arguments.
 //!
-//! ## Format (version 2)
+//! ## Format (version 3)
 //!
 //! Little-endian throughout, `u64` sizes (the same >2³¹-byte discipline as
 //! the snapshot writer):
 //!
 //! ```text
 //! magic   u64   "HOT97CKP"
-//! version u64   2
+//! version u64   3
 //! len     u64   body length in bytes
 //! crc     u32   CRC-32 (IEEE) of the body
 //! body:
 //!   steps u64, a f64, center 3×f64,
 //!   mac_kind u8 (0 = BarnesHut, 1 = SalmonWarren), mac_param f64,
-//!   bucket u64, eps2 f64, quadrupole u8,
+//!   bucket u64, eps2 f64, flags u8 (bit 0 = quadrupole, bit 1 = parallel),
 //!   n u64, pos 3n×f64, mom 3n×f64, mass n×f64
 //! ```
 //!
@@ -48,8 +48,10 @@ use std::path::Path;
 const MAGIC: u64 = 0x484F_5439_3743_4B50; // "HOT97CKP"
 
 /// Checkpoint schema version. Version 1 was the lossy snapshot-backed
-/// checkpoint; version 2 stores raw momenta and the full configuration.
-pub const CHECKPOINT_VERSION: u64 = 2;
+/// checkpoint; version 2 stored raw momenta and the full configuration;
+/// version 3 widens the quadrupole byte into a flags byte (bit 0 =
+/// quadrupole, bit 1 = parallel force schedule).
+pub const CHECKPOINT_VERSION: u64 = 3;
 
 fn bad(msg: String) -> Error {
     Error::new(ErrorKind::InvalidData, msg)
@@ -104,7 +106,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Serialize the full resume state of `sim` into a version-2 body.
+/// Serialize the full resume state of `sim` into a version-3 body.
 fn encode_body(sim: &CosmoSim) -> Vec<u8> {
     let n = sim.pos.len();
     let mut body = Vec::with_capacity(8 + 8 + 24 + 1 + 8 + 8 + 8 + 1 + 8 + n * 56);
@@ -119,7 +121,7 @@ fn encode_body(sim: &CosmoSim) -> Vec<u8> {
     put_f64(&mut body, param);
     put_u64(&mut body, sim.opts.bucket as u64);
     put_f64(&mut body, sim.opts.eps2);
-    body.push(u8::from(sim.opts.quadrupole));
+    body.push(u8::from(sim.opts.quadrupole) | (u8::from(sim.opts.parallel) << 1));
     put_u64(&mut body, n as u64);
     for &p in &sim.pos {
         put_vec3(&mut body, p);
@@ -133,7 +135,7 @@ fn encode_body(sim: &CosmoSim) -> Vec<u8> {
     body
 }
 
-/// Reconstruct a [`CosmoSim`] from a version-2 body.
+/// Reconstruct a [`CosmoSim`] from a version-3 body.
 fn decode_body(body: &[u8]) -> Result<CosmoSim> {
     let mut c = Cursor { data: body, at: 0 };
     let steps = c.u64()?;
@@ -148,8 +150,17 @@ fn decode_body(body: &[u8]) -> Result<CosmoSim> {
     };
     let bucket = c.u64()? as usize;
     let eps2 = c.f64()?;
-    let quadrupole = c.u8()? != 0;
-    let opts = TreecodeOptions { mac, bucket, eps2, quadrupole };
+    let flags = c.u8()?;
+    if flags & !0b11 != 0 {
+        return Err(bad(format!("unknown option flags {flags:#04x}")));
+    }
+    let opts = TreecodeOptions {
+        mac,
+        bucket,
+        eps2,
+        quadrupole: flags & 0b01 != 0,
+        parallel: flags & 0b10 != 0,
+    };
     let n = c.u64()? as usize;
     let mut pos = Vec::with_capacity(n);
     for _ in 0..n {
@@ -169,7 +180,16 @@ fn decode_body(body: &[u8]) -> Result<CosmoSim> {
             body.len() - c.at
         )));
     }
-    Ok(CosmoSim { pos, mom, mass, a, center, opts, steps })
+    Ok(CosmoSim {
+        pos,
+        mom,
+        mass,
+        a,
+        center,
+        opts,
+        steps,
+        calc: hot_gravity::ForceCalc::new(),
+    })
 }
 
 /// Write a checkpoint of `sim` to `path`. Returns bytes written.
@@ -237,6 +257,7 @@ mod tests {
             center: Vec3::new(1.0, -2.0, 3.0),
             opts,
             steps: 17,
+            calc: hot_gravity::ForceCalc::new(),
         }
     }
 
@@ -275,6 +296,7 @@ mod tests {
                     bucket: 24,
                     eps2: 0.0025,
                     quadrupole: false,
+                    parallel: true,
                 },
             ),
         ] {

@@ -50,6 +50,7 @@ proptest! {
         bucket in 1usize..1000,
         eps2 in any_f64_bits(),
         quadrupole in any::<bool>(),
+        parallel in any::<bool>(),
         steps in any::<u64>(),
         case in any::<u64>(),
     ) {
@@ -59,8 +60,9 @@ proptest! {
             mass: particles.iter().map(|p| p.2).collect(),
             a,
             center,
-            opts: TreecodeOptions { mac, bucket, eps2, quadrupole },
+            opts: TreecodeOptions { mac, bucket, eps2, quadrupole, parallel },
             steps,
+            calc: hot_gravity::ForceCalc::new(),
         };
         let dir = std::env::temp_dir().join("hot97_ckpt_prop");
         std::fs::create_dir_all(&dir).unwrap();
@@ -77,6 +79,7 @@ proptest! {
         prop_assert_eq!(back.opts.bucket, sim.opts.bucket);
         prop_assert_eq!(back.opts.eps2.to_bits(), sim.opts.eps2.to_bits());
         prop_assert_eq!(back.opts.quadrupole, sim.opts.quadrupole);
+        prop_assert_eq!(back.opts.parallel, sim.opts.parallel);
         match (back.opts.mac, sim.opts.mac) {
             (Mac::BarnesHut { theta: x }, Mac::BarnesHut { theta: y }) => {
                 prop_assert_eq!(x.to_bits(), y.to_bits());

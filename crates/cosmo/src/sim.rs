@@ -16,7 +16,7 @@
 
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, Vec3};
-use hot_gravity::treecode::{tree_accelerations_parallel_traced, TreecodeOptions};
+use hot_gravity::treecode::{ForceCalc, TreecodeOptions};
 use hot_gravity::ForceResult;
 use hot_trace::{Ledger, Phase};
 
@@ -62,6 +62,9 @@ pub struct CosmoSim {
     pub opts: TreecodeOptions,
     /// Steps taken.
     pub steps: u64,
+    /// Force pipeline; its interaction-list buffers persist across the
+    /// substeps and steps of the run.
+    pub calc: ForceCalc,
 }
 
 impl CosmoSim {
@@ -73,25 +76,31 @@ impl CosmoSim {
         mass: Vec<f64>,
         a0: f64,
         center: Vec3,
-        opts: TreecodeOptions,
+        mut opts: TreecodeOptions,
     ) -> Self {
         assert_eq!(pos.len(), vel.len());
         assert_eq!(pos.len(), mass.len());
+        // Production steps always use the deterministic parallel schedule.
+        opts.parallel = true;
         let mom = vel.into_iter().map(|u| u * (a0 * a0)).collect();
-        CosmoSim { pos, mom, mass, a: a0, center, opts, steps: 0 }
+        CosmoSim { pos, mom, mass, a: a0, center, opts, steps: 0, calc: ForceCalc::new() }
     }
 
     /// Peculiar accelerations at the current positions: treecode force
     /// plus the uniform-background correction.
-    pub fn accelerations(&self, counter: &FlopCounter) -> ForceResult {
+    pub fn accelerations(&mut self, counter: &FlopCounter) -> ForceResult {
         self.accelerations_traced(counter, &mut Ledger::scratch())
     }
 
     /// [`CosmoSim::accelerations`] with phase tracing (tree build, walk and
     /// force spans recorded into `trace`).
-    pub fn accelerations_traced(&self, counter: &FlopCounter, trace: &mut Ledger) -> ForceResult {
+    pub fn accelerations_traced(
+        &mut self,
+        counter: &FlopCounter,
+        trace: &mut Ledger,
+    ) -> ForceResult {
         let domain = domain_for(&self.pos);
-        let mut res = tree_accelerations_parallel_traced(
+        let mut res = self.calc.compute_traced(
             domain,
             &self.pos,
             &self.mass,

@@ -104,6 +104,7 @@ pub fn distributed_accelerations_traced(
             quadrupole: opts.quadrupole,
             counter,
             work: &mut work_sorted,
+            base: 0,
         };
         dwalk_traced(comm, &mut dt, &opts.mac, &mut ev, opts.group_size, trace)
     };

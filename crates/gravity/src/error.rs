@@ -6,7 +6,7 @@
 //! accuracy experiment (H7) can sweep it.
 
 use crate::direct::direct_serial;
-use crate::treecode::{tree_accelerations, TreecodeOptions};
+use crate::treecode::{ForceCalc, TreecodeOptions};
 use hot_base::flops::FlopCounter;
 use hot_base::stats::OnlineStats;
 use hot_base::{Aabb, Vec3};
@@ -46,7 +46,7 @@ pub fn force_accuracy(
     let direct_interactions = n * n.saturating_sub(1);
 
     let counter2 = FlopCounter::new();
-    let res = tree_accelerations(domain, pos, mass, opts, &counter2, false);
+    let res = ForceCalc::new().compute(domain, pos, mass, opts, &counter2, false);
 
     let mut stats = OnlineStats::new();
     for (a, e) in res.acc.iter().zip(&exact) {
@@ -81,6 +81,7 @@ mod tests {
             bucket: 16,
             eps2: 1e-8,
             quadrupole: true,
+            ..Default::default()
         };
         let rep = force_accuracy(Aabb::unit(), &pos, &mass, &opts);
         assert!(rep.rms < 1e-3, "rms {0}", rep.rms);
@@ -100,6 +101,7 @@ mod tests {
                 bucket: 8,
                 eps2: 1e-8,
                 quadrupole: false,
+                ..Default::default()
             };
             force_accuracy(Aabb::unit(), &pos, &mass, &opts).rms
         };
@@ -120,6 +122,7 @@ mod tests {
             bucket: 8,
             eps2: 1e-8,
             quadrupole: true,
+            ..Default::default()
         };
         let rep = force_accuracy(Aabb::unit(), &pos, &mass, &opts);
         // Typical accelerations are O(1) in these units; the absolute bound

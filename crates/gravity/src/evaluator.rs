@@ -1,21 +1,31 @@
-//! The gravity module's [`Evaluator`]: turns traversal decisions into
-//! accelerations (and optionally potentials) with full flop accounting.
+//! The gravity module's list consumer: applies finished interaction lists
+//! as accelerations (and optionally potentials) with full flop accounting.
+//!
+//! This is the *apply* stage of the paper's list-build / list-apply split:
+//! the traversal ([`hot_core::walk::walk_lists`] or the distributed walk)
+//! records each sink group's accepted sources into an
+//! [`InteractionList`], and [`GravityEvaluator::consume`] streams the
+//! list through the batched kernels in `kernels.rs` — per sink, in list
+//! order, bitwise-identical to the old per-callback evaluation.
 
-use crate::kernels::{pc_mono_acc, pc_quad_acc, pc_quad_pot, pp_acc, pp_acc_pot};
+use crate::kernels::{
+    pc_mono_acc_pot_span, pc_mono_acc_span, pc_quad_acc_pot_span, pc_quad_acc_span,
+    pp_acc_pot_span, pp_acc_span,
+};
 use hot_base::flops::{FlopCounter, Kind};
 use hot_base::Vec3;
+use hot_core::ilist::{InteractionList, ListConsumer, Segment};
 use hot_core::moments::MassMoments;
-use hot_core::tree::Tree;
-use hot_core::walk::Evaluator;
 use std::ops::Range;
 
-/// Accumulates accelerations into `acc` (tree order) for the sinks it is
-/// handed. One instance per rank (or per parallel task over disjoint sink
-/// groups).
+/// Accumulates accelerations into `acc` for the sink groups it is handed.
+/// One instance per rank (or per parallel task over disjoint sink groups,
+/// with `base` mapping absolute sink indices into the task's span-local
+/// buffers).
 pub struct GravityEvaluator<'a> {
-    /// Acceleration output, indexed in tree (sorted) order.
+    /// Acceleration output; sink `i` lands in `acc[i - base]`.
     pub acc: &'a mut [Vec3],
-    /// Optional potential output.
+    /// Optional potential output (same indexing as `acc`).
     pub pot: Option<&'a mut [f64]>,
     /// Plummer softening squared.
     pub eps2: f64,
@@ -26,85 +36,94 @@ pub struct GravityEvaluator<'a> {
     /// Per-sink interaction tally (for work weights); same indexing as
     /// `acc`. Empty slice disables the tally.
     pub work: &'a mut [f32],
+    /// First absolute sink index covered by `acc` (0 for whole-problem
+    /// buffers).
+    pub base: usize,
 }
 
-impl Evaluator<MassMoments> for GravityEvaluator<'_> {
-    fn particle_cell(
+impl ListConsumer<MassMoments> for GravityEvaluator<'_> {
+    fn consume(
         &mut self,
-        tree: &Tree<MassMoments>,
+        sink_pos: &[Vec3],
+        _sink_charge: &[f64],
         sinks: Range<usize>,
-        center: Vec3,
-        m: &MassMoments,
+        list: &InteractionList<MassMoments>,
     ) {
-        let ns = sinks.len() as u64;
+        // Flop accounting first, in the walk's pair convention (self-pairs
+        // excluded) — `expected_stats` is the same closed form the walk
+        // pins its own counts against.
+        let (pp_pairs, pc_pairs) = list.expected_stats(&sinks);
+        self.counter.add(Kind::GravPP, pp_pairs);
         if self.quadrupole {
-            self.counter.add(Kind::GravPCQuad, ns);
+            self.counter.add(Kind::GravPCQuad, pc_pairs);
         } else {
-            self.counter.add(Kind::GravPCMono, ns);
+            self.counter.add(Kind::GravPCMono, pc_pairs);
         }
-        let track_work = !self.work.is_empty();
-        for i in sinks {
-            let d = tree.pos[i] - center;
-            if self.quadrupole {
-                self.acc[i] += pc_quad_acc(d, m.mass, &m.quad, self.eps2);
-                if let Some(pot) = self.pot.as_deref_mut() {
-                    pot[i] += pc_quad_pot(d, m.mass, &m.quad, self.eps2);
-                }
-            } else {
-                self.acc[i] += pc_mono_acc(d, m.mass, self.eps2);
-                if let Some(pot) = self.pot.as_deref_mut() {
-                    let (_, p) = pp_acc_pot(d, m.mass, self.eps2);
-                    pot[i] += p;
+        let work_per_sink = (list.pp_entries() + list.pc_entries()) as f32;
+        // Segments are applied segment-outer, sinks blocked inside the
+        // span kernels — per sink, each P-P segment still adds its own
+        // fresh sub-sum once and each P-C cell adds directly, in list
+        // order: bitwise the old sink-outer evaluation, but one segment
+        // dispatch per group instead of per sink, the segment's source
+        // arrays streamed exactly once, and several sinks' independent
+        // accumulation chains in flight at once. (A sink-block-outer
+        // variant that holds accumulators in registers across segments
+        // was measured slower: it re-streams the whole list once per
+        // block instead of once per group.)
+        let o = sinks.start - self.base;
+        let acc = &mut self.acc[o..o + sinks.len()];
+        let pot = self.pot.as_deref_mut().map(|p| &mut p[o..o + sinks.len()]);
+        match pot {
+            Some(pot) => {
+                for seg in list.segments() {
+                    match seg {
+                        Segment::Pp(src) => {
+                            pp_acc_pot_span(sink_pos, sinks.clone(), &src, self.eps2, acc, pot);
+                        }
+                        Segment::Pc(cells) => {
+                            if self.quadrupole {
+                                pc_quad_acc_pot_span(
+                                    sink_pos,
+                                    sinks.clone(),
+                                    &cells,
+                                    self.eps2,
+                                    acc,
+                                    pot,
+                                );
+                            } else {
+                                pc_mono_acc_pot_span(
+                                    sink_pos,
+                                    sinks.clone(),
+                                    &cells,
+                                    self.eps2,
+                                    acc,
+                                    pot,
+                                );
+                            }
+                        }
+                    }
                 }
             }
-            if track_work {
-                self.work[i] += 1.0;
+            None => {
+                for seg in list.segments() {
+                    match seg {
+                        Segment::Pp(src) => {
+                            pp_acc_span(sink_pos, sinks.clone(), &src, self.eps2, acc);
+                        }
+                        Segment::Pc(cells) => {
+                            if self.quadrupole {
+                                pc_quad_acc_span(sink_pos, sinks.clone(), &cells, self.eps2, acc);
+                            } else {
+                                pc_mono_acc_span(sink_pos, sinks.clone(), &cells, self.eps2, acc);
+                            }
+                        }
+                    }
+                }
             }
         }
-    }
-
-    fn particle_particle(
-        &mut self,
-        tree: &Tree<MassMoments>,
-        sinks: Range<usize>,
-        src_pos: &[Vec3],
-        src_charge: &[f64],
-        src_start: Option<usize>,
-    ) {
-        let ns = sinks.len() as u64;
-        let nsrc = src_pos.len() as u64;
-        // Self pairs are excluded below; count them out when the spans can
-        // alias (exact when src == sinks, conservative otherwise).
-        let pairs = match src_start {
-            Some(s0) if s0 == sinks.start && nsrc == ns => ns * nsrc - ns,
-            _ => ns * nsrc,
-        };
-        self.counter.add(Kind::GravPP, pairs);
-        let track_work = !self.work.is_empty();
-        for i in sinks {
-            let xi = tree.pos[i];
-            let mut a = Vec3::ZERO;
-            let mut p = 0.0;
-            let want_pot = self.pot.is_some();
-            for (j, (&xj, &mj)) in src_pos.iter().zip(src_charge).enumerate() {
-                if src_start.is_some_and(|s0| s0 + j == i) {
-                    continue;
-                }
-                let d = xi - xj;
-                if want_pot {
-                    let (aj, pj) = pp_acc_pot(d, mj, self.eps2);
-                    a += aj;
-                    p += pj;
-                } else {
-                    a += pp_acc(d, mj, self.eps2);
-                }
-            }
-            self.acc[i] += a;
-            if let Some(pot) = self.pot.as_deref_mut() {
-                pot[i] += p;
-            }
-            if track_work {
-                self.work[i] += src_pos.len() as f32;
+        if !self.work.is_empty() {
+            for w in &mut self.work[o..o + sinks.len()] {
+                *w += work_per_sink;
             }
         }
     }
@@ -115,9 +134,9 @@ impl Evaluator<MassMoments> for GravityEvaluator<'_> {
 /// particle–cell interaction counts plus the flops they cost.
 ///
 /// This is the single place interaction counts enter the ledger — the walk
-/// span records only traversal-side counters (`CellsOpened`, requests,
-/// logical ABM traffic; see `WalkStats::record_traversal`), so totals are
-/// never double-counted. `flops` should be the *delta* of
+/// span records only traversal-side counters (`CellsOpened`, list entries,
+/// requests, logical ABM traffic; see `WalkStats::record_traversal`), so
+/// totals are never double-counted. `flops` should be the *delta* of
 /// [`FlopCounter::report`]`().flops()` across the evaluation being
 /// attributed.
 pub fn record_force_phase(
@@ -136,7 +155,9 @@ pub fn record_force_phase(
 mod tests {
     use super::*;
     use hot_base::Aabb;
-    use hot_core::{walk, Mac};
+    use hot_core::tree::Tree;
+    use hot_core::walk::walk_lists;
+    use hot_core::Mac;
 
     #[test]
     fn two_body_symmetric_forces() {
@@ -152,8 +173,10 @@ mod tests {
             quadrupole: false,
             counter: &counter,
             work: &mut [],
+            base: 0,
         };
-        walk(&tree, &Mac::BarnesHut { theta: 0.5 }, &mut ev);
+        let mut scratch = InteractionList::new();
+        walk_lists(&tree, &Mac::BarnesHut { theta: 0.5 }, &mut ev, &mut scratch);
         // F = 1/0.5^2 = 4, pointing toward each other.
         let i0 = tree.order.iter().position(|&o| o == 0).unwrap();
         let i1 = tree.order.iter().position(|&o| o == 1).unwrap();
@@ -178,9 +201,61 @@ mod tests {
             quadrupole: true,
             counter: &counter,
             work: &mut work,
+            base: 0,
         };
-        walk(&tree, &Mac::BarnesHut { theta: 0.6 }, &mut ev);
+        let mut scratch = InteractionList::new();
+        walk_lists(&tree, &Mac::BarnesHut { theta: 0.6 }, &mut ev, &mut scratch);
         assert!(pot.iter().all(|&p| p < 0.0), "potentials attractive: {pot:?}");
         assert!(work.iter().all(|&w| w > 0.0), "work tracked: {work:?}");
+    }
+
+    /// A span-local evaluator (`base != 0`) must agree bitwise with a
+    /// whole-problem one — the parallel path's scatter depends on it.
+    #[test]
+    fn base_offset_buffers_match() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let n = 64;
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| {
+                use rand::Rng;
+                Vec3::new(rng.gen(), rng.gen(), rng.gen())
+            })
+            .collect();
+        let mass = vec![1.0 / n as f64; n];
+        let tree = Tree::<MassMoments>::build(Aabb::unit(), &pos, &mass, 4);
+        let counter = FlopCounter::new();
+
+        let mut full = vec![Vec3::ZERO; n];
+        let mut ev = GravityEvaluator {
+            acc: &mut full,
+            pot: None,
+            eps2: 1e-6,
+            quadrupole: true,
+            counter: &counter,
+            work: &mut [],
+            base: 0,
+        };
+        let mut scratch = InteractionList::new();
+        let mac = Mac::BarnesHut { theta: 0.7 };
+        walk_lists(&tree, &mac, &mut ev, &mut scratch);
+
+        for gi in tree.groups(hot_core::walk::default_group_size(tree.bucket)) {
+            let sinks = tree.cells[gi as usize].span();
+            let mut local = vec![Vec3::ZERO; sinks.len()];
+            let mut lev = GravityEvaluator {
+                acc: &mut local,
+                pot: None,
+                eps2: 1e-6,
+                quadrupole: true,
+                counter: &counter,
+                work: &mut [],
+                base: sinks.start,
+            };
+            hot_core::walk::walk_group_list(&tree, &mac, gi, &mut scratch);
+            lev.consume(&tree.pos, &tree.charge, sinks.clone(), &scratch);
+            for (k, i) in sinks.enumerate() {
+                assert_eq!(local[k], full[i], "sink {i}");
+            }
+        }
     }
 }

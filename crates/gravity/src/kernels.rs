@@ -12,6 +12,9 @@
 
 use hot_base::rsqrt::rsqrt;
 use hot_base::{SymMat3, Vec3};
+use hot_core::ilist::{PcView, PpView};
+use hot_core::moments::MassMoments;
+use std::ops::Range;
 
 /// Acceleration at a sink displaced by `d = x_sink − x_src` from a point
 /// mass `m`, with Plummer softening `eps2 = ε²`.
@@ -49,7 +52,7 @@ pub fn pc_mono_acc(d: Vec3, m: f64, eps2: f64) -> Vec3 {
 /// Derivation (with `Q` raw, `T = tr Q`):
 /// `φ(d) = −m/|d| − (3 dᵀQd − |d|²T) / (2|d|⁵)`, `a = −∇φ`:
 /// `a = −m d/|d|³ + (3Qd − Td)/|d|⁵ − (5/2)(3 dᵀQd − |d|²T) d/|d|⁷`.
-#[inline]
+#[inline(always)]
 pub fn pc_quad_acc(d: Vec3, m: f64, quad: &SymMat3, eps2: f64) -> Vec3 {
     let r2 = d.norm2() + eps2;
     let rinv = rsqrt(r2);
@@ -66,7 +69,7 @@ pub fn pc_quad_acc(d: Vec3, m: f64, quad: &SymMat3, eps2: f64) -> Vec3 {
 }
 
 /// Potential of the monopole + quadrupole expansion.
-#[inline]
+#[inline(always)]
 pub fn pc_quad_pot(d: Vec3, m: f64, quad: &SymMat3, eps2: f64) -> f64 {
     let r2 = d.norm2() + eps2;
     let rinv = rsqrt(r2);
@@ -76,6 +79,330 @@ pub fn pc_quad_pot(d: Vec3, m: f64, quad: &SymMat3, eps2: f64) -> f64 {
     let dqd = d.dot(quad.mul_vec(d));
     -m * rinv - 0.5 * (3.0 * dqd - r2 * tr) * rinv5
 }
+
+/// Whether a P-P segment can contain sink `i`'s self-pair at all.
+///
+/// Local sources carry consecutive tree-order indices, ghosts carry
+/// `u32::MAX`, so a range test on the endpoints decides for the whole
+/// segment — letting the batch kernels run the branch-free inner loop on
+/// every segment that cannot alias (the common case: all but the sink
+/// group's own leaves).
+#[inline(always)]
+fn may_alias(src: &PpView<'_, MassMoments>, sink: u32) -> bool {
+    match (src.idx.first(), src.idx.last()) {
+        (Some(&f), Some(&l)) => f != u32::MAX && f <= sink && sink <= l,
+        _ => false,
+    }
+}
+
+/// Batched P-P kernel: the acceleration at one sink from every source in
+/// a list segment, summed in list order (bitwise-identical to calling
+/// [`pp_acc`] source by source). `sink` is the sink's tree-order index,
+/// used only to skip its self-pair.
+pub fn pp_acc_batch(xi: Vec3, sink: u32, src: &PpView<'_, MassMoments>, eps2: f64) -> Vec3 {
+    let mut a = Vec3::ZERO;
+    if may_alias(src, sink) {
+        for j in 0..src.x.len() {
+            if src.idx[j] == sink {
+                continue;
+            }
+            let d = Vec3::new(xi.x - src.x[j], xi.y - src.y[j], xi.z - src.z[j]);
+            a += pp_acc(d, src.q[j], eps2);
+        }
+    } else {
+        for j in 0..src.x.len() {
+            let d = Vec3::new(xi.x - src.x[j], xi.y - src.y[j], xi.z - src.z[j]);
+            a += pp_acc(d, src.q[j], eps2);
+        }
+    }
+    a
+}
+
+/// Batched P-P kernel with potential; see [`pp_acc_batch`].
+pub fn pp_acc_pot_batch(
+    xi: Vec3,
+    sink: u32,
+    src: &PpView<'_, MassMoments>,
+    eps2: f64,
+) -> (Vec3, f64) {
+    let mut a = Vec3::ZERO;
+    let mut p = 0.0;
+    let alias = may_alias(src, sink);
+    for j in 0..src.x.len() {
+        if alias && src.idx[j] == sink {
+            continue;
+        }
+        let d = Vec3::new(xi.x - src.x[j], xi.y - src.y[j], xi.z - src.z[j]);
+        let (aj, pj) = pp_acc_pot(d, src.q[j], eps2);
+        a += aj;
+        p += pj;
+    }
+    (a, p)
+}
+
+/// Batched monopole P-C kernel: each cell's contribution is added to
+/// `*acc` directly, one cell at a time in list order — the accumulation
+/// order the callback evaluator used, kept bitwise.
+pub fn pc_mono_acc_batch(xi: Vec3, cells: &PcView<'_, MassMoments>, eps2: f64, acc: &mut Vec3) {
+    for k in 0..cells.x.len() {
+        let d = Vec3::new(xi.x - cells.x[k], xi.y - cells.y[k], xi.z - cells.z[k]);
+        *acc += pc_mono_acc(d, cells.m[k].mass, eps2);
+    }
+}
+
+/// Batched monopole P-C kernel with potential; see [`pc_mono_acc_batch`].
+/// The monopole potential is the point-mass potential of the cell's total
+/// mass at its center.
+pub fn pc_mono_acc_pot_batch(
+    xi: Vec3,
+    cells: &PcView<'_, MassMoments>,
+    eps2: f64,
+    acc: &mut Vec3,
+    pot: &mut f64,
+) {
+    for k in 0..cells.x.len() {
+        let d = Vec3::new(xi.x - cells.x[k], xi.y - cells.y[k], xi.z - cells.z[k]);
+        *acc += pc_mono_acc(d, cells.m[k].mass, eps2);
+        let (_, p) = pp_acc_pot(d, cells.m[k].mass, eps2);
+        *pot += p;
+    }
+}
+
+/// Batched monopole+quadrupole P-C kernel; see [`pc_mono_acc_batch`] for
+/// the accumulation-order contract.
+pub fn pc_quad_acc_batch(xi: Vec3, cells: &PcView<'_, MassMoments>, eps2: f64, acc: &mut Vec3) {
+    for k in 0..cells.x.len() {
+        let d = Vec3::new(xi.x - cells.x[k], xi.y - cells.y[k], xi.z - cells.z[k]);
+        *acc += pc_quad_acc(d, cells.m[k].mass, &cells.m[k].quad, eps2);
+    }
+}
+
+/// Batched monopole+quadrupole P-C kernel with potential.
+pub fn pc_quad_acc_pot_batch(
+    xi: Vec3,
+    cells: &PcView<'_, MassMoments>,
+    eps2: f64,
+    acc: &mut Vec3,
+    pot: &mut f64,
+) {
+    for k in 0..cells.x.len() {
+        let d = Vec3::new(xi.x - cells.x[k], xi.y - cells.y[k], xi.z - cells.z[k]);
+        *acc += pc_quad_acc(d, cells.m[k].mass, &cells.m[k].quad, eps2);
+        *pot += pc_quad_pot(d, cells.m[k].mass, &cells.m[k].quad, eps2);
+    }
+}
+
+/// Whether a P-P segment can contain a self-pair of *any* sink in `sinks`.
+/// Same consecutive-indices assumption as [`may_alias`].
+#[inline(always)]
+fn span_may_alias(src: &PpView<'_, MassMoments>, sinks: &Range<usize>) -> bool {
+    match (src.idx.first(), src.idx.last()) {
+        (Some(&f), Some(&l)) => {
+            f != u32::MAX && (f as usize) < sinks.end && sinks.start <= l as usize
+        }
+        _ => false,
+    }
+}
+
+/// Sink lanes processed together by the span kernels. Each lane is an
+/// independent accumulation chain, so a block keeps `LANES` interactions
+/// in flight through the long rsqrt dependency chain instead of one.
+pub const LANES: usize = 4;
+
+/// Span-blocked P-P kernel: one segment against a whole sink group.
+///
+/// `acc[k]` receives sink `sinks.start + k`'s segment sum, accumulated
+/// source-by-source in list order and added once — bitwise-identical to
+/// calling [`pp_acc_batch`] per sink, but with `LANES` sinks interleaved
+/// so their independent chains pipeline and each source is loaded once
+/// per block instead of once per sink. The source arrays are walked with
+/// zipped iterators so the inner loop carries no bounds checks.
+pub fn pp_acc_span(
+    sink_pos: &[Vec3],
+    sinks: Range<usize>,
+    src: &PpView<'_, MassMoments>,
+    eps2: f64,
+    acc: &mut [Vec3],
+) {
+    debug_assert_eq!(acc.len(), sinks.len());
+    let alias = span_may_alias(src, &sinks);
+    let mut k = 0;
+    while k + LANES <= sinks.len() {
+        let i0 = sinks.start + k;
+        let xi: [Vec3; LANES] = std::array::from_fn(|l| sink_pos[i0 + l]);
+        let mut a = [Vec3::ZERO; LANES];
+        if alias {
+            for ((((&sx, &sy), &sz), &q), &id) in
+                src.x.iter().zip(src.y).zip(src.z).zip(src.q).zip(src.idx)
+            {
+                let sj = Vec3::new(sx, sy, sz);
+                for l in 0..LANES {
+                    if id != (i0 + l) as u32 {
+                        a[l] += pp_acc(xi[l] - sj, q, eps2);
+                    }
+                }
+            }
+        } else {
+            for (((&sx, &sy), &sz), &q) in src.x.iter().zip(src.y).zip(src.z).zip(src.q) {
+                let sj = Vec3::new(sx, sy, sz);
+                for l in 0..LANES {
+                    a[l] += pp_acc(xi[l] - sj, q, eps2);
+                }
+            }
+        }
+        for l in 0..LANES {
+            acc[k + l] += a[l];
+        }
+        k += LANES;
+    }
+    for i in sinks.start + k..sinks.end {
+        acc[i - sinks.start] += pp_acc_batch(sink_pos[i], i as u32, src, eps2);
+    }
+}
+
+/// Span-blocked P-P kernel with potential; see [`pp_acc_span`].
+pub fn pp_acc_pot_span(
+    sink_pos: &[Vec3],
+    sinks: Range<usize>,
+    src: &PpView<'_, MassMoments>,
+    eps2: f64,
+    acc: &mut [Vec3],
+    pot: &mut [f64],
+) {
+    debug_assert_eq!(acc.len(), sinks.len());
+    debug_assert_eq!(pot.len(), sinks.len());
+    let alias = span_may_alias(src, &sinks);
+    let mut k = 0;
+    while k + LANES <= sinks.len() {
+        let i0 = sinks.start + k;
+        let xi: [Vec3; LANES] = std::array::from_fn(|l| sink_pos[i0 + l]);
+        let mut a = [Vec3::ZERO; LANES];
+        let mut p = [0.0f64; LANES];
+        for ((((&sx, &sy), &sz), &q), &id) in
+            src.x.iter().zip(src.y).zip(src.z).zip(src.q).zip(src.idx)
+        {
+            let sj = Vec3::new(sx, sy, sz);
+            let id = if alias { id } else { u32::MAX };
+            for l in 0..LANES {
+                if id != (i0 + l) as u32 {
+                    let (aj, pj) = pp_acc_pot(xi[l] - sj, q, eps2);
+                    a[l] += aj;
+                    p[l] += pj;
+                }
+            }
+        }
+        for l in 0..LANES {
+            acc[k + l] += a[l];
+            pot[k + l] += p[l];
+        }
+        k += LANES;
+    }
+    for i in sinks.start + k..sinks.end {
+        let (a, p) = pp_acc_pot_batch(sink_pos[i], i as u32, src, eps2);
+        acc[i - sinks.start] += a;
+        pot[i - sinks.start] += p;
+    }
+}
+
+macro_rules! pc_span_kernel {
+    ($name:ident, $batch:ident, $cell:expr) => {
+        /// Span-blocked P-C kernel: each cell's contribution is added to
+        /// each sink directly, cell-by-cell in list order — bitwise the
+        /// per-sink batch kernel, `LANES` sinks at a time.
+        pub fn $name(
+            sink_pos: &[Vec3],
+            sinks: Range<usize>,
+            cells: &PcView<'_, MassMoments>,
+            eps2: f64,
+            acc: &mut [Vec3],
+        ) {
+            debug_assert_eq!(acc.len(), sinks.len());
+            let mut k = 0;
+            while k + LANES <= sinks.len() {
+                let i0 = sinks.start + k;
+                let xi: [Vec3; LANES] = std::array::from_fn(|l| sink_pos[i0 + l]);
+                let mut a: [Vec3; LANES] = std::array::from_fn(|l| acc[k + l]);
+                for (((&cx, &cy), &cz), m) in
+                    cells.x.iter().zip(cells.y).zip(cells.z).zip(cells.m)
+                {
+                    let cj = Vec3::new(cx, cy, cz);
+                    for l in 0..LANES {
+                        a[l] += $cell(xi[l] - cj, m, eps2);
+                    }
+                }
+                for l in 0..LANES {
+                    acc[k + l] = a[l];
+                }
+                k += LANES;
+            }
+            for i in sinks.start + k..sinks.end {
+                $batch(sink_pos[i], cells, eps2, &mut acc[i - sinks.start]);
+            }
+        }
+    };
+}
+
+pc_span_kernel!(pc_mono_acc_span, pc_mono_acc_batch, |d, m: &MassMoments, eps2| pc_mono_acc(
+    d, m.mass, eps2
+));
+pc_span_kernel!(pc_quad_acc_span, pc_quad_acc_batch, |d, m: &MassMoments, eps2| pc_quad_acc(
+    d,
+    m.mass,
+    &m.quad,
+    eps2
+));
+
+macro_rules! pc_span_pot_kernel {
+    ($name:ident, $batch:ident, $cell:expr) => {
+        /// Span-blocked P-C kernel with potential; see the acceleration
+        /// variant for the accumulation-order contract.
+        pub fn $name(
+            sink_pos: &[Vec3],
+            sinks: Range<usize>,
+            cells: &PcView<'_, MassMoments>,
+            eps2: f64,
+            acc: &mut [Vec3],
+            pot: &mut [f64],
+        ) {
+            debug_assert_eq!(acc.len(), sinks.len());
+            debug_assert_eq!(pot.len(), sinks.len());
+            let mut k = 0;
+            while k + LANES <= sinks.len() {
+                let i0 = sinks.start + k;
+                let xi: [Vec3; LANES] = std::array::from_fn(|l| sink_pos[i0 + l]);
+                let mut a: [Vec3; LANES] = std::array::from_fn(|l| acc[k + l]);
+                let mut p: [f64; LANES] = std::array::from_fn(|l| pot[k + l]);
+                for (((&cx, &cy), &cz), m) in
+                    cells.x.iter().zip(cells.y).zip(cells.z).zip(cells.m)
+                {
+                    let cj = Vec3::new(cx, cy, cz);
+                    for l in 0..LANES {
+                        let (aj, pj) = $cell(xi[l] - cj, m, eps2);
+                        a[l] += aj;
+                        p[l] += pj;
+                    }
+                }
+                for l in 0..LANES {
+                    acc[k + l] = a[l];
+                    pot[k + l] = p[l];
+                }
+                k += LANES;
+            }
+            for i in sinks.start + k..sinks.end {
+                $batch(sink_pos[i], cells, eps2, &mut acc[i - sinks.start], &mut pot[i - sinks.start]);
+            }
+        }
+    };
+}
+
+pc_span_pot_kernel!(pc_mono_acc_pot_span, pc_mono_acc_pot_batch, |d, m: &MassMoments, eps2| {
+    let a = pc_mono_acc(d, m.mass, eps2);
+    let (_, p) = pp_acc_pot(d, m.mass, eps2);
+    (a, p)
+});
+pc_span_pot_kernel!(pc_quad_acc_pot_span, pc_quad_acc_pot_batch, |d, m: &MassMoments, eps2| {
+    (pc_quad_acc(d, m.mass, &m.quad, eps2), pc_quad_pot(d, m.mass, &m.quad, eps2))
+});
 
 #[cfg(test)]
 mod tests {

@@ -10,8 +10,10 @@
 //!
 //! The paper notes the gravity application is ~2000 lines against the
 //! ~20,000-line library — the same proportions hold here: this crate plugs
-//! into `hot-core` through the `Moments`/`Evaluator` traits and adds only
-//! physics.
+//! into `hot-core` through the `Moments`/`ListConsumer` traits and adds
+//! only physics. Force evaluation runs the interaction-list pipeline: the
+//! walk builds per-group lists, [`ForceCalc`] applies them with batched
+//! kernels (see `hot_core::ilist`).
 
 #![warn(missing_docs)]
 
@@ -30,7 +32,12 @@ pub use dist::{
 pub use error::{force_accuracy, ForceErrorReport};
 pub use evaluator::{record_force_phase, GravityEvaluator};
 pub use leapfrog::NBodySystem;
+pub use treecode::{ForceCalc, ForceResult, TreecodeOptions};
+#[allow(deprecated)] // re-exported for one release alongside their replacement
 pub use treecode::{
     tree_accelerations, tree_accelerations_parallel, tree_accelerations_parallel_traced,
-    tree_accelerations_traced, ForceResult, TreecodeOptions,
+    tree_accelerations_traced,
 };
+
+#[cfg(test)]
+mod proptests;

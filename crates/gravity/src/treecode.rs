@@ -1,11 +1,23 @@
-//! High-level treecode force evaluation, serial and shared-memory parallel.
+//! High-level treecode force evaluation behind a single entry point.
+//!
+//! [`ForceCalc`] owns the reusable interaction-list buffers and runs the
+//! paper's two-stage pipeline: build each sink group's
+//! [`InteractionList`] (list-build, the `Walk` phase), then apply it with
+//! the batched kernels through [`GravityEvaluator`] (list-apply, the
+//! `Force` phase). Parallelism and tracing are options, not separate
+//! functions: `opts.parallel` fans sink-group chunks out on rayon, and
+//! the `_traced` variant attributes phases to a [`Ledger`]. Serial and
+//! parallel evaluation are bitwise identical — every sink's accumulation
+//! order is fixed by its group's list, regardless of which worker applies
+//! it.
 
 use crate::evaluator::{record_force_phase, GravityEvaluator};
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, Vec3};
+use hot_core::ilist::InteractionList;
 use hot_core::moments::MassMoments;
 use hot_core::tree::Tree;
-use hot_core::walk::{default_group_size, walk_group, WalkStats};
+use hot_core::walk::{default_group_size, walk_group_list, WalkStats};
 use hot_core::Mac;
 use hot_trace::{Ledger, Phase};
 use rayon::prelude::*;
@@ -21,6 +33,10 @@ pub struct TreecodeOptions {
     pub eps2: f64,
     /// Include the quadrupole term.
     pub quadrupole: bool,
+    /// Apply sink-group chunks on the rayon pool (the "both processors
+    /// per node compute" configuration). Results are bitwise identical to
+    /// serial evaluation.
+    pub parallel: bool,
 }
 
 impl Default for TreecodeOptions {
@@ -30,6 +46,7 @@ impl Default for TreecodeOptions {
             bucket: 16,
             eps2: 0.0,
             quadrupole: true,
+            parallel: false,
         }
     }
 }
@@ -48,154 +65,169 @@ pub struct ForceResult {
     pub stats: WalkStats,
 }
 
-/// Serial treecode evaluation of the accelerations of every particle.
-pub fn tree_accelerations(
-    domain: Aabb,
-    pos: &[Vec3],
-    mass: &[f64],
-    opts: &TreecodeOptions,
-    counter: &FlopCounter,
-    want_pot: bool,
-) -> ForceResult {
-    tree_accelerations_traced(domain, pos, mass, opts, counter, want_pot, &mut Ledger::scratch())
+/// Number of sink-group chunks the parallel path splits into. Fixed (not
+/// derived from the worker count) so the chunking — and with it every
+/// buffer boundary — is deterministic on any machine.
+const PARALLEL_CHUNKS: usize = 16;
+
+/// The treecode force calculator: one entry point, holding the
+/// interaction-list buffers that are reused across calls and substeps so
+/// steady-state evaluation does not allocate list storage.
+#[derive(Clone, Default)]
+pub struct ForceCalc {
+    lists: Vec<InteractionList<MassMoments>>,
 }
 
-/// [`tree_accelerations`] with phase tracing: tree build, traversal and
-/// force arithmetic are attributed to `TreeBuild` / `Walk` / `Force`
-/// spans of `trace`.
-#[allow(clippy::too_many_arguments)]
-pub fn tree_accelerations_traced(
-    domain: Aabb,
-    pos: &[Vec3],
-    mass: &[f64],
-    opts: &TreecodeOptions,
-    counter: &FlopCounter,
-    want_pot: bool,
-    trace: &mut Ledger,
-) -> ForceResult {
-    trace.begin(Phase::TreeBuild);
-    let tree = Tree::<MassMoments>::build(domain, pos, mass, opts.bucket);
-    tree.record_build(trace);
-    trace.end();
-
-    let n = pos.len();
-    let mut acc_sorted = vec![Vec3::ZERO; n];
-    let mut pot_sorted = vec![0.0f64; n];
-    let mut work_sorted = vec![0.0f32; n];
-    let mut stats = WalkStats::default();
-    let flops_before = counter.report().flops();
-    trace.begin(Phase::Walk);
-    {
-        let mut ev = GravityEvaluator {
-            acc: &mut acc_sorted,
-            pot: want_pot.then_some(&mut pot_sorted[..]),
-            eps2: opts.eps2,
-            quadrupole: opts.quadrupole,
-            counter,
-            work: &mut work_sorted,
-        };
-        for gi in tree.groups(default_group_size(opts.bucket)) {
-            stats.merge(&walk_group(&tree, &opts.mac, gi, &mut ev));
-        }
+impl std::fmt::Debug for ForceCalc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForceCalc").field("list_buffers", &self.lists.len()).finish()
     }
-    stats.record_traversal(trace);
-    trace.end();
-    record_force_phase(trace, &stats, counter.report().flops() - flops_before);
-    unsort(&tree, &acc_sorted, &pot_sorted, &work_sorted, stats, want_pot)
 }
 
-/// Shared-memory parallel treecode evaluation: sink groups are walked on
-/// the rayon pool (the "both processors per node compute" configuration).
-pub fn tree_accelerations_parallel(
-    domain: Aabb,
-    pos: &[Vec3],
-    mass: &[f64],
-    opts: &TreecodeOptions,
-    counter: &FlopCounter,
-    want_pot: bool,
-) -> ForceResult {
-    tree_accelerations_parallel_traced(
-        domain,
-        pos,
-        mass,
-        opts,
-        counter,
-        want_pot,
-        &mut Ledger::scratch(),
-    )
-}
+impl ForceCalc {
+    /// A calculator with empty buffers.
+    pub fn new() -> Self {
+        ForceCalc::default()
+    }
 
-/// [`tree_accelerations_parallel`] with phase tracing. The recorded
-/// counters are identical to the serial traced variant's: the traversal is
-/// deterministic regardless of which rayon worker walks each group, and
-/// the flop delta sums atomic per-kind counts.
-#[allow(clippy::too_many_arguments)]
-pub fn tree_accelerations_parallel_traced(
-    domain: Aabb,
-    pos: &[Vec3],
-    mass: &[f64],
-    opts: &TreecodeOptions,
-    counter: &FlopCounter,
-    want_pot: bool,
-    trace: &mut Ledger,
-) -> ForceResult {
-    trace.begin(Phase::TreeBuild);
-    let tree = Tree::<MassMoments>::build(domain, pos, mass, opts.bucket);
-    tree.record_build(trace);
-    trace.end();
-    let flops_before = counter.report().flops();
-    trace.begin(Phase::Walk);
-    let n = pos.len();
-    let groups = tree.groups(default_group_size(opts.bucket));
+    /// Evaluate the accelerations (and optionally potentials) of every
+    /// particle.
+    pub fn compute(
+        &mut self,
+        domain: Aabb,
+        pos: &[Vec3],
+        mass: &[f64],
+        opts: &TreecodeOptions,
+        counter: &FlopCounter,
+        want_pot: bool,
+    ) -> ForceResult {
+        self.compute_traced(domain, pos, mass, opts, counter, want_pot, &mut Ledger::scratch())
+    }
 
-    // Each group owns a disjoint sink span; walk groups in parallel into
-    // per-group buffers, then scatter.
-    let results: Vec<GroupBuffers> = groups
-        .par_iter()
-        .map(|&gi| {
-            let span = tree.cells[gi as usize].span();
-            let len = span.len();
-            let mut acc = vec![Vec3::ZERO; n];
-            let mut pot = vec![0.0f64; n];
-            let mut work = vec![0.0f32; n];
-            let stats = {
-                let mut ev = GravityEvaluator {
-                    acc: &mut acc,
-                    pot: want_pot.then_some(&mut pot[..]),
-                    eps2: opts.eps2,
-                    quadrupole: opts.quadrupole,
-                    counter,
-                    work: &mut work,
-                };
-                walk_group(&tree, &opts.mac, gi, &mut ev)
+    /// [`compute`](ForceCalc::compute) with phase tracing: tree build,
+    /// list build and list apply are attributed to `TreeBuild` / `Walk` /
+    /// `Force` spans of `trace`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_traced(
+        &mut self,
+        domain: Aabb,
+        pos: &[Vec3],
+        mass: &[f64],
+        opts: &TreecodeOptions,
+        counter: &FlopCounter,
+        want_pot: bool,
+        trace: &mut Ledger,
+    ) -> ForceResult {
+        trace.begin(Phase::TreeBuild);
+        let tree = Tree::<MassMoments>::build(domain, pos, mass, opts.bucket);
+        tree.record_build(trace);
+        trace.end();
+
+        let n = pos.len();
+        let groups = tree.groups(default_group_size(opts.bucket));
+        let flops_before = counter.report().flops();
+        trace.begin(Phase::Walk);
+        let mut acc_sorted = vec![Vec3::ZERO; n];
+        let mut pot_sorted = vec![0.0f64; n];
+        let mut work_sorted = vec![0.0f32; n];
+        let mut stats = WalkStats::default();
+
+        if opts.parallel && groups.len() > 1 {
+            let chunks = chunk_ranges(groups.len(), PARALLEL_CHUNKS);
+            if self.lists.len() < chunks.len() {
+                self.lists.resize_with(chunks.len(), InteractionList::new);
+            }
+            let results: Vec<ChunkBuffers> = self.lists[..chunks.len()]
+                .par_iter_mut()
+                .zip(chunks)
+                .map(|(list, gr)| {
+                    let spans: Vec<std::ops::Range<usize>> = groups[gr.clone()]
+                        .iter()
+                        .map(|&gi| tree.cells[gi as usize].span())
+                        .collect();
+                    let base = spans.iter().map(|s| s.start).min().unwrap_or(0);
+                    let end = spans.iter().map(|s| s.end).max().unwrap_or(0);
+                    let len = end - base;
+                    let mut acc = vec![Vec3::ZERO; len];
+                    let mut pot = vec![0.0f64; len];
+                    let mut work = vec![0.0f32; len];
+                    let mut stats = WalkStats::default();
+                    {
+                        let mut ev = GravityEvaluator {
+                            acc: &mut acc,
+                            pot: want_pot.then_some(&mut pot[..]),
+                            eps2: opts.eps2,
+                            quadrupole: opts.quadrupole,
+                            counter,
+                            work: &mut work,
+                            base,
+                        };
+                        for (k, &gi) in groups[gr].iter().enumerate() {
+                            use hot_core::ilist::ListConsumer as _;
+                            stats.merge(&walk_group_list(&tree, &opts.mac, gi, list));
+                            ev.consume(&tree.pos, &tree.charge, spans[k].clone(), list);
+                        }
+                    }
+                    (spans, base, acc, pot, work, stats)
+                })
+                .collect();
+            for (spans, base, a, p, w, s) in results {
+                // Scatter per group span: groups are disjoint, so chunk
+                // buffers never overlap where they carry data.
+                for span in spans {
+                    let local = span.start - base..span.end - base;
+                    acc_sorted[span.clone()].copy_from_slice(&a[local.clone()]);
+                    pot_sorted[span.clone()].copy_from_slice(&p[local.clone()]);
+                    work_sorted[span].copy_from_slice(&w[local]);
+                }
+                stats.merge(&s);
+            }
+        } else {
+            if self.lists.is_empty() {
+                self.lists.push(InteractionList::new());
+            }
+            let list = &mut self.lists[0];
+            let mut ev = GravityEvaluator {
+                acc: &mut acc_sorted,
+                pot: want_pot.then_some(&mut pot_sorted[..]),
+                eps2: opts.eps2,
+                quadrupole: opts.quadrupole,
+                counter,
+                work: &mut work_sorted,
+                base: 0,
             };
-            let acc_span = acc[span.clone()].to_vec();
-            let pot_span = pot[span.clone()].to_vec();
-            let work_span = work[span.clone()].to_vec();
-            debug_assert_eq!(acc_span.len(), len);
-            (span, acc_span, pot_span, work_span, stats)
-        })
-        .collect();
-
-    let mut acc_sorted = vec![Vec3::ZERO; n];
-    let mut pot_sorted = vec![0.0f64; n];
-    let mut work_sorted = vec![0.0f32; n];
-    let mut stats = WalkStats::default();
-    for (span, a, p, w, s) in results {
-        acc_sorted[span.clone()].copy_from_slice(&a);
-        pot_sorted[span.clone()].copy_from_slice(&p);
-        work_sorted[span].copy_from_slice(&w);
-        stats.merge(&s);
+            for gi in groups {
+                use hot_core::ilist::ListConsumer as _;
+                stats.merge(&walk_group_list(&tree, &opts.mac, gi, list));
+                ev.consume(&tree.pos, &tree.charge, tree.cells[gi as usize].span(), list);
+            }
+        }
+        stats.record_traversal(trace);
+        trace.end();
+        record_force_phase(trace, &stats, counter.report().flops() - flops_before);
+        unsort(&tree, &acc_sorted, &pot_sorted, &work_sorted, stats, want_pot)
     }
-    stats.record_traversal(trace);
-    trace.end();
-    record_force_phase(trace, &stats, counter.report().flops() - flops_before);
-    unsort(&tree, &acc_sorted, &pot_sorted, &work_sorted, stats, want_pot)
 }
 
-/// One group's walk output: sink span plus per-body acc/pot/work buffers
-/// and the walk statistics.
-type GroupBuffers = (std::ops::Range<usize>, Vec<Vec3>, Vec<f64>, Vec<f32>, WalkStats);
+/// Split `0..len` into at most `parts` contiguous, nearly equal ranges.
+fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.min(len).max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut at = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        out.push(at..at + sz);
+        at += sz;
+    }
+    out
+}
+
+/// One chunk's apply output: its group spans, buffer base, span-local
+/// acc/pot/work buffers and the merged walk statistics.
+type ChunkBuffers =
+    (Vec<std::ops::Range<usize>>, usize, Vec<Vec3>, Vec<f64>, Vec<f32>, WalkStats);
 
 fn unsort(
     tree: &Tree<MassMoments>,
@@ -217,6 +249,72 @@ fn unsort(
         work[orig as usize] = work_sorted[sorted_i];
     }
     ForceResult { acc, pot, work, stats }
+}
+
+/// Serial treecode evaluation of the accelerations of every particle.
+#[deprecated(note = "use ForceCalc::compute (interaction-list pipeline); removed next release")]
+pub fn tree_accelerations(
+    domain: Aabb,
+    pos: &[Vec3],
+    mass: &[f64],
+    opts: &TreecodeOptions,
+    counter: &FlopCounter,
+    want_pot: bool,
+) -> ForceResult {
+    let opts = TreecodeOptions { parallel: false, ..*opts };
+    ForceCalc::new().compute(domain, pos, mass, &opts, counter, want_pot)
+}
+
+/// Serial traced treecode evaluation.
+#[deprecated(
+    note = "use ForceCalc::compute_traced (interaction-list pipeline); removed next release"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn tree_accelerations_traced(
+    domain: Aabb,
+    pos: &[Vec3],
+    mass: &[f64],
+    opts: &TreecodeOptions,
+    counter: &FlopCounter,
+    want_pot: bool,
+    trace: &mut Ledger,
+) -> ForceResult {
+    let opts = TreecodeOptions { parallel: false, ..*opts };
+    ForceCalc::new().compute_traced(domain, pos, mass, &opts, counter, want_pot, trace)
+}
+
+/// Parallel treecode evaluation.
+#[deprecated(
+    note = "use ForceCalc::compute with opts.parallel = true; removed next release"
+)]
+pub fn tree_accelerations_parallel(
+    domain: Aabb,
+    pos: &[Vec3],
+    mass: &[f64],
+    opts: &TreecodeOptions,
+    counter: &FlopCounter,
+    want_pot: bool,
+) -> ForceResult {
+    let opts = TreecodeOptions { parallel: true, ..*opts };
+    ForceCalc::new().compute(domain, pos, mass, &opts, counter, want_pot)
+}
+
+/// Parallel traced treecode evaluation.
+#[deprecated(
+    note = "use ForceCalc::compute_traced with opts.parallel = true; removed next release"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn tree_accelerations_parallel_traced(
+    domain: Aabb,
+    pos: &[Vec3],
+    mass: &[f64],
+    opts: &TreecodeOptions,
+    counter: &FlopCounter,
+    want_pot: bool,
+    trace: &mut Ledger,
+) -> ForceResult {
+    let opts = TreecodeOptions { parallel: true, ..*opts };
+    ForceCalc::new().compute_traced(domain, pos, mass, &opts, counter, want_pot, trace)
 }
 
 #[cfg(test)]
@@ -241,9 +339,9 @@ mod tests {
             mac: Mac::BarnesHut { theta: 0.5 },
             bucket: 8,
             eps2: 1e-6,
-            quadrupole: true,
+            ..Default::default()
         };
-        let res = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+        let res = ForceCalc::new().compute(Aabb::unit(), &pos, &mass, &opts, &counter, false);
         let mut rms = 0.0;
         for (a, e) in res.acc.iter().zip(&exact) {
             let rel = (*a - *e).norm() / e.norm().max(1e-12);
@@ -259,14 +357,28 @@ mod tests {
     fn parallel_matches_serial_exactly() {
         let (pos, mass) = random_system(1200, 11);
         let counter = FlopCounter::new();
-        let opts = TreecodeOptions::default();
-        let a = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, true);
-        let b = tree_accelerations_parallel(Aabb::unit(), &pos, &mass, &opts, &counter, true);
+        let serial = TreecodeOptions::default();
+        let parallel = TreecodeOptions { parallel: true, ..serial };
+        let mut calc = ForceCalc::new();
+        let a = calc.compute(Aabb::unit(), &pos, &mass, &serial, &counter, true);
+        let b = calc.compute(Aabb::unit(), &pos, &mass, &parallel, &counter, true);
         assert_eq!(a.stats, b.stats, "same traversal, same counts");
         for i in 0..pos.len() {
-            assert!((a.acc[i] - b.acc[i]).norm() < 1e-12);
-            assert!((a.pot[i] - b.pot[i]).abs() < 1e-12);
+            assert_eq!(a.acc[i], b.acc[i], "parallel apply must be bitwise");
+            assert_eq!(a.pot[i], b.pot[i]);
         }
+    }
+
+    #[test]
+    fn buffers_reused_across_calls_bitwise() {
+        let (pos, mass) = random_system(700, 13);
+        let counter = FlopCounter::new();
+        let opts = TreecodeOptions { parallel: true, ..Default::default() };
+        let mut calc = ForceCalc::new();
+        let a = calc.compute(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+        let b = calc.compute(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.acc, b.acc, "reused list buffers must not change results");
     }
 
     #[test]
@@ -278,10 +390,11 @@ mod tests {
             let opts = TreecodeOptions {
                 mac: Mac::BarnesHut { theta: 0.8 },
                 bucket: 8,
-                eps2: 0.0,
                 quadrupole: quad,
+                ..Default::default()
             };
-            let res = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+            let res =
+                ForceCalc::new().compute(Aabb::unit(), &pos, &mass, &opts, &counter, false);
             let mut rms = 0.0;
             for (a, e) in res.acc.iter().zip(&exact) {
                 let rel = (*a - *e).norm() / e.norm().max(1e-12);
@@ -292,5 +405,18 @@ mod tests {
         let mono = rms_of(false);
         let quad = rms_of(true);
         assert!(quad < mono, "quad {quad} must beat mono {mono}");
+    }
+
+    #[test]
+    fn deprecated_shims_delegate() {
+        #![allow(deprecated)]
+        let (pos, mass) = random_system(300, 14);
+        let counter = FlopCounter::new();
+        let opts = TreecodeOptions::default();
+        let a = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+        let b = ForceCalc::new().compute(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+        assert_eq!(a.acc, b.acc);
+        let c = tree_accelerations_parallel(Aabb::unit(), &pos, &mass, &opts, &counter, false);
+        assert_eq!(a.acc, c.acc);
     }
 }

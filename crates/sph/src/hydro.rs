@@ -1,9 +1,19 @@
 //! SPH density, forces, and time integration (adiabatic, with Monaghan
 //! artificial viscosity), plus the Sod shock-tube validation problem.
+//!
+//! The neighbour loops run through the same list-consumer seam as the
+//! gravity and vortex solvers: each particle's neighbour list is gathered
+//! into an [`InteractionList`] P-P segment (mass as the charge, true
+//! particle indices in `idx` so self-pairs stay detectable) and applied by
+//! a [`ListConsumer`] — the density and force kernels never see the
+//! neighbour lists directly.
 
 use crate::kernel::{dw_dr, w, Dim};
 use hot_base::flops::{FlopCounter, Kind};
 use hot_base::Vec3;
+use hot_core::ilist::{InteractionList, ListConsumer, Segment};
+use hot_core::moments::MassMoments;
+use std::ops::Range;
 
 /// An SPH particle system (dimension-agnostic: unused coordinates stay 0).
 #[derive(Clone, Debug)]
@@ -57,17 +67,15 @@ impl SphSystem {
     /// Summation density: `ρᵢ = Σⱼ mⱼ W(|rᵢⱼ|, hᵢ)` over the provided
     /// neighbour lists (indices into this system's arrays).
     pub fn compute_density(&mut self, neighbors: &[Vec<u32>], counter: &FlopCounter) {
-        let mut pairs = 0u64;
+        let SphSystem { pos, mass, h, rho, dim, .. } = self;
+        let mut consumer = SphDensity { h, dim: *dim, rho, pairs: 0 };
+        let mut list = InteractionList::new();
         for (i, nbrs) in neighbors.iter().enumerate() {
-            let mut rho = 0.0;
-            for &j in nbrs {
-                let r = (self.pos[i] - self.pos[j as usize]).norm();
-                rho += self.mass[j as usize] * w(r, self.h[i], self.dim);
-            }
-            self.rho[i] = rho;
-            pairs += nbrs.len() as u64;
+            list.clear();
+            list.push_pp_gather(nbrs, pos, mass);
+            consumer.consume(pos, mass, i..i + 1, &list);
         }
-        counter.add(Kind::SphPair, pairs);
+        counter.add(Kind::SphPair, consumer.pairs);
     }
 
     /// Momentum and energy derivatives with the symmetric pressure form
@@ -82,49 +90,124 @@ impl SphSystem {
         let n = self.pos.len();
         let mut acc = vec![Vec3::ZERO; n];
         let mut dudt = vec![0.0; n];
-        let mut pairs = 0u64;
-        for i in 0..n {
-            let pi = self.pressure(i);
-            let ci = self.sound_speed(i);
-            let mut a = Vec3::ZERO;
-            let mut du = 0.0;
-            for &j in &neighbors[i] {
-                let j = j as usize;
-                if j == i {
-                    continue;
-                }
-                let dx = self.pos[i] - self.pos[j];
-                let r = dx.norm();
-                if r == 0.0 {
-                    continue;
-                }
-                let hbar = 0.5 * (self.h[i] + self.h[j]);
-                let grad = dx * (dw_dr(r, hbar, self.dim) / r);
-                let pj = self.pressure(j);
-                // Monaghan viscosity.
-                let dv = self.vel[i] - self.vel[j];
-                let vdotr = dv.dot(dx);
-                let pi_visc = if vdotr < 0.0 {
-                    let cj = self.sound_speed(j);
-                    let mu = hbar * vdotr / (r * r + 0.01 * hbar * hbar);
-                    let cbar = 0.5 * (ci + cj);
-                    let rhobar = 0.5 * (self.rho[i] + self.rho[j]);
-                    (-visc.alpha * cbar * mu + visc.beta * mu * mu) / rhobar
-                } else {
-                    0.0
-                };
-                let term = pi / (self.rho[i] * self.rho[i])
-                    + pj / (self.rho[j] * self.rho[j])
-                    + pi_visc;
-                a -= grad * (self.mass[j] * term);
-                du += 0.5 * self.mass[j] * term * dv.dot(grad);
-                pairs += 1;
-            }
-            acc[i] = a;
-            dudt[i] = du;
+        let mut consumer =
+            SphForces { sys: self, visc: *visc, acc: &mut acc, dudt: &mut dudt, pairs: 0 };
+        let mut list = InteractionList::new();
+        for (i, nbrs) in neighbors.iter().enumerate() {
+            list.clear();
+            list.push_pp_gather(nbrs, &self.pos, &self.mass);
+            consumer.consume(&self.pos, &self.mass, i..i + 1, &list);
         }
+        let pairs = consumer.pairs;
         counter.add(Kind::SphPair, pairs);
         (acc, dudt)
+    }
+}
+
+/// List consumer for summation density. Unlike the gravity kernels, the
+/// self entry is *not* skipped: `W(0, h)` is the particle's own density
+/// contribution, and every listed entry counts as one `SphPair`.
+struct SphDensity<'a> {
+    h: &'a [f64],
+    dim: Dim,
+    rho: &'a mut [f64],
+    pairs: u64,
+}
+
+impl ListConsumer<MassMoments> for SphDensity<'_> {
+    fn consume(
+        &mut self,
+        sink_pos: &[Vec3],
+        _sink_charge: &[f64],
+        sinks: Range<usize>,
+        list: &InteractionList<MassMoments>,
+    ) {
+        for i in sinks {
+            let xi = sink_pos[i];
+            let mut rho = 0.0;
+            for seg in list.segments() {
+                if let Segment::Pp(src) = seg {
+                    for j in 0..src.x.len() {
+                        let d = Vec3::new(xi.x - src.x[j], xi.y - src.y[j], xi.z - src.z[j]);
+                        rho += src.q[j] * w(d.norm(), self.h[i], self.dim);
+                    }
+                }
+            }
+            self.rho[i] = rho;
+            self.pairs += list.pp_entries();
+        }
+    }
+}
+
+/// List consumer for the symmetric pressure force and energy equation.
+/// Per-source fields beyond `(x, m)` — velocity, density, energy,
+/// smoothing length — are gathered through the segment's true particle
+/// indices; self-pairs and coincident particles are skipped and only the
+/// processed pairs count as `SphPair`s.
+struct SphForces<'a> {
+    sys: &'a SphSystem,
+    visc: Viscosity,
+    acc: &'a mut [Vec3],
+    dudt: &'a mut [f64],
+    pairs: u64,
+}
+
+impl ListConsumer<MassMoments> for SphForces<'_> {
+    fn consume(
+        &mut self,
+        sink_pos: &[Vec3],
+        _sink_charge: &[f64],
+        sinks: Range<usize>,
+        list: &InteractionList<MassMoments>,
+    ) {
+        let sys = self.sys;
+        for i in sinks {
+            let xi = sink_pos[i];
+            let pi = sys.pressure(i);
+            let ci = sys.sound_speed(i);
+            let mut a = Vec3::ZERO;
+            let mut du = 0.0;
+            for seg in list.segments() {
+                let src = match seg {
+                    Segment::Pp(src) => src,
+                    Segment::Pc(_) => continue,
+                };
+                for (k, &jj) in src.idx.iter().enumerate() {
+                    let j = jj as usize;
+                    if j == i {
+                        continue;
+                    }
+                    let dx = Vec3::new(xi.x - src.x[k], xi.y - src.y[k], xi.z - src.z[k]);
+                    let r = dx.norm();
+                    if r == 0.0 {
+                        continue;
+                    }
+                    let hbar = 0.5 * (sys.h[i] + sys.h[j]);
+                    let grad = dx * (dw_dr(r, hbar, sys.dim) / r);
+                    let pj = sys.pressure(j);
+                    // Monaghan viscosity.
+                    let dv = sys.vel[i] - sys.vel[j];
+                    let vdotr = dv.dot(dx);
+                    let pi_visc = if vdotr < 0.0 {
+                        let cj = sys.sound_speed(j);
+                        let mu = hbar * vdotr / (r * r + 0.01 * hbar * hbar);
+                        let cbar = 0.5 * (ci + cj);
+                        let rhobar = 0.5 * (sys.rho[i] + sys.rho[j]);
+                        (-self.visc.alpha * cbar * mu + self.visc.beta * mu * mu) / rhobar
+                    } else {
+                        0.0
+                    };
+                    let term = pi / (sys.rho[i] * sys.rho[i])
+                        + pj / (sys.rho[j] * sys.rho[j])
+                        + pi_visc;
+                    a -= grad * (src.q[k] * term);
+                    du += 0.5 * src.q[k] * term * dv.dot(grad);
+                    self.pairs += 1;
+                }
+            }
+            self.acc[i] = a;
+            self.dudt[i] = du;
+        }
     }
 }
 

@@ -80,10 +80,17 @@ pub enum Counter {
     MsgsRecvd,
     /// Bytes received.
     BytesRecvd,
+    /// P-P source *entries* pushed into interaction lists during the walk
+    /// (list-build side). One entry fans out to one interaction per sink in
+    /// the group, so `PpInteractions / PpListed` ≈ the group-size
+    /// amortization the paper's list split buys.
+    PpListed,
+    /// P-C accepted-cell entries pushed into interaction lists.
+    PcListed,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 13;
+pub const COUNTER_COUNT: usize = 15;
 
 /// Every counter, in canonical (schema) order.
 pub const COUNTERS: [Counter; COUNTER_COUNT] = [
@@ -100,6 +107,8 @@ pub const COUNTERS: [Counter; COUNTER_COUNT] = [
     Counter::BytesSent,
     Counter::MsgsRecvd,
     Counter::BytesRecvd,
+    Counter::PpListed,
+    Counter::PcListed,
 ];
 
 impl Counter {
@@ -120,6 +129,8 @@ impl Counter {
             Counter::BytesSent => 10,
             Counter::MsgsRecvd => 11,
             Counter::BytesRecvd => 12,
+            Counter::PpListed => 13,
+            Counter::PcListed => 14,
         }
     }
 
@@ -139,11 +150,13 @@ impl Counter {
             Counter::BytesSent => "bytes_sent",
             Counter::MsgsRecvd => "msgs_recvd",
             Counter::BytesRecvd => "bytes_recvd",
+            Counter::PpListed => "pp_listed",
+            Counter::PcListed => "pc_listed",
         }
     }
 }
 
-/// A fixed-width vector of the 13 [`Counter`] values.
+/// A fixed-width vector of the 15 [`Counter`] values.
 ///
 /// Merging is componentwise addition, so it is associative and commutative
 /// (the property suite pins this) — a `CounterSet` can be reduced across

@@ -1,19 +1,20 @@
-//! Treecode evaluator for the vortex particle method.
+//! Treecode list consumer for the vortex particle method.
 //!
-//! Exactly the same [`Evaluator`] seam the gravity module uses — the paper's
-//! point is that "the vortex particle method is implemented with 2500 lines
-//! interfaced to exactly the same library". Cells interact through their
-//! total strength `Σαⱼ` placed at the `|α|`-weighted centroid (the vector
-//! analogue of the monopole; the far field of the regularized kernel is the
-//! singular Biot–Savart kernel, so the approximation error is governed by
-//! the same `b2`-style bound the Salmon–Warren MAC tracks).
+//! Exactly the same [`ListConsumer`] seam the gravity module uses — the
+//! paper's point is that "the vortex particle method is implemented with
+//! 2500 lines interfaced to exactly the same library". The traversal
+//! records each sink group's interaction list; this consumer streams the
+//! list through the batched Biot–Savart kernels. Cells interact through
+//! their total strength `Σαⱼ` placed at the `|α|`-weighted centroid (the
+//! vector analogue of the monopole; the far field of the regularized
+//! kernel is the singular Biot–Savart kernel, so the approximation error
+//! is governed by the same `b2`-style bound the Salmon–Warren MAC tracks).
 
-use crate::kernel::velocity_and_stretching;
+use crate::kernel::{velocity_and_stretching, vortex_pc_batch, vortex_pp_batch};
 use hot_base::flops::{FlopCounter, Kind};
 use hot_base::Vec3;
+use hot_core::ilist::{InteractionList, ListConsumer, Segment};
 use hot_core::moments::VectorMoments;
-use hot_core::tree::Tree;
-use hot_core::walk::Evaluator;
 use std::ops::Range;
 
 /// Accumulates induced velocity and vorticity stretching per sink.
@@ -28,54 +29,37 @@ pub struct VortexEvaluator<'a> {
     pub counter: &'a FlopCounter,
 }
 
-impl Evaluator<VectorMoments> for VortexEvaluator<'_> {
-    fn particle_cell(
+impl ListConsumer<VectorMoments> for VortexEvaluator<'_> {
+    fn consume(
         &mut self,
-        tree: &Tree<VectorMoments>,
+        sink_pos: &[Vec3],
+        sink_charge: &[Vec3],
         sinks: Range<usize>,
-        center: Vec3,
-        m: &VectorMoments,
+        list: &InteractionList<VectorMoments>,
     ) {
-        self.counter.add(Kind::VortexPC, sinks.len() as u64);
+        let (pp_pairs, pc_pairs) = list.expected_stats(&sinks);
+        self.counter.add(Kind::VortexPP, pp_pairs);
+        self.counter.add(Kind::VortexPC, pc_pairs);
         for i in sinks {
-            let r = tree.pos[i] - center;
-            let (u, s) =
-                velocity_and_stretching(r, tree.charge[i], m.alpha, self.sigma2);
-            self.vel[i] += u;
-            self.dalpha[i] += s;
-        }
-    }
-
-    fn particle_particle(
-        &mut self,
-        tree: &Tree<VectorMoments>,
-        sinks: Range<usize>,
-        src_pos: &[Vec3],
-        src_charge: &[Vec3],
-        src_start: Option<usize>,
-    ) {
-        let ns = sinks.len() as u64;
-        let nsrc = src_pos.len() as u64;
-        let pairs = match src_start {
-            Some(s0) if s0 == sinks.start && nsrc == ns => ns * nsrc - ns,
-            _ => ns * nsrc,
-        };
-        self.counter.add(Kind::VortexPP, pairs);
-        for i in sinks {
-            let xi = tree.pos[i];
-            let ai = tree.charge[i];
-            let mut u = Vec3::ZERO;
-            let mut s = Vec3::ZERO;
-            for (j, (&xj, &aj)) in src_pos.iter().zip(src_charge).enumerate() {
-                if src_start.is_some_and(|s0| s0 + j == i) {
-                    continue;
+            let xi = sink_pos[i];
+            let ai = sink_charge[i];
+            let mut u = self.vel[i];
+            let mut s = self.dalpha[i];
+            for seg in list.segments() {
+                match seg {
+                    Segment::Pp(src) => {
+                        let (du, ds) =
+                            vortex_pp_batch(xi, ai, i as u32, &src, self.sigma2);
+                        u += du;
+                        s += ds;
+                    }
+                    Segment::Pc(cells) => {
+                        vortex_pc_batch(xi, ai, &cells, self.sigma2, &mut u, &mut s);
+                    }
                 }
-                let (uj, sj) = velocity_and_stretching(xi - xj, ai, aj, self.sigma2);
-                u += uj;
-                s += sj;
             }
-            self.vel[i] += u;
-            self.dalpha[i] += s;
+            self.vel[i] = u;
+            self.dalpha[i] = s;
         }
     }
 }
@@ -118,7 +102,8 @@ pub fn tree_velocity_stretching(
     bucket: usize,
     counter: &FlopCounter,
 ) -> (Vec<Vec3>, Vec<Vec3>, u64) {
-    use hot_core::walk::walk;
+    use hot_core::tree::Tree;
+    use hot_core::walk::walk_lists;
     let domain = hot_base::Aabb::containing(pos.iter().copied())
         .bounding_cube()
         .scaled(1.01);
@@ -126,6 +111,7 @@ pub fn tree_velocity_stretching(
     let n = pos.len();
     let mut vel_s = vec![Vec3::ZERO; n];
     let mut da_s = vec![Vec3::ZERO; n];
+    let mut scratch = InteractionList::new();
     let stats = {
         let mut ev = VortexEvaluator {
             vel: &mut vel_s,
@@ -133,7 +119,7 @@ pub fn tree_velocity_stretching(
             sigma2,
             counter,
         };
-        walk(&tree, &hot_core::Mac::BarnesHut { theta }, &mut ev)
+        walk_lists(&tree, &hot_core::Mac::BarnesHut { theta }, &mut ev, &mut scratch)
     };
     let mut vel = vec![Vec3::ZERO; n];
     let mut dalpha = vec![Vec3::ZERO; n];

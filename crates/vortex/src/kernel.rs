@@ -22,6 +22,8 @@
 //! [`hot_base::FLOPS_PER_VORTEX_INTERACTION`].
 
 use hot_base::Vec3;
+use hot_core::ilist::{PcView, PpView};
+use hot_core::moments::VectorMoments;
 
 /// One-over-four-pi.
 pub const INV_4PI: f64 = 1.0 / (4.0 * std::f64::consts::PI);
@@ -60,6 +62,50 @@ pub fn velocity_and_stretching(
     let stretch =
         (rxa * (3.0 * h * alpha_i.dot(r)) - alpha_i.cross(alpha_j) * g) * INV_4PI;
     (u, stretch)
+}
+
+/// Batched P-P: velocity and stretching at sink `xi` (strength `alpha_i`,
+/// tree-order index `sink`) from a list segment of sources, summed into
+/// fresh accumulators in list order with the self-pair skipped — bitwise
+/// the scalar [`velocity_and_stretching`] loop.
+pub fn vortex_pp_batch(
+    xi: Vec3,
+    alpha_i: Vec3,
+    sink: u32,
+    src: &PpView<'_, VectorMoments>,
+    sigma2: f64,
+) -> (Vec3, Vec3) {
+    let mut u = Vec3::ZERO;
+    let mut s = Vec3::ZERO;
+    for j in 0..src.x.len() {
+        if src.idx[j] == sink {
+            continue;
+        }
+        let r = Vec3::new(xi.x - src.x[j], xi.y - src.y[j], xi.z - src.z[j]);
+        let (uj, sj) = velocity_and_stretching(r, alpha_i, src.q[j], sigma2);
+        u += uj;
+        s += sj;
+    }
+    (u, s)
+}
+
+/// Batched P-C: each accepted cell's total strength `Σαⱼ` at its centroid
+/// interacts like one big particle; contributions are added to `u`/`s`
+/// directly, one cell at a time, in list order.
+pub fn vortex_pc_batch(
+    xi: Vec3,
+    alpha_i: Vec3,
+    cells: &PcView<'_, VectorMoments>,
+    sigma2: f64,
+    u: &mut Vec3,
+    s: &mut Vec3,
+) {
+    for k in 0..cells.x.len() {
+        let r = Vec3::new(xi.x - cells.x[k], xi.y - cells.y[k], xi.z - cells.z[k]);
+        let (uk, sk) = velocity_and_stretching(r, alpha_i, cells.m[k].alpha, sigma2);
+        *u += uk;
+        *s += sk;
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use hot_base::flops::FlopCounter;
 use hot_core::Mac;
 use hot_gravity::direct::direct_serial_pot;
 use hot_gravity::models::{bounding_domain, plummer};
-use hot_gravity::treecode::{tree_accelerations, tree_accelerations_traced, TreecodeOptions};
+use hot_gravity::treecode::{ForceCalc, TreecodeOptions};
 use hot_gravity::NBodySystem;
 use hot_trace::{Ledger, ModelClock, RunReport};
 use rand::SeedableRng;
@@ -29,10 +29,12 @@ fn main() {
         bucket: 16,
         eps2: 1e-4,
         quadrupole: true,
+        ..Default::default()
     };
     let domain = bounding_domain(&pos);
     let mut trace = Ledger::new(ModelClock::paper_loki());
-    let res = tree_accelerations_traced(domain, &pos, &mass, &opts, &counter, false, &mut trace);
+    let res =
+        ForceCalc::new().compute_traced(domain, &pos, &mass, &opts, &counter, false, &mut trace);
     let (exact, pot) = direct_serial_pot(&pos, &mass, 1e-4, &counter);
     let mut rms = 0.0;
     for (a, e) in res.acc.iter().zip(&exact) {
@@ -56,14 +58,17 @@ fn main() {
     let counter = FlopCounter::new();
     let mass_c = sys.mass.clone();
     let counter_ref = &counter;
-    let forces = move |p: &[hot_base::Vec3]| {
+    // One ForceCalc for the whole integration: its interaction-list buffers
+    // are reused across steps instead of being reallocated each call.
+    let mut calc = ForceCalc::new();
+    let mut forces = move |p: &[hot_base::Vec3]| {
         let domain = bounding_domain(p);
-        tree_accelerations(domain, p, &mass_c, &opts, counter_ref, false).acc
+        calc.compute(domain, p, &mass_c, &opts, counter_ref, false).acc
     };
     let mut acc = forces(&sys.pos);
     let dt = 0.02;
     for step in 1..=100 {
-        sys.kdk_step(&mut acc, dt, &forces);
+        sys.kdk_step(&mut acc, dt, &mut forces);
         if step % 25 == 0 {
             let (_, pot) = direct_serial_pot(&sys.pos, &sys.mass, 1e-4, &counter);
             let e = sys.kinetic_energy() + sys.potential_energy(&pot);

@@ -76,16 +76,17 @@ fn algorithmic_advantage_order_of_magnitude() {
     use hot97::base::flops::FlopCounter;
     use hot97::base::Aabb;
     use hot97::gravity::models::uniform_box;
-    use hot97::gravity::treecode::{tree_accelerations, TreecodeOptions};
+    use hot97::gravity::treecode::{ForceCalc, TreecodeOptions};
     use rand::SeedableRng;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let mut per_particle = Vec::new();
+    let mut calc = ForceCalc::new();
     for &n in &[2_000usize, 8_000] {
         let pos = uniform_box(&mut rng, n, &Aabb::unit());
         let mass = vec![1.0 / n as f64; n];
         let counter = FlopCounter::new();
-        let res = tree_accelerations(
+        let res = calc.compute(
             Aabb::unit(),
             &pos,
             &mass,

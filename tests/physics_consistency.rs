@@ -68,7 +68,7 @@ fn cosmology_pipeline_forms_structure() {
 #[test]
 fn tree_dynamics_momentum_drift_is_small() {
     use hot97::gravity::models::{bounding_domain, plummer};
-    use hot97::gravity::treecode::tree_accelerations;
+    use hot97::gravity::treecode::ForceCalc;
     use hot97::gravity::NBodySystem;
 
     let n = 800;
@@ -80,13 +80,14 @@ fn tree_dynamics_momentum_drift_is_small() {
     let opts = TreecodeOptions::default();
     let mass_c = sys.mass.clone();
     let counter_ref = &counter;
-    let forces = move |p: &[Vec3]| {
-        tree_accelerations(bounding_domain(p), p, &mass_c, &opts, counter_ref, false).acc
+    let mut calc = ForceCalc::new();
+    let mut forces = move |p: &[Vec3]| {
+        calc.compute(bounding_domain(p), p, &mass_c, &opts, counter_ref, false).acc
     };
     let p0 = sys.momentum();
     let mut acc = forces(&sys.pos);
     for _ in 0..20 {
-        sys.kdk_step(&mut acc, 0.02, &forces);
+        sys.kdk_step(&mut acc, 0.02, &mut forces);
     }
     let drift = (sys.momentum() - p0).norm();
     // Typical |v| ~ 0.5; total |p| scale ~ mass * v = 0.5.

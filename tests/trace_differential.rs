@@ -16,7 +16,7 @@ use hot_base::flops::{FlopCounter, Kind};
 use hot_core::Mac;
 use hot_gravity::direct::direct_serial;
 use hot_gravity::models::{bounding_domain, plummer};
-use hot_gravity::treecode::{tree_accelerations_traced, TreecodeOptions};
+use hot_gravity::treecode::{ForceCalc, TreecodeOptions};
 use hot_trace::{Counter, Ledger, ModelClock};
 use rand::SeedableRng;
 
@@ -46,9 +46,11 @@ fn treecode_ledger_agrees_with_direct_oracle() {
         bucket: 8,
         eps2: EPS2,
         quadrupole: true,
+        ..Default::default()
     };
     let mut trace = Ledger::new(ModelClock::paper_loki());
-    let res = tree_accelerations_traced(domain, &pos, &mass, &opts, &counter, false, &mut trace);
+    let res =
+        ForceCalc::new().compute_traced(domain, &pos, &mass, &opts, &counter, false, &mut trace);
 
     // 1. Physics against the oracle.
     let mut sum2 = 0.0;
