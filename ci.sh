@@ -21,6 +21,10 @@ cargo run -q --offline --release -p hot-analyze -- lint
 echo "==> exp_kernels smoke (list pipeline vs scalar callback, bitwise gate)"
 cargo run -q --offline --release -p hot-bench --bin exp_kernels -- 4096 2
 
+echo "==> exp_latency smoke (walk pipeline vs blocking baseline, bitwise gate)"
+cargo run -q --offline --release -p hot-bench --bin exp_latency -- 8192 4
+test -s results/BENCH_latency.json
+
 echo "==> hot-analyze schedules --seeds 32 (tracing enabled)"
 cargo run -q --offline --release -p hot-analyze -- schedules --seeds 32
 

@@ -94,8 +94,9 @@ const FLOP_EVIDENCE: [&str; 3] = ["counter.add(", "FlopCounter", "add(Kind::"];
 /// comparison, so `evaluator-api` skips it too).
 const SELF_TIMING_CRATES: [&str; 2] = ["crates/npb/", "crates/bench/"];
 
-/// Deprecated callback-era force entry points: production code goes
-/// through `ForceCalc` now; the shims exist for one release only.
+/// Callback-era force entry points, removed from the tree: production code
+/// goes through `ForceCalc` now. The list stays as a tripwire against the
+/// names being reintroduced.
 const DEPRECATED_FORCE_CALLS: [&str; 4] = [
     "tree_accelerations(",
     "tree_accelerations_traced(",
@@ -241,9 +242,6 @@ pub fn lint_source(rel: &str, source: &str, allow_unwrap: &[String]) -> Vec<Find
     if !EVALUATOR_EXEMPT.iter().any(|s| rel.ends_with(s)) && !self_timing {
         for (i, line) in lines.iter().enumerate() {
             let code = code_part(line);
-            if code.contains("fn ") || code.contains("use ") {
-                continue;
-            }
             let impls_callback = code.contains("impl") && has_bare_evaluator(code);
             let calls_deprecated =
                 DEPRECATED_FORCE_CALLS.iter().any(|k| code.contains(k));
@@ -252,9 +250,9 @@ pub fn lint_source(rel: &str, source: &str, allow_unwrap: &[String]) -> Vec<Find
                     "evaluator-api",
                     i,
                     "callback-style force evaluation: implement ListConsumer and go \
-                     through ForceCalc / walk_lists instead; the Evaluator trait and \
-                     the tree_accelerations* entry points are deprecated and removed \
-                     next release"
+                     through ForceCalc / walk_lists instead; the Evaluator trait is \
+                     internal to the list builder and the tree_accelerations* entry \
+                     points no longer exist"
                         .to_string(),
                 );
             }
@@ -543,9 +541,13 @@ mod tests {
         // Named consumers ending in "Evaluator" are fine.
         let named = "impl ListConsumer<MassMoments> for GravityEvaluator<'_> {\n}\n";
         assert!(rules_hit("crates/gravity/src/evaluator.rs", named).is_empty());
-        // Declaration sites (`fn`/`use` lines) and the trait's home are fine.
+        // Generic bounds in a signature are not an impl of the trait, and
+        // the trait's home is exempt wholesale. (The old blanket skip of
+        // `fn `/`use ` lines is gone with the deprecated shims.)
         let sig = "pub fn walk<M: Moments, E: Evaluator<M>>(t: &Tree<M>) {\n}\n";
         assert!(rules_hit("crates/gravity/src/other.rs", sig).is_empty());
+        let use_line = "fn go() {\n    let r = self.tree_accelerations(&p);\n}\n";
+        assert_eq!(rules_hit("crates/gravity/src/other.rs", use_line), ["evaluator-api"]);
         let imp = "impl<M: Moments> Evaluator<M> for ListBuilder<'_, M> {\n}\n";
         assert!(rules_hit("crates/core/src/ilist.rs", imp).is_empty());
         // Bench keeps the scalar-callback baseline on purpose.

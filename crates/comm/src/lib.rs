@@ -48,4 +48,7 @@ pub use runtime::{
     Comm, Envelope, RunConfig, RunOutput, TrafficStats, Undrained, World, MAX_USER_TAG, POISON_TAG,
 };
 pub use sched::{Deadlock, FuzzScheduler, RealScheduler, SchedOp, Scheduler, Want};
-pub use wire::{crc32, frame_message, from_bytes, to_bytes, unframe_message, Frame, FrameError, Wire};
+pub use wire::{
+    crc32, frame_message, from_bytes, to_bytes, unframe_message, Frame, FrameError,
+    KeyBatchRequest, Wire,
+};

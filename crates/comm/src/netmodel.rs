@@ -28,6 +28,19 @@ pub struct NetworkModel {
 }
 
 impl NetworkModel {
+    /// Loki's switched fast ethernet: 104 µs one-way latency (half the
+    /// measured 208 µs MPI round-trip), 11.5 MB/s per port, 20 MB/s
+    /// per-node injection ceiling (Natoma memory bus).
+    pub const fn loki() -> Self {
+        NetworkModel { latency: 104e-6, bandwidth: 11.5e6, injection: 20e6 }
+    }
+
+    /// ASCI Red's custom mesh: 20.5 µs one-way latency (half the 41 µs
+    /// pre-processor round-trip), 290 MB/s out of a node at MPI level.
+    pub const fn asci_red() -> Self {
+        NetworkModel { latency: 20.5e-6, bandwidth: 290e6, injection: 290e6 }
+    }
+
     /// Time for one rank to transmit `bytes` in `msgs` messages.
     pub fn send_time(&self, msgs: u64, bytes: u64) -> f64 {
         let bw = self.bandwidth.min(self.injection);
@@ -57,11 +70,11 @@ mod tests {
     use super::*;
 
     fn loki() -> NetworkModel {
-        NetworkModel { latency: 104e-6, bandwidth: 11.5e6, injection: 20e6 }
+        NetworkModel::loki()
     }
 
     fn asci_red() -> NetworkModel {
-        NetworkModel { latency: 20.5e-6, bandwidth: 290e6, injection: 290e6 }
+        NetworkModel::asci_red()
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 #![cfg(test)]
 
-use crate::wire::{frame_message, from_bytes, to_bytes, unframe_message, Wire};
-use crate::{FaultConfig, FaultDecision, FaultPlan, FuzzScheduler, RunConfig, World};
+use crate::wire::{frame_message, from_bytes, to_bytes, unframe_message, KeyBatchRequest, Wire};
+use crate::{Abm, FaultConfig, FaultDecision, FaultPlan, FuzzScheduler, RunConfig, World};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -57,6 +57,38 @@ proptest! {
         prop_assert!(cur.is_empty());
     }
 
+    /// A coalesced multi-key request built from arbitrary (duplicated,
+    /// unsorted) key sets roundtrips through the wire, covers exactly the
+    /// input key sets, and never carries a duplicate key.
+    #[test]
+    fn key_batch_request_canonical_over_arbitrary_sets(
+        cells in proptest::collection::vec(any::<u64>(), 0..80),
+        bodies in proptest::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let req = KeyBatchRequest::new(cells.clone(), bodies.clone());
+        prop_assert!(roundtrip(&req));
+        prop_assert!(req.is_canonical());
+        // Strictly increasing ⇒ no duplicates within one request.
+        prop_assert!(req.cell_keys.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(req.body_keys.windows(2).all(|w| w[0] < w[1]));
+        // Same key *sets* as the input.
+        for k in &cells {
+            prop_assert!(req.cell_keys.binary_search(k).is_ok());
+        }
+        for k in &bodies {
+            prop_assert!(req.body_keys.binary_search(k).is_ok());
+        }
+        prop_assert!(req.cell_keys.iter().all(|k| cells.contains(k)));
+        prop_assert!(req.body_keys.iter().all(|k| bodies.contains(k)));
+        // Canonical form is insertion-order independent: the encoded bytes
+        // are a pure function of the key sets.
+        let mut rc = cells;
+        let mut rb = bodies;
+        rc.reverse();
+        rb.reverse();
+        prop_assert_eq!(&to_bytes(&req)[..], &to_bytes(&KeyBatchRequest::new(rc, rb))[..]);
+    }
+
     /// Flipping any single bit of a framed message — header, payload, or
     /// the CRC field itself — must make the frame unreadable. CRC-32
     /// detects all single-bit errors, and the length field is cross-checked
@@ -84,6 +116,60 @@ proptest! {
     // End-to-end runs are heavier than codec checks; fewer cases, each a
     // full 2-rank machine under a fuzzed schedule.
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A batched reply split into chunk messages — with an ABM batch
+    /// capacity small enough that chunks straddle physical batch
+    /// boundaries — reassembles on the receiver into exactly the original
+    /// entry sequence: nothing lost, nothing duplicated, order preserved.
+    #[test]
+    fn reply_chunks_reassemble_across_batch_boundaries(
+        entries in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u64>(), 0..6)),
+            1..24,
+        ),
+        chunk_limit in 24usize..160,
+        abm_capacity in 48usize..128,
+        sched_seed in 0u64..8,
+    ) {
+        const K_CHUNK: u16 = 6;
+        type Entry = (u64, Vec<u64>);
+        let cfg = RunConfig {
+            scheduler: Some(Arc::new(FuzzScheduler::new(2, sched_seed))),
+            faults: None,
+        };
+        let sent = entries.clone();
+        let out = World::run_config(2, cfg, move |c| {
+            let mut ep = Abm::new(c, abm_capacity);
+            if ep.rank() == 0 {
+                // Greedy whole-entry packing up to `chunk_limit` encoded
+                // bytes per logical message (at least one entry each) —
+                // the same policy the walk's reply path uses.
+                let mut chunk: Vec<Entry> = Vec::new();
+                let mut size = 8usize;
+                for e in entries.clone() {
+                    let sz = e.wire_size();
+                    if !chunk.is_empty() && size + sz > chunk_limit {
+                        ep.post(1, K_CHUNK, &chunk);
+                        chunk.clear();
+                        size = 8;
+                    }
+                    size += sz;
+                    chunk.push(e);
+                }
+                if !chunk.is_empty() {
+                    ep.post(1, K_CHUNK, &chunk);
+                }
+            }
+            let mut got: Vec<Entry> = Vec::new();
+            ep.complete(|_, _, kind, payload| {
+                assert_eq!(kind, K_CHUNK);
+                got.extend(from_bytes::<Vec<Entry>>(payload));
+            });
+            got
+        });
+        prop_assert!(out.results[0].is_empty());
+        prop_assert_eq!(&out.results[1], &sent);
+    }
 
     /// A single bit flip anywhere in a framed message is rejected by the
     /// receiver's CRC check and recovered with exactly one retransmission:

@@ -8,16 +8,40 @@
 //! references) that records its accepted sources into the group's
 //! [`InteractionList`] — the distributed flavour of the list-build stage.
 //! When a walk needs data that is not resident — the children of a remote
-//! cell, or the bodies of a remote leaf — it posts a request through the
-//! [`Abm`] active-message layer and is *parked*; the rank switches to
-//! another group's walk instead of stalling. Replies install the fetched
-//! cells into the global view (so later walks hit them for free) and
-//! re-activate the parked walks. When a walk completes, its finished list
-//! is handed to the rank's [`ListConsumer`] (the apply stage) and its
-//! interaction counts are pinned against the list lengths. The whole
-//! exchange runs to quiescence with ABM's termination protocol, with every
-//! rank also serving its peers' fetch requests from its local tree
-//! throughout.
+//! cell, or the bodies of a remote leaf — it is *parked* and the rank
+//! switches to another group's walk instead of stalling. The default
+//! pipeline ([`WalkConfig`]) then hides the network latency three ways:
+//!
+//! * **Request coalescing** — parked wants are gathered per *round* and
+//!   every distinct key wanted from one owner goes out in a single
+//!   multi-key [`KeyBatchRequest`] message, with replies batched the same
+//!   way. Rounds are globally synchronized: parked walks resume only at a
+//!   machine-wide quiescent point (every outstanding request answered),
+//!   which makes the per-round request sets — and therefore every logical
+//!   message and byte count — a pure function of the walk, independent of
+//!   message schedules.
+//! * **Speculative subtree prefetch** — when serving a children request
+//!   the owner piggybacks descendant cell records ([`WalkConfig`]
+//!   `prefetch_levels` deep, within `prefetch_budget` wire bytes) onto the
+//!   reply, so a descent that will open the child anyway saves a full
+//!   round-trip. Prefetched cells install into the [`DistTree`] cache
+//!   exactly as if requested; hits and wasted bytes are counted.
+//! * **Overlapped apply** — completed walks enqueue their finished lists
+//!   (after pinning interaction counts) and the service loop hands them to
+//!   the rank's [`ListConsumer`] only when no messages are pollable, so
+//!   local force arithmetic fills the latency window. The apply order is
+//!   the deterministic walk-completion order, and sink groups are
+//!   disjoint, so accelerations stay bitwise identical.
+//!
+//! Setting `coalesce: false` selects the original blocking pipeline (one
+//! message per key, replies reactivate immediately, lists applied inline)
+//! — kept as the measured baseline for `exp_latency`. Both pipelines
+//! produce bitwise-identical interaction lists, and therefore forces: a
+//! parked walk resumes exactly where it stopped (the blocking node is
+//! pushed back and re-popped), so each group's list is written in the same
+//! traversal order no matter when its data arrived. The whole exchange
+//! runs to quiescence with ABM's termination protocol, every rank serving
+//! its peers' fetch requests from its local tree throughout.
 
 use crate::dtree::{CellRecord, DChildren, DistTree};
 use crate::ilist::{InteractionList, ListConsumer};
@@ -26,14 +50,81 @@ use crate::moments::Moments;
 use crate::walk::WalkStats;
 use bytes::Bytes;
 use hot_base::Vec3;
-use hot_comm::{from_bytes, Abm, Comm};
-use std::collections::HashMap; // hot-lint: allow(determinism): see `parked`
+use hot_comm::{from_bytes, Abm, Comm, KeyBatchRequest, Wire};
+use hot_morton::Key;
+use std::collections::{BTreeMap, VecDeque};
 
-/// Message kinds on the ABM channel.
+/// Message kinds on the ABM channel. Kinds 1–4 are the blocking baseline's
+/// per-key protocol; kinds 5–7 carry the coalesced pipeline.
 const K_REQ_CHILDREN: u16 = 1;
 const K_REP_CHILDREN: u16 = 2;
 const K_REQ_BODIES: u16 = 3;
 const K_REP_BODIES: u16 = 4;
+/// One multi-key request per (requester, owner) pair per round.
+const K_REQ_BATCH: u16 = 5;
+/// Batched children replies: `Vec<(parent key, child records)>`, parents
+/// always preceding their descendants so installs succeed in order.
+const K_REP_CELL_BATCH: u16 = 6;
+/// Batched body replies: `Vec<(leaf key, bodies)>`.
+const K_REP_BODY_BATCH: u16 = 7;
+
+/// Tuning knobs of the latency-hiding walk pipeline.
+///
+/// Lives here (and in `DistOptions`) rather than in the serial
+/// `TreecodeOptions`: these knobs only exist for the distributed walk, and
+/// the cosmology checkpoint format encodes `TreecodeOptions` on disk.
+///
+/// Every setting changes only *when* data moves, never *what* the walk
+/// computes: forces and interaction counts are bitwise identical across
+/// all configurations (pinned by tests and `exp_latency`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkConfig {
+    /// ABM physical batch capacity in bytes (flush threshold), which also
+    /// bounds the reply chunk size. The default is the knee of the
+    /// `exp_latency` capacity sweep — the smallest capacity whose modeled
+    /// wire time on Loki is within 10% of the asymptote (4 KiB: 65.5 ms vs
+    /// 62.3 ms at 64 KiB for N = 32768/np = 8); buffering more only delays
+    /// the first batch and fattens reply chunks.
+    pub abm_batch: usize,
+    /// Coalesce parked wants into per-owner multi-key requests issued in
+    /// globally synchronized rounds. `false` selects the blocking per-key
+    /// baseline (which also disables prefetch and overlapped apply).
+    pub coalesce: bool,
+    /// Levels of descendants an owner piggybacks onto a children reply
+    /// (0 disables prefetch).
+    pub prefetch_levels: u32,
+    /// Byte budget for speculative records per served request message.
+    pub prefetch_budget: usize,
+    /// Apply finished interaction lists in poll-idle windows instead of
+    /// inline at walk completion.
+    pub overlap_apply: bool,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            abm_batch: 4096,
+            coalesce: true,
+            prefetch_levels: 1,
+            prefetch_budget: 8192,
+            overlap_apply: true,
+        }
+    }
+}
+
+impl WalkConfig {
+    /// The pre-coalescing pipeline: one message per key, immediate
+    /// reactivation, inline apply. The measured baseline in `exp_latency`.
+    pub fn blocking() -> Self {
+        WalkConfig {
+            coalesce: false,
+            prefetch_levels: 0,
+            prefetch_budget: 0,
+            overlap_apply: false,
+            ..WalkConfig::default()
+        }
+    }
+}
 
 /// A reference into the hybrid tree: either a local cell or a global node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,8 +149,9 @@ struct GroupWalk<M: Moments> {
     stats: WalkStats,
 }
 
-/// Why a walk parked.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// Why a walk parked. `Ord` so parked walks live in a `BTreeMap` and
+/// round-boundary reactivation happens in a deterministic order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum Want {
     Children(u64),
     Bodies(u64),
@@ -70,21 +162,37 @@ enum Want {
 pub struct DwalkStats {
     /// Interaction counts (paper units), including the list-entry counts.
     pub walk: WalkStats,
-    /// Cell-fetch requests sent.
+    /// Distinct cell-children keys requested.
     pub cell_requests: u64,
-    /// Body-fetch requests sent.
+    /// Distinct leaf-body keys requested.
     pub body_requests: u64,
-    /// Times a walk parked (the "context switches"). Schedule-dependent:
-    /// how often a walk blocks depends on reply arrival timing.
+    /// Times a walk parked (the "context switches"). Schedule-dependent in
+    /// blocking mode: how often a walk blocks depends on reply timing.
     pub parks: u64,
+    /// Coalesced multi-key request messages sent (≤ one per owner per
+    /// round). In blocking mode this counts per-key request messages, so
+    /// it equals `cell_requests + body_requests`.
+    pub request_msgs: u64,
+    /// Request rounds this rank participated in with at least one request
+    /// of its own (coalesced mode only).
+    pub rounds: u64,
+    /// Cells installed speculatively from piggybacked reply records.
+    pub prefetched_cells: u64,
+    /// Wire bytes of speculatively installed records.
+    pub prefetched_bytes: u64,
+    /// Prefetched parents the walk later opened (round-trips saved).
+    pub prefetch_hits: u64,
+    /// Prefetched record bytes never opened by the walk.
+    pub prefetch_wasted_bytes: u64,
     /// ABM session counters. `posted`/`delivered`/bytes are logical and
     /// schedule-independent; `batches_sent` is not.
     pub abm: hot_comm::AbmStats,
 }
 
-/// Run the distributed traversal. Collective: every rank calls with its
-/// [`DistTree`] and its own list consumer (the apply stage); returns when
-/// the machine-wide exchange is quiescent.
+/// Run the distributed traversal with the default [`WalkConfig`].
+/// Collective: every rank calls with its [`DistTree`] and its own list
+/// consumer (the apply stage); returns when the machine-wide exchange is
+/// quiescent.
 ///
 /// `group_size` is the sink-group particle bound (see
 /// [`crate::walk::default_group_size`]).
@@ -95,19 +203,22 @@ pub fn dwalk<M: Moments, C: ListConsumer<M>>(
     consumer: &mut C,
     group_size: usize,
 ) -> DwalkStats {
-    dwalk_traced(comm, dt, mac, consumer, group_size, &mut hot_trace::Ledger::scratch())
+    dwalk_with(comm, dt, mac, consumer, group_size, &WalkConfig::default())
+}
+
+/// [`dwalk`] with an explicit pipeline configuration.
+pub fn dwalk_with<M: Moments, C: ListConsumer<M>>(
+    comm: &mut Comm,
+    dt: &mut DistTree<M>,
+    mac: &Mac,
+    consumer: &mut C,
+    group_size: usize,
+    cfg: &WalkConfig,
+) -> DwalkStats {
+    dwalk_with_traced(comm, dt, mac, consumer, group_size, cfg, &mut hot_trace::Ledger::scratch())
 }
 
 /// [`dwalk`], recording a `Walk` span into `trace`.
-///
-/// The walk phase must stay bitwise identical across message schedules, so
-/// the span records only *logical* quantities: cells opened, list entries,
-/// the number of cell/body requests (exactly one per distinct needed key,
-/// thanks to the parked-walk dedup), and the ABM layer's posted/delivered
-/// message and byte counts. Raw `TrafficStats` deltas are deliberately
-/// **not** folded in here: the number of termination-detection rounds —
-/// and therefore the allreduce traffic — depends on arrival interleaving,
-/// as do batch counts and `parks`.
 pub fn dwalk_traced<M: Moments, C: ListConsumer<M>>(
     comm: &mut Comm,
     dt: &mut DistTree<M>,
@@ -116,11 +227,43 @@ pub fn dwalk_traced<M: Moments, C: ListConsumer<M>>(
     group_size: usize,
     trace: &mut hot_trace::Ledger,
 ) -> DwalkStats {
+    dwalk_with_traced(comm, dt, mac, consumer, group_size, &WalkConfig::default(), trace)
+}
+
+/// [`dwalk_with`], recording a `Walk` span into `trace`.
+///
+/// The walk phase must stay bitwise identical across message schedules, so
+/// the span records only *logical* quantities: cells opened, list entries,
+/// the number of distinct cell/body keys requested, the request rounds,
+/// the prefetch ledger, and the ABM layer's posted/delivered message and
+/// byte counts — all pure functions of the walk thanks to the round
+/// structure (see [`WalkConfig`]). Raw `TrafficStats` deltas are
+/// deliberately **not** folded in here: the number of
+/// termination-detection rounds — and therefore the allreduce traffic —
+/// depends on arrival interleaving, as do batch counts and `parks`.
+#[allow(clippy::too_many_arguments)]
+pub fn dwalk_with_traced<M: Moments, C: ListConsumer<M>>(
+    comm: &mut Comm,
+    dt: &mut DistTree<M>,
+    mac: &Mac,
+    consumer: &mut C,
+    group_size: usize,
+    cfg: &WalkConfig,
+    trace: &mut hot_trace::Ledger,
+) -> DwalkStats {
     trace.begin(hot_trace::Phase::Walk);
-    let stats = dwalk_inner(comm, dt, mac, consumer, group_size);
+    let stats = if cfg.coalesce {
+        dwalk_pipelined(comm, dt, mac, consumer, group_size, cfg)
+    } else {
+        dwalk_blocking(comm, dt, mac, consumer, group_size, cfg)
+    };
     stats.walk.record_traversal(trace);
     trace.add(hot_trace::Counter::CellRequests, stats.cell_requests);
     trace.add(hot_trace::Counter::BodyRequests, stats.body_requests);
+    trace.add(hot_trace::Counter::WalkRounds, stats.rounds);
+    trace.add(hot_trace::Counter::PrefetchedCells, stats.prefetched_cells);
+    trace.add(hot_trace::Counter::PrefetchHits, stats.prefetch_hits);
+    trace.add(hot_trace::Counter::PrefetchWastedBytes, stats.prefetch_wasted_bytes);
     trace.add(hot_trace::Counter::MsgsSent, stats.abm.posted);
     trace.add(hot_trace::Counter::BytesSent, stats.abm.bytes_posted);
     trace.add(hot_trace::Counter::MsgsRecvd, stats.abm.delivered);
@@ -129,17 +272,10 @@ pub fn dwalk_traced<M: Moments, C: ListConsumer<M>>(
     stats
 }
 
-fn dwalk_inner<M: Moments, C: ListConsumer<M>>(
-    comm: &mut Comm,
-    dt: &mut DistTree<M>,
-    mac: &Mac,
-    consumer: &mut C,
-    group_size: usize,
-) -> DwalkStats {
-    let mut stats = DwalkStats::default();
+/// Initial per-group walks, all starting at the global root.
+fn initial_walks<M: Moments>(dt: &DistTree<M>, group_size: usize) -> Vec<GroupWalk<M>> {
     let root = Ref::Node(dt.root);
-    let mut active: Vec<GroupWalk<M>> = dt
-        .local
+    dt.local
         .groups(group_size)
         .into_iter()
         .map(|gi| GroupWalk {
@@ -148,33 +284,172 @@ fn dwalk_inner<M: Moments, C: ListConsumer<M>>(
             list: InteractionList::new(),
             stats: WalkStats::default(),
         })
-        .collect();
-    // The only iteration over this map is the pending-count reduction
-    // below, an order-independent exact u64 sum; walks are otherwise
-    // accessed per-key when their reply arrives, so hash order cannot leak
-    // into results. hot-lint: allow(determinism)
-    let mut parked: HashMap<Want, Vec<GroupWalk<M>>> = HashMap::new();
-    let mut abm = Abm::new(comm, 4096);
+        .collect()
+}
 
-    // Main service loop, structured as globally synchronized rounds so
-    // that termination detection can use blocking collectives without
-    // deadlock: a rank must never block in the consensus while a peer
-    // still needs its data to make progress, so every rank (1) drains its
-    // runnable walks, (2) serves/absorbs every message available right
-    // now, and only then (3) joins the round's count exchange. Parked
-    // walks simply wait out the round. The exchange terminates when the
-    // machine-wide (posted, delivered, runnable+parked) triple is stable
-    // at (n, n, 0) for two consecutive rounds (double-count termination
-    // detection, as in the ABM layer).
+/// The coalesced, prefetching, overlapping pipeline (`cfg.coalesce`).
+///
+/// Structured as globally synchronized request rounds:
+///
+/// 1. drain every runnable walk, accumulating the round's newly wanted
+///    keys per owner (deduplicated against walks already parked);
+/// 2. post at most one [`KeyBatchRequest`] per owner;
+/// 3. serve peers / absorb replies until no message is pollable, applying
+///    one queued finished list per idle window (`overlap_apply`);
+/// 4. join the round's count consensus. Parked walks reactivate **only**
+///    when the allreduce proves every posted message machine-wide has been
+///    delivered — i.e. all of this round's replies (including prefetches)
+///    have landed everywhere.
+///
+/// Step 4 is the determinism keystone: because wakes happen only at
+/// globally agreed quiescent points, which walks run in a round — and so
+/// which keys each round requests, how many rounds there are, and every
+/// logical message/byte/prefetch count — is a pure function of the walk
+/// state, never of reply arrival timing. (The *number of allreduce
+/// iterations* between rounds does vary with the schedule, which is why
+/// termination traffic is excluded from the trace.) The exchange
+/// terminates when the machine-wide (posted, delivered, parked) triple is
+/// stable at (n, n, 0) for two consecutive iterations.
+fn dwalk_pipelined<M: Moments, C: ListConsumer<M>>(
+    comm: &mut Comm,
+    dt: &mut DistTree<M>,
+    mac: &Mac,
+    consumer: &mut C,
+    group_size: usize,
+    cfg: &WalkConfig,
+) -> DwalkStats {
+    let mut stats = DwalkStats::default();
+    let mut active = initial_walks(dt, group_size);
+    let mut parked: BTreeMap<Want, Vec<GroupWalk<M>>> = BTreeMap::new();
+    let mut finished: VecDeque<GroupWalk<M>> = VecDeque::new();
+    let mut pf = PrefetchLedger::default();
+    let mut abm = Abm::new(comm, cfg.abm_batch);
+
+    let mut prev = (u64::MAX, u64::MAX, u64::MAX);
+    loop {
+        // (1) Drain runnable walks; gather the round's new wants per owner.
+        let mut wants: BTreeMap<u32, (Vec<u64>, Vec<u64>)> = BTreeMap::new();
+        while let Some(mut w) = active.pop() {
+            match run_walk(dt, mac, &mut w, &mut pf) {
+                WalkOutcome::Done => {
+                    pin_walk(dt, &mut w, &mut stats);
+                    if cfg.overlap_apply {
+                        finished.push_back(w);
+                    } else {
+                        apply_walk(dt, consumer, &w);
+                    }
+                }
+                WalkOutcome::Park { want, owner } => {
+                    stats.parks += 1;
+                    if !parked.contains_key(&want) {
+                        let (cells, bodies) = wants.entry(owner).or_default();
+                        match want {
+                            Want::Children(key) => cells.push(key),
+                            Want::Bodies(key) => bodies.push(key),
+                        }
+                    }
+                    parked.entry(want).or_default().push(w);
+                }
+            }
+        }
+        // (2) One coalesced multi-key request per owner.
+        if !wants.is_empty() {
+            stats.rounds += 1;
+        }
+        for (owner, (cells, bodies)) in wants {
+            stats.cell_requests += cells.len() as u64;
+            stats.body_requests += bodies.len() as u64;
+            stats.request_msgs += 1;
+            abm.post(owner, K_REQ_BATCH, &KeyBatchRequest::new(cells, bodies));
+        }
+        // (3) Serve and absorb until locally idle; queued applies fill the
+        // poll-idle windows, keeping the CPU busy under the latency.
+        loop {
+            abm.flush_all();
+            let handled = {
+                let mut handler = make_batch_handler(dt, &parked, &mut pf, cfg);
+                abm.poll(&mut handler)
+            };
+            if handled > 0 {
+                continue;
+            }
+            if let Some(w) = finished.pop_front() {
+                apply_walk(dt, consumer, &w);
+                continue;
+            }
+            break;
+        }
+        // (4) Round consensus: wake everything parked once the machine is
+        // quiescent (every request answered, every reply delivered).
+        let pending = parked.values().map(|v| v.len() as u64).sum::<u64>();
+        let s = abm.stats();
+        let totals = abm
+            .comm_mut()
+            .allreduce((s.posted, s.delivered, pending), |a, b| {
+                (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+            });
+        if totals.0 == totals.1 {
+            if totals.2 == 0 && totals == prev {
+                break;
+            }
+            for (_, walks) in std::mem::take(&mut parked) {
+                active.extend(walks);
+            }
+        }
+        prev = totals;
+    }
+    while let Some(w) = finished.pop_front() {
+        apply_walk(dt, consumer, &w);
+    }
+    debug_assert!(active.is_empty() && parked.is_empty());
+    stats.prefetched_cells = pf.cells;
+    stats.prefetched_bytes = pf.bytes;
+    stats.prefetch_hits = pf.hits;
+    stats.prefetch_wasted_bytes = pf.unused.values().sum();
+    stats.abm = abm.stats();
+    stats
+}
+
+/// The blocking baseline (`!cfg.coalesce`): one request message per key,
+/// replies reactivate parked walks immediately, finished lists applied
+/// inline. Kept verbatim from the pre-coalescing pipeline so `exp_latency`
+/// measures the real before/after.
+fn dwalk_blocking<M: Moments, C: ListConsumer<M>>(
+    comm: &mut Comm,
+    dt: &mut DistTree<M>,
+    mac: &Mac,
+    consumer: &mut C,
+    group_size: usize,
+    cfg: &WalkConfig,
+) -> DwalkStats {
+    let mut stats = DwalkStats::default();
+    let mut active = initial_walks(dt, group_size);
+    let mut parked: BTreeMap<Want, Vec<GroupWalk<M>>> = BTreeMap::new();
+    let mut pf = PrefetchLedger::default();
+    let mut abm = Abm::new(comm, cfg.abm_batch);
+
+    // Main service loop, structured so that termination detection can use
+    // blocking collectives without deadlock: a rank must never block in
+    // the consensus while a peer still needs its data to make progress, so
+    // every rank (1) drains its runnable walks, (2) serves/absorbs every
+    // message available right now, and only then (3) joins the count
+    // exchange. The exchange terminates when the machine-wide (posted,
+    // delivered, runnable+parked) triple is stable at (n, n, 0) for two
+    // consecutive iterations (double-count termination detection, as in
+    // the ABM layer).
     let mut prev = (u64::MAX, u64::MAX, u64::MAX);
     loop {
         loop {
             while let Some(mut w) = active.pop() {
-                match run_walk(dt, mac, &mut w) {
-                    WalkOutcome::Done => finish_walk(dt, consumer, w, &mut stats),
+                match run_walk(dt, mac, &mut w, &mut pf) {
+                    WalkOutcome::Done => {
+                        pin_walk(dt, &mut w, &mut stats);
+                        apply_walk(dt, consumer, &w);
+                    }
                     WalkOutcome::Park { want, owner } => {
                         stats.parks += 1;
                         if !parked.contains_key(&want) {
+                            stats.request_msgs += 1;
                             match want {
                                 Want::Children(key) => {
                                     abm.post(owner, K_REQ_CHILDREN, &key);
@@ -215,16 +490,9 @@ fn dwalk_inner<M: Moments, C: ListConsumer<M>>(
     stats
 }
 
-/// Apply a completed walk's list (the distributed list-apply stage): pin
-/// the walk's incremental pair accounting against the finished list's
-/// closed form, fold its counts into the rank totals, and hand the list
-/// to the consumer.
-fn finish_walk<M: Moments, C: ListConsumer<M>>(
-    dt: &DistTree<M>,
-    consumer: &mut C,
-    mut w: GroupWalk<M>,
-    stats: &mut DwalkStats,
-) {
+/// Pin a completed walk's incremental pair accounting against the finished
+/// list's closed form and fold its counts into the rank totals.
+fn pin_walk<M: Moments>(dt: &DistTree<M>, w: &mut GroupWalk<M>, stats: &mut DwalkStats) {
     let sinks = dt.local.cells[w.gi as usize].span();
     let (pp, pc) = w.list.expected_stats(&sinks);
     assert_eq!(
@@ -236,7 +504,25 @@ fn finish_walk<M: Moments, C: ListConsumer<M>>(
     w.stats.listed_pp = w.list.pp_entries();
     w.stats.listed_pc = w.list.pc_entries();
     stats.walk.merge(&w.stats);
+}
+
+/// Hand a finished walk's list to the consumer (the apply stage). Sink
+/// groups are disjoint, so apply order cannot affect any per-sink sum.
+fn apply_walk<M: Moments, C: ListConsumer<M>>(dt: &DistTree<M>, consumer: &mut C, w: &GroupWalk<M>) {
+    let sinks = dt.local.cells[w.gi as usize].span();
     consumer.consume(&dt.local.pos, &dt.local.charge, sinks, &w.list);
+}
+
+/// Accounting for speculatively installed cells. `unused` maps a
+/// prefetch-installed parent key to its records' wire bytes; opening the
+/// parent moves it to `hits`, and whatever remains at the end of the walk
+/// is the wasted-bytes total.
+#[derive(Default)]
+struct PrefetchLedger {
+    cells: u64,
+    bytes: u64,
+    hits: u64,
+    unused: BTreeMap<u64, u64>,
 }
 
 enum WalkOutcome {
@@ -248,7 +534,12 @@ enum WalkOutcome {
 
 /// Drive one walk until it completes or blocks on non-resident data,
 /// recording accepted sources into the walk's own interaction list.
-fn run_walk<M: Moments>(dt: &DistTree<M>, mac: &Mac, w: &mut GroupWalk<M>) -> WalkOutcome {
+fn run_walk<M: Moments>(
+    dt: &DistTree<M>,
+    mac: &Mac,
+    w: &mut GroupWalk<M>,
+    pf: &mut PrefetchLedger,
+) -> WalkOutcome {
     let g = &dt.local.cells[w.gi as usize];
     let gc = g.center;
     let gr = g.bmax;
@@ -299,6 +590,12 @@ fn run_walk<M: Moments>(dt: &DistTree<M>, mac: &Mac, w: &mut GroupWalk<M>) -> Wa
                 match &node.children {
                     DChildren::Nodes(kids) => {
                         w.stats.opened += 1;
+                        // Opening a parent whose children arrived
+                        // speculatively is a prefetch hit: the round-trip
+                        // this descent would have parked on was saved.
+                        if pf.unused.remove(&node.key.0).is_some() {
+                            pf.hits += 1;
+                        }
                         w.stack.extend(kids.iter().map(|&k| Ref::Node(k)));
                     }
                     DChildren::LocalSubtree => {
@@ -360,51 +657,173 @@ fn run_walk<M: Moments>(dt: &DistTree<M>, mac: &Mac, w: &mut GroupWalk<M>) -> Wa
     WalkOutcome::Done
 }
 
-/// Build the ABM handler that serves peers and absorbs replies.
+/// Install a body reply into the remote-leaf cache.
+fn install_bodies<M: Moments>(dt: &mut DistTree<M>, key: u64, pairs: Vec<(Vec3, M::Charge)>) {
+    let ni = dt
+        .table
+        .get(Key(key))
+        // Protocol invariant: body replies match a prior request.
+        // hot-lint: allow(unwrap-audit)
+        .expect("body reply for unknown node");
+    let mut pos = Vec::with_capacity(pairs.len());
+    let mut charge = Vec::with_capacity(pairs.len());
+    for (p, q) in pairs {
+        pos.push(p);
+        charge.push(q);
+    }
+    dt.body_cache.insert(ni, (pos, charge));
+}
+
+/// Serve one coalesced request: children records for every requested cell
+/// key — each followed, budget permitting, by `prefetch_levels` of
+/// speculative descendant records (breadth-first, parents always before
+/// their children) — then all requested leaf bodies. Replies are chunked
+/// into logical messages of at most `cfg.abm_batch` encoded bytes. The
+/// entire reply, chunk boundaries included, is a pure function of the
+/// request and the owner's local tree.
+fn serve_batch<M: Moments>(
+    dt: &DistTree<M>,
+    ep: &mut Abm<'_>,
+    src: u32,
+    req: &KeyBatchRequest,
+    cfg: &WalkConfig,
+) {
+    assert!(req.is_canonical(), "non-canonical key batch from rank {src}");
+    if !req.cell_keys.is_empty() {
+        let mut entries: Vec<(u64, Vec<CellRecord<M>>)> = Vec::new();
+        let mut budget = cfg.prefetch_budget;
+        for &key in &req.cell_keys {
+            let records = dt.children_records(Key(key)).unwrap_or_default();
+            let mut frontier: Vec<Key> =
+                records.iter().filter(|r| !r.is_leaf).map(|r| r.key).collect();
+            entries.push((key, records));
+            'levels: for _ in 0..cfg.prefetch_levels {
+                let mut next = Vec::new();
+                for k in frontier {
+                    let recs = dt.children_records(k).unwrap_or_default();
+                    // Entry cost on the wire: parent key + record vector.
+                    let sz = 8 + recs.wire_size();
+                    if sz > budget {
+                        budget = 0;
+                        break 'levels;
+                    }
+                    budget -= sz;
+                    next.extend(recs.iter().filter(|r| !r.is_leaf).map(|r| r.key));
+                    entries.push((k.0, recs));
+                }
+                frontier = next;
+            }
+        }
+        post_chunked(ep, src, K_REP_CELL_BATCH, entries, cfg.abm_batch);
+    }
+    if !req.body_keys.is_empty() {
+        let entries: Vec<BodyBatchEntry<M>> = req
+            .body_keys
+            .iter()
+            .map(|&k| {
+                let (pos, charge) = dt.bodies_of(Key(k)).unwrap_or_default();
+                (k, pos.into_iter().zip(charge).collect())
+            })
+            .collect();
+        post_chunked(ep, src, K_REP_BODY_BATCH, entries, cfg.abm_batch);
+    }
+}
+
+/// One `K_REP_BODY_BATCH` entry: a leaf key and its `(position, charge)`
+/// pairs.
+type BodyBatchEntry<M> = (u64, Vec<(Vec3, <M as Moments>::Charge)>);
+
+/// Post `entries` as one or more `kind` messages, greedily packing whole
+/// entries up to `limit` encoded bytes per message (always at least one
+/// entry per message). Entry order — and with it the parents-before-
+/// descendants invariant — survives chunking because ABM delivery is
+/// in-order per flow.
+fn post_chunked<T: Wire>(ep: &mut Abm<'_>, dst: u32, kind: u16, entries: Vec<T>, limit: usize) {
+    let mut chunk: Vec<T> = Vec::new();
+    let mut size = 8usize; // the Vec length prefix
+    for e in entries {
+        let sz = e.wire_size();
+        if !chunk.is_empty() && size + sz > limit {
+            ep.post(dst, kind, &chunk);
+            chunk.clear();
+            size = 8;
+        }
+        size += sz;
+        chunk.push(e);
+    }
+    if !chunk.is_empty() {
+        ep.post(dst, kind, &chunk);
+    }
+}
+
+/// ABM handler for the coalesced pipeline. Replies install data but never
+/// reactivate walks — reactivation waits for the round boundary, which is
+/// what keeps request sets schedule-independent. A reply entry whose key
+/// nobody here parked on is a speculative prefetch and is ledgered as
+/// such.
+fn make_batch_handler<'h, M: Moments>(
+    dt: &'h mut DistTree<M>,
+    parked: &'h BTreeMap<Want, Vec<GroupWalk<M>>>,
+    pf: &'h mut PrefetchLedger,
+    cfg: &'h WalkConfig,
+) -> impl FnMut(&mut Abm<'_>, u32, u16, Bytes) + 'h {
+    move |ep, src, kind, payload| match kind {
+        K_REQ_BATCH => {
+            let req: KeyBatchRequest = from_bytes(payload);
+            serve_batch(dt, ep, src, &req, cfg);
+        }
+        K_REP_CELL_BATCH => {
+            let entries: Vec<(u64, Vec<CellRecord<M>>)> = from_bytes(payload);
+            for (key, records) in entries {
+                let requested = parked.contains_key(&Want::Children(key));
+                let installed = dt.install_children(Key(key), &records);
+                if !requested && !installed.is_empty() {
+                    let bytes = records.wire_size() as u64;
+                    pf.cells += records.len() as u64;
+                    pf.bytes += bytes;
+                    pf.unused.insert(key, bytes);
+                }
+            }
+        }
+        K_REP_BODY_BATCH => {
+            let entries: Vec<BodyBatchEntry<M>> = from_bytes(payload);
+            for (key, pairs) in entries {
+                install_bodies(dt, key, pairs);
+            }
+        }
+        other => panic!("unknown ABM message kind {other}"),
+    }
+}
+
+/// ABM handler for the blocking baseline: serves per-key requests and
+/// reactivates parked walks the moment their reply installs.
 fn make_handler<'h, M: Moments>(
     dt: &'h mut DistTree<M>,
     active: &'h mut Vec<GroupWalk<M>>,
-    // hot-lint: allow(determinism): per-key removal on reply, never iterated.
-    parked: &'h mut HashMap<Want, Vec<GroupWalk<M>>>,
+    parked: &'h mut BTreeMap<Want, Vec<GroupWalk<M>>>,
 ) -> impl FnMut(&mut Abm<'_>, u32, u16, Bytes) + 'h {
     move |ep, src, kind, payload| match kind {
         K_REQ_CHILDREN => {
             let key: u64 = from_bytes(payload);
-            let records = dt
-                .children_records(hot_morton::Key(key))
-                .unwrap_or_default();
+            let records = dt.children_records(Key(key)).unwrap_or_default();
             ep.post(src, K_REP_CHILDREN, &(key, records));
         }
         K_REQ_BODIES => {
             let key: u64 = from_bytes(payload);
-            let (pos, charge) =
-                dt.bodies_of(hot_morton::Key(key)).unwrap_or_default();
-            let pairs: Vec<(Vec3, M::Charge)> =
-                pos.into_iter().zip(charge).collect();
+            let (pos, charge) = dt.bodies_of(Key(key)).unwrap_or_default();
+            let pairs: Vec<(Vec3, M::Charge)> = pos.into_iter().zip(charge).collect();
             ep.post(src, K_REP_BODIES, &(key, pairs));
         }
         K_REP_CHILDREN => {
             let (key, records): (u64, Vec<CellRecord<M>>) = from_bytes(payload);
-            dt.install_children(hot_morton::Key(key), &records);
+            dt.install_children(Key(key), &records);
             if let Some(walks) = parked.remove(&Want::Children(key)) {
                 active.extend(walks);
             }
         }
         K_REP_BODIES => {
             let (key, pairs): (u64, Vec<(Vec3, M::Charge)>) = from_bytes(payload);
-            let ni = dt
-                .table
-                .get(hot_morton::Key(key))
-                // Protocol invariant: body replies match a prior request.
-                // hot-lint: allow(unwrap-audit)
-                .expect("body reply for unknown node");
-            let mut pos = Vec::with_capacity(pairs.len());
-            let mut charge = Vec::with_capacity(pairs.len());
-            for (p, q) in pairs {
-                pos.push(p);
-                charge.push(q);
-            }
-            dt.body_cache.insert(ni, (pos, charge));
+            install_bodies(dt, key, pairs);
             if let Some(walks) = parked.remove(&Want::Bodies(key)) {
                 active.extend(walks);
             }
@@ -454,29 +873,33 @@ mod tests {
         }
     }
 
-    fn coverage_run(np: u32, n_per: usize, theta: f64, clustered: bool) {
+    fn make_bodies(c: &Comm, n_per: usize, seed: u64, clustered: bool) -> Vec<Body<f64>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + c.rank() as u64);
+        (0..n_per)
+            .map(|i| {
+                let pos = if clustered && i % 2 == 0 {
+                    Vec3::new(
+                        0.1 + rng.gen::<f64>() * 0.01,
+                        0.1 + rng.gen::<f64>() * 0.01,
+                        0.1 + rng.gen::<f64>() * 0.01,
+                    )
+                } else {
+                    Vec3::new(rng.gen(), rng.gen(), rng.gen())
+                };
+                Body {
+                    key: Key::from_point(pos, &Aabb::unit()),
+                    pos,
+                    charge: 1.0 + (i % 4) as f64 * 0.5,
+                    work: 1.0,
+                    id: c.rank() as u64 * 1_000_000 + i as u64,
+                }
+            })
+            .collect()
+    }
+
+    fn coverage_run_with(np: u32, n_per: usize, theta: f64, clustered: bool, cfg: WalkConfig) {
         let out = World::run(np, move |c| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(1234 + c.rank() as u64);
-            let bodies: Vec<Body<f64>> = (0..n_per)
-                .map(|i| {
-                    let pos = if clustered && i % 2 == 0 {
-                        Vec3::new(
-                            0.1 + rng.gen::<f64>() * 0.01,
-                            0.1 + rng.gen::<f64>() * 0.01,
-                            0.1 + rng.gen::<f64>() * 0.01,
-                        )
-                    } else {
-                        Vec3::new(rng.gen(), rng.gen(), rng.gen())
-                    };
-                    Body {
-                        key: Key::from_point(pos, &Aabb::unit()),
-                        pos,
-                        charge: 1.0 + (i % 4) as f64 * 0.5,
-                        work: 1.0,
-                        id: c.rank() as u64 * 1_000_000 + i as u64,
-                    }
-                })
-                .collect();
+            let bodies = make_bodies(c, n_per, 1234, clustered);
             let (mine, iv) = decompose(c, bodies, 32);
             let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
             let q: Vec<f64> = mine.iter().map(|b| b.charge).collect();
@@ -484,7 +907,7 @@ mod tests {
             let mut dt = DistTree::build(c, tree, iv);
             let total_mass = c.allreduce_sum_f64(q.iter().sum());
             let mut cov = MassCoverage { seen: vec![0.0; dt.local.n_particles()] };
-            let stats = dwalk(c, &mut dt, &Mac::BarnesHut { theta }, &mut cov, 16);
+            let stats = dwalk_with(c, &mut dt, &Mac::BarnesHut { theta }, &mut cov, 16, &cfg);
             (cov.seen, total_mass, stats.walk.interactions(), stats.parks)
         });
         let mut total_parks = 0;
@@ -505,6 +928,10 @@ mod tests {
             // switched at least somewhere.
             assert!(total_parks > 0, "np={np}: no latency hiding exercised");
         }
+    }
+
+    fn coverage_run(np: u32, n_per: usize, theta: f64, clustered: bool) {
+        coverage_run_with(np, n_per, theta, clustered, WalkConfig::default());
     }
 
     #[test]
@@ -532,6 +959,113 @@ mod tests {
         // A very tight theta forces deep descent into remote trees and
         // plenty of body fetches.
         coverage_run(3, 200, 0.25, false);
+    }
+
+    #[test]
+    fn coverage_blocking_baseline() {
+        coverage_run_with(3, 300, 0.5, false, WalkConfig::blocking());
+    }
+
+    #[test]
+    fn coverage_deep_prefetch_tiny_batches() {
+        // Aggressive prefetch with a tiny batch capacity forces reply
+        // chunking across many physical batches.
+        let cfg = WalkConfig {
+            abm_batch: 256,
+            prefetch_levels: 3,
+            prefetch_budget: 1 << 16,
+            ..WalkConfig::default()
+        };
+        coverage_run_with(3, 300, 0.5, false, cfg);
+    }
+
+    /// Every pipeline configuration must produce the same lists, and so
+    /// the same coverage sums (bitwise), interaction counts, and request
+    /// key sets — only message counts and prefetch traffic may differ.
+    #[test]
+    fn pipeline_configs_agree_bitwise() {
+        let configs = [
+            WalkConfig::blocking(),
+            WalkConfig { prefetch_levels: 0, overlap_apply: false, ..WalkConfig::default() },
+            WalkConfig::default(),
+            WalkConfig {
+                abm_batch: 512,
+                prefetch_levels: 2,
+                prefetch_budget: 1 << 15,
+                ..WalkConfig::default()
+            },
+        ];
+        type RankResult = (Vec<u64>, u64, u64, u64);
+        let mut reference: Option<Vec<RankResult>> = None;
+        for cfg in configs {
+            let out = World::run(4, move |c| {
+                let bodies = make_bodies(c, 350, 99, true);
+                let (mine, iv) = decompose(c, bodies, 32);
+                let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
+                let q: Vec<f64> = mine.iter().map(|b| b.charge).collect();
+                let tree = Tree::<MassMoments>::build(Aabb::unit(), &pos, &q, 8);
+                let mut dt = DistTree::build(c, tree, iv);
+                let mut cov = MassCoverage { seen: vec![0.0; dt.local.n_particles()] };
+                let stats =
+                    dwalk_with(c, &mut dt, &Mac::BarnesHut { theta: 0.6 }, &mut cov, 16, &cfg);
+                let bits: Vec<u64> = cov.seen.iter().map(|s| s.to_bits()).collect();
+                (bits, stats.walk.pp, stats.walk.pc, stats.walk.opened)
+            });
+            match &reference {
+                None => reference = Some(out.results),
+                Some(r) => assert_eq!(r, &out.results, "pipeline {cfg:?} diverged"),
+            }
+        }
+    }
+
+    /// Coalescing must collapse the per-key message count: with prefetch
+    /// off, the same distinct keys are fetched, but in (far) fewer request
+    /// messages; with prefetch on, hits replace whole requests.
+    #[test]
+    fn coalescing_reduces_request_messages() {
+        let run = |cfg: WalkConfig| {
+            World::run(4, move |c| {
+                let bodies = make_bodies(c, 350, 7, false);
+                let (mine, iv) = decompose(c, bodies, 32);
+                let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
+                let q: Vec<f64> = mine.iter().map(|b| b.charge).collect();
+                let tree = Tree::<MassMoments>::build(Aabb::unit(), &pos, &q, 8);
+                let mut dt = DistTree::build(c, tree, iv);
+                let mut cov = MassCoverage { seen: vec![0.0; dt.local.n_particles()] };
+                let stats =
+                    dwalk_with(c, &mut dt, &Mac::BarnesHut { theta: 0.5 }, &mut cov, 16, &cfg);
+                (
+                    stats.request_msgs,
+                    stats.cell_requests + stats.body_requests,
+                    stats.rounds,
+                    stats.prefetch_hits,
+                )
+            })
+        };
+        let blocking = run(WalkConfig::blocking());
+        let coalesced = run(WalkConfig { prefetch_levels: 0, ..WalkConfig::default() });
+        let prefetching = run(WalkConfig::default());
+        let sum = |r: &hot_comm::RunOutput<(u64, u64, u64, u64)>, f: fn(&(u64, u64, u64, u64)) -> u64| {
+            r.results.iter().map(f).sum::<u64>()
+        };
+        let blocking_msgs = sum(&blocking, |r| r.0);
+        let coalesced_msgs = sum(&coalesced, |r| r.0);
+        assert_eq!(
+            blocking_msgs,
+            sum(&blocking, |r| r.1),
+            "blocking mode posts one message per distinct key"
+        );
+        // Same keys, coalesced into one message per owner per round.
+        assert_eq!(sum(&blocking, |r| r.1), sum(&coalesced, |r| r.1));
+        assert!(
+            coalesced_msgs * 2 <= blocking_msgs,
+            "coalescing saved too little: {coalesced_msgs} vs {blocking_msgs}"
+        );
+        assert!(sum(&coalesced, |r| r.2) > 0, "no rounds counted");
+        // Prefetch must convert some would-be requests into hits...
+        assert!(sum(&prefetching, |r| r.3) > 0, "prefetch never hit");
+        // ...which strictly reduces the number of distinct keys requested.
+        assert!(sum(&prefetching, |r| r.1) < sum(&coalesced, |r| r.1));
     }
 
     /// The distributed walk must agree with a serial walk over the union of

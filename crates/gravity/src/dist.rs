@@ -9,7 +9,7 @@ use hot_base::{Aabb, Vec3};
 use hot_comm::Comm;
 use hot_core::decomp::{decompose_traced, Body, KeyIntervals};
 use hot_core::dtree::DistTree;
-use hot_core::dwalk::{dwalk_traced, DwalkStats};
+use hot_core::dwalk::{dwalk_with_traced, DwalkStats, WalkConfig};
 use hot_core::moments::MassMoments;
 use hot_core::tree::Tree;
 use hot_core::Mac;
@@ -30,6 +30,10 @@ pub struct DistOptions {
     pub quadrupole: bool,
     /// Sample-sort oversampling.
     pub oversample: usize,
+    /// Latency-hiding walk pipeline configuration (coalescing, prefetch,
+    /// overlapped apply). Never affects the computed forces — only how the
+    /// remote data moves.
+    pub walk: WalkConfig,
 }
 
 impl Default for DistOptions {
@@ -41,6 +45,7 @@ impl Default for DistOptions {
             eps2: 0.0,
             quadrupole: true,
             oversample: 64,
+            walk: WalkConfig::default(),
         }
     }
 }
@@ -106,7 +111,7 @@ pub fn distributed_accelerations_traced(
             work: &mut work_sorted,
             base: 0,
         };
-        dwalk_traced(comm, &mut dt, &opts.mac, &mut ev, opts.group_size, trace)
+        dwalk_with_traced(comm, &mut dt, &opts.mac, &mut ev, opts.group_size, &opts.walk, trace)
     };
     record_force_phase(trace, &stats.walk, counter.report().flops() - flops_before);
 
@@ -182,6 +187,98 @@ mod tests {
             assert!(rms < 5e-3, "np={np}: rms {rms}");
             for (_, worst, _, _) in &out.results {
                 assert!(*worst < 0.1, "np={np}: worst {worst}");
+            }
+        }
+    }
+
+    /// Speculative prefetch must be semantically invisible: accelerations
+    /// bitwise identical and every interaction-side trace counter equal
+    /// with `prefetch_levels` 0 vs >0 — only message/byte/request/prefetch
+    /// traffic counters may move.
+    #[test]
+    fn prefetch_is_semantically_invisible() {
+        use hot_core::dwalk::WalkConfig;
+        use hot_trace::{Counter, Ledger};
+
+        // The counters prefetch is forbidden from touching.
+        const INVARIANT: [Counter; 10] = [
+            Counter::Flops,
+            Counter::PpInteractions,
+            Counter::PcInteractions,
+            Counter::CellsOpened,
+            Counter::CellsBuilt,
+            Counter::HashProbes,
+            Counter::BodiesExchanged,
+            Counter::BodyRequests,
+            Counter::PpListed,
+            Counter::PcListed,
+        ];
+
+        let n_total = 800usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+        let all_pos: Vec<Vec3> =
+            (0..n_total).map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen())).collect();
+        let all_mass: Vec<f64> = (0..n_total).map(|_| rng.gen_range(0.5..2.0)).collect();
+
+        for np in [1u32, 2, 4] {
+            let run = |levels: u32| {
+                let (pos_c, mass_c) = (all_pos.clone(), all_mass.clone());
+                World::run(np, move |c| {
+                    let per = n_total / np as usize;
+                    let lo = c.rank() as usize * per;
+                    let hi = if c.rank() == np - 1 { n_total } else { lo + per };
+                    let bodies: Vec<Body<f64>> = (lo..hi)
+                        .map(|i| Body {
+                            key: Key::from_point(pos_c[i], &Aabb::unit()),
+                            pos: pos_c[i],
+                            charge: mass_c[i],
+                            work: 1.0,
+                            id: i as u64,
+                        })
+                        .collect();
+                    let counter = FlopCounter::new();
+                    let opts = DistOptions {
+                        mac: Mac::BarnesHut { theta: 0.55 },
+                        eps2: 1e-6,
+                        walk: WalkConfig {
+                            prefetch_levels: levels,
+                            prefetch_budget: if levels == 0 { 0 } else { 1 << 15 },
+                            ..WalkConfig::default()
+                        },
+                        ..Default::default()
+                    };
+                    let mut trace = Ledger::scratch();
+                    let res = distributed_accelerations_traced(
+                        c,
+                        bodies,
+                        Aabb::unit(),
+                        &opts,
+                        &counter,
+                        &mut trace,
+                    );
+                    let mut acc_bits: Vec<(u64, [u64; 3])> = res
+                        .bodies
+                        .iter()
+                        .zip(&res.acc)
+                        .map(|(b, a)| (b.id, [a.x.to_bits(), a.y.to_bits(), a.z.to_bits()]))
+                        .collect();
+                    acc_bits.sort_unstable();
+                    let invariant: Vec<u64> =
+                        INVARIANT.iter().map(|&c| trace.totals().get(c)).collect();
+                    (acc_bits, invariant, trace.totals().get(Counter::PrefetchHits))
+                })
+            };
+            let off = run(0);
+            let on = run(2);
+            let mut hits = 0;
+            for (rank, (a, b)) in off.results.iter().zip(&on.results).enumerate() {
+                assert_eq!(a.0, b.0, "np={np} rank={rank}: accelerations diverged");
+                assert_eq!(a.1, b.1, "np={np} rank={rank}: interaction counters diverged");
+                assert_eq!(a.2, 0, "np={np} rank={rank}: hits counted with prefetch off");
+                hits += b.2;
+            }
+            if np >= 2 {
+                assert!(hits > 0, "np={np}: prefetch never hit");
             }
         }
     }

@@ -33,11 +33,6 @@ pub use error::{force_accuracy, ForceErrorReport};
 pub use evaluator::{record_force_phase, GravityEvaluator};
 pub use leapfrog::NBodySystem;
 pub use treecode::{ForceCalc, ForceResult, TreecodeOptions};
-#[allow(deprecated)] // re-exported for one release alongside their replacement
-pub use treecode::{
-    tree_accelerations, tree_accelerations_parallel, tree_accelerations_parallel_traced,
-    tree_accelerations_traced,
-};
 
 #[cfg(test)]
 mod proptests;

@@ -251,72 +251,6 @@ fn unsort(
     ForceResult { acc, pot, work, stats }
 }
 
-/// Serial treecode evaluation of the accelerations of every particle.
-#[deprecated(note = "use ForceCalc::compute (interaction-list pipeline); removed next release")]
-pub fn tree_accelerations(
-    domain: Aabb,
-    pos: &[Vec3],
-    mass: &[f64],
-    opts: &TreecodeOptions,
-    counter: &FlopCounter,
-    want_pot: bool,
-) -> ForceResult {
-    let opts = TreecodeOptions { parallel: false, ..*opts };
-    ForceCalc::new().compute(domain, pos, mass, &opts, counter, want_pot)
-}
-
-/// Serial traced treecode evaluation.
-#[deprecated(
-    note = "use ForceCalc::compute_traced (interaction-list pipeline); removed next release"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn tree_accelerations_traced(
-    domain: Aabb,
-    pos: &[Vec3],
-    mass: &[f64],
-    opts: &TreecodeOptions,
-    counter: &FlopCounter,
-    want_pot: bool,
-    trace: &mut Ledger,
-) -> ForceResult {
-    let opts = TreecodeOptions { parallel: false, ..*opts };
-    ForceCalc::new().compute_traced(domain, pos, mass, &opts, counter, want_pot, trace)
-}
-
-/// Parallel treecode evaluation.
-#[deprecated(
-    note = "use ForceCalc::compute with opts.parallel = true; removed next release"
-)]
-pub fn tree_accelerations_parallel(
-    domain: Aabb,
-    pos: &[Vec3],
-    mass: &[f64],
-    opts: &TreecodeOptions,
-    counter: &FlopCounter,
-    want_pot: bool,
-) -> ForceResult {
-    let opts = TreecodeOptions { parallel: true, ..*opts };
-    ForceCalc::new().compute(domain, pos, mass, &opts, counter, want_pot)
-}
-
-/// Parallel traced treecode evaluation.
-#[deprecated(
-    note = "use ForceCalc::compute_traced with opts.parallel = true; removed next release"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn tree_accelerations_parallel_traced(
-    domain: Aabb,
-    pos: &[Vec3],
-    mass: &[f64],
-    opts: &TreecodeOptions,
-    counter: &FlopCounter,
-    want_pot: bool,
-    trace: &mut Ledger,
-) -> ForceResult {
-    let opts = TreecodeOptions { parallel: true, ..*opts };
-    ForceCalc::new().compute_traced(domain, pos, mass, &opts, counter, want_pot, trace)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,16 +341,4 @@ mod tests {
         assert!(quad < mono, "quad {quad} must beat mono {mono}");
     }
 
-    #[test]
-    fn deprecated_shims_delegate() {
-        #![allow(deprecated)]
-        let (pos, mass) = random_system(300, 14);
-        let counter = FlopCounter::new();
-        let opts = TreecodeOptions::default();
-        let a = tree_accelerations(Aabb::unit(), &pos, &mass, &opts, &counter, false);
-        let b = ForceCalc::new().compute(Aabb::unit(), &pos, &mass, &opts, &counter, false);
-        assert_eq!(a.acc, b.acc);
-        let c = tree_accelerations_parallel(Aabb::unit(), &pos, &mass, &opts, &counter, false);
-        assert_eq!(a.acc, c.acc);
-    }
 }

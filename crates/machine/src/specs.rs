@@ -56,7 +56,7 @@ pub const ASCI_RED_6800: MachineSpec = MachineSpec {
     // 635 Gflops / 6800 procs on the N² benchmark.
     nbody_mflops_per_proc: 93.4,
     mem_per_node: 128 << 20,
-    network: NetworkModel { latency: 20.5e-6, bandwidth: 290e6, injection: 290e6 },
+    network: NetworkModel::asci_red(),
     price: None,
 };
 
@@ -90,7 +90,7 @@ pub const LOKI: MachineSpec = MachineSpec {
     // 1.19 Gflops / 16 procs in the initial (well-balanced) phase.
     nbody_mflops_per_proc: 74.3,
     mem_per_node: 128 << 20,
-    network: NetworkModel { latency: 104e-6, bandwidth: 11.5e6, injection: 20e6 },
+    network: NetworkModel::loki(),
     price: Some(51_379.0),
 };
 
@@ -101,7 +101,7 @@ pub const HYGLAC: MachineSpec = MachineSpec {
     procs_per_node: 1,
     // Vortex kernel sustained "somewhat over 65 Mflops per processor".
     nbody_mflops_per_proc: 65.0,
-    network: NetworkModel { latency: 104e-6, bandwidth: 11.5e6, injection: 20e6 },
+    network: NetworkModel::loki(),
     price: Some(50_498.0),
     ..LOKI
 };

@@ -87,10 +87,23 @@ pub enum Counter {
     PpListed,
     /// P-C accepted-cell entries pushed into interaction lists.
     PcListed,
+    /// Globally synchronized request rounds of the coalesced walk: drains
+    /// that produced at least one multi-key request on this rank. A round
+    /// boundary is a machine-wide quiescent point (every outstanding
+    /// request answered), so the count is a pure function of the walk.
+    WalkRounds,
+    /// Remote cells installed speculatively (piggybacked on a children
+    /// reply without having been requested).
+    PrefetchedCells,
+    /// Prefetched parent cells the walk later opened — each hit is one
+    /// request round-trip the speculation saved.
+    PrefetchHits,
+    /// Wire bytes of prefetched cell records the walk never opened.
+    PrefetchWastedBytes,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 15;
+pub const COUNTER_COUNT: usize = 19;
 
 /// Every counter, in canonical (schema) order.
 pub const COUNTERS: [Counter; COUNTER_COUNT] = [
@@ -109,6 +122,10 @@ pub const COUNTERS: [Counter; COUNTER_COUNT] = [
     Counter::BytesRecvd,
     Counter::PpListed,
     Counter::PcListed,
+    Counter::WalkRounds,
+    Counter::PrefetchedCells,
+    Counter::PrefetchHits,
+    Counter::PrefetchWastedBytes,
 ];
 
 impl Counter {
@@ -131,6 +148,10 @@ impl Counter {
             Counter::BytesRecvd => 12,
             Counter::PpListed => 13,
             Counter::PcListed => 14,
+            Counter::WalkRounds => 15,
+            Counter::PrefetchedCells => 16,
+            Counter::PrefetchHits => 17,
+            Counter::PrefetchWastedBytes => 18,
         }
     }
 
@@ -152,11 +173,15 @@ impl Counter {
             Counter::BytesRecvd => "bytes_recvd",
             Counter::PpListed => "pp_listed",
             Counter::PcListed => "pc_listed",
+            Counter::WalkRounds => "walk_rounds",
+            Counter::PrefetchedCells => "prefetched_cells",
+            Counter::PrefetchHits => "prefetch_hits",
+            Counter::PrefetchWastedBytes => "prefetch_wasted_bytes",
         }
     }
 }
 
-/// A fixed-width vector of the 15 [`Counter`] values.
+/// A fixed-width vector of the 19 [`Counter`] values.
 ///
 /// Merging is componentwise addition, so it is associative and commutative
 /// (the property suite pins this) — a `CounterSet` can be reduced across
@@ -257,15 +282,10 @@ impl ModelClock {
         ModelClock { network, mflops_per_proc }
     }
 
-    /// The paper's measured Loki constants (104 µs latency, 11.5 MB/s
-    /// port, 20 MB/s injection ceiling, 74.3 sustained Mflops/proc).
-    /// Canonical copies live in `hot-machine::specs::LOKI`; the literals
-    /// are repeated here so the default clock needs no extra dependency.
+    /// The paper's measured Loki constants ([`NetworkModel::loki`] plus
+    /// 74.3 sustained Mflops/proc, as in `hot-machine::specs::LOKI`).
     pub fn paper_loki() -> Self {
-        ModelClock {
-            network: NetworkModel { latency: 104e-6, bandwidth: 11.5e6, injection: 20e6 },
-            mflops_per_proc: 74.3,
-        }
+        ModelClock { network: NetworkModel::loki(), mflops_per_proc: 74.3 }
     }
 
     /// Model seconds for a counter set: compute + communication.
