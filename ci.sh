@@ -12,11 +12,34 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> trace golden + differential suites"
-cargo test -q --offline --test trace_golden --test trace_differential
+echo "==> trace + analyze golden + differential suites"
+cargo test -q --offline --test trace_golden --test trace_differential --test analyze_golden
 
 echo "==> hot-analyze lint"
 cargo run -q --offline --release -p hot-analyze -- lint
+
+echo "==> hot-analyze protocol (collective-order / tag-matching / counter-discipline)"
+cargo run -q --offline --release -p hot-analyze -- protocol
+
+echo "==> hot-analyze protocol non-vacuity (planted collective-order fixture must exit 1)"
+planted=$(mktemp -d)
+mkdir -p "$planted/crates/comm/src"
+cat > "$planted/crates/comm/src/runtime.rs" <<'EOF'
+fn exchange(c: &mut Comm) {
+    if c.rank() == 0 {
+        c.barrier();
+    }
+    c.send(1, TAG_WORK, &v);
+    let (_, w) = c.recv_bytes(None, TAG_WORK);
+}
+EOF
+rc=0
+cargo run -q --offline --release -p hot-analyze -- protocol --root "$planted" >/dev/null || rc=$?
+rm -rf "$planted"
+if [ "$rc" -ne 1 ]; then
+  echo "ERROR: planted collective-order fixture exited $rc, expected 1 — checker is vacuous" >&2
+  exit 1
+fi
 
 echo "==> exp_kernels smoke (list pipeline vs scalar callback, bitwise gate)"
 cargo run -q --offline --release -p hot-bench --bin exp_kernels -- 4096 2

@@ -1,0 +1,136 @@
+//! Schema-versioned JSON output for `hot-analyze lint --json` and
+//! `hot-analyze protocol --json`.
+//!
+//! Hand-rolled serialization (no serde in the container) following the
+//! trace-report idiom: deterministic field order, one finding per line,
+//! so CI artifacts diff cleanly and the golden test pins the schema.
+
+use crate::lint::Finding;
+use crate::protocol::ProtocolReport;
+
+/// Schema tag for lint findings output.
+pub const LINT_SCHEMA: &str = "hot-analyze/lint-v1";
+/// Schema tag for protocol findings + summary output.
+pub const PROTOCOL_SCHEMA: &str = "hot-analyze/protocol-v1";
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_obj(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\",\"message\":\"{}\"}}",
+        esc(f.rule),
+        esc(&f.file),
+        f.line,
+        esc(&f.excerpt),
+        esc(&f.message)
+    )
+}
+
+fn findings_array(findings: &[Finding], indent: &str) -> String {
+    if findings.is_empty() {
+        return "[]".to_string();
+    }
+    let rows: Vec<String> =
+        findings.iter().map(|f| format!("{indent}  {}", finding_obj(f))).collect();
+    format!("[\n{}\n{indent}]", rows.join(",\n"))
+}
+
+/// Render lint findings under the `hot-analyze/lint-v1` schema.
+#[must_use]
+pub fn lint_json(findings: &[Finding]) -> String {
+    format!(
+        "{{\n  \"schema\": \"{LINT_SCHEMA}\",\n  \"findings\": {}\n}}\n",
+        findings_array(findings, "  ")
+    )
+}
+
+/// Render a protocol report (summary + findings) under the
+/// `hot-analyze/protocol-v1` schema.
+#[must_use]
+pub fn protocol_json(rep: &ProtocolReport) -> String {
+    let s = &rep.summary;
+    let mut tags = Vec::new();
+    for (tag, info) in &s.tags {
+        tags.push(format!(
+            "      \"{}\": {{\"sends\":{},\"recvs\":{},\"emits\":{},\"arms\":{},\"compares\":{}}}",
+            esc(tag),
+            info.sends.len(),
+            info.recvs.len(),
+            info.emits.len(),
+            info.arms.len(),
+            info.compares.len()
+        ));
+    }
+    let mut counters = Vec::new();
+    for (name, owners) in &s.counters {
+        let inner: Vec<String> = owners
+            .iter()
+            .map(|(krate, sites)| format!("\"{}\":{}", esc(krate), sites.len()))
+            .collect();
+        counters.push(format!("      \"{}\": {{{}}}", esc(name), inner.join(",")));
+    }
+    let wrap = |rows: Vec<String>| {
+        if rows.is_empty() {
+            "{}".to_string()
+        } else {
+            format!("{{\n{}\n    }}", rows.join(",\n"))
+        }
+    };
+    format!(
+        "{{\n  \"schema\": \"{PROTOCOL_SCHEMA}\",\n  \"summary\": {{\n    \
+         \"files\": {},\n    \"protocol_files\": {},\n    \"collectives\": {},\n    \
+         \"polls\": {},\n    \"dynamic_sites\": {},\n    \"tags\": {},\n    \
+         \"counters\": {}\n  }},\n  \"findings\": {}\n}}\n",
+        s.files,
+        s.protocol_files,
+        s.collectives.len(),
+        s.polls.len(),
+        s.dynamic_sites,
+        wrap(tags),
+        wrap(counters),
+        findings_array(&rep.findings, "  ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(esc("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn lint_json_shape_is_stable() {
+        let f = Finding {
+            rule: "no-f32-accumulate",
+            file: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            excerpt: "let s: f32 = 0.0;".to_string(),
+            message: "msg with \"quotes\"".to_string(),
+        };
+        let out = lint_json(&[f]);
+        assert!(out.contains("\"schema\": \"hot-analyze/lint-v1\""));
+        assert!(out.contains("\"line\":7"));
+        assert!(out.contains("\\\"quotes\\\""));
+        let empty = lint_json(&[]);
+        assert!(empty.contains("\"findings\": []"));
+    }
+}

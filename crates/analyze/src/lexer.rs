@@ -1,0 +1,544 @@
+//! Token-level Rust lexer for the analysis engine.
+//!
+//! The container has no `syn`, so this is a hand-rolled single-pass lexer
+//! that understands exactly the constructs that made the old line-regex
+//! linter lie: line comments, nested block comments, string literals with
+//! escapes, raw strings (`r#"…"#` with any number of hashes), byte
+//! strings, and char literals vs. lifetimes. It produces a [`FileMap`]
+//! with three aligned per-line views of the source plus a token stream:
+//!
+//! - `lines`: the raw source lines (for excerpts);
+//! - `code`: comments blanked out, string/char *interiors* blanked out
+//!   (delimiters kept), every surviving byte at its original column — so
+//!   substring rules (`.contains("as f32")`) become exact;
+//! - `comments`: the complement — comment text at its original column —
+//!   so suppression markers are only honored inside real comments.
+//!
+//! The token stream carries identifiers, literals and punctuation with
+//! 1-based line numbers; it feeds the call-site and match-arm extraction
+//! in [`crate::model`].
+
+/// Token kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers, `r#type`).
+    Ident,
+    /// Numeric literal (integer or float; exponent signs split off).
+    Number,
+    /// String literal: cooked, raw, byte, or raw byte.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime, e.g. `'a`.
+    Lifetime,
+    /// Punctuation or a short operator (1–2 chars, e.g. `::`, `=>`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// Token text. For `Str`/`Char` this is the whole literal including
+    /// delimiters and any `r`/`b` prefix.
+    pub text: String,
+}
+
+impl Tok {
+    /// True when this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation `p`.
+    #[must_use]
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// A lexed source file: aligned raw/code/comment line views plus tokens.
+pub struct FileMap {
+    /// Raw source lines (trailing `\r` stripped).
+    pub lines: Vec<String>,
+    /// Code view: comments and literal interiors blanked, columns kept.
+    pub code: Vec<String>,
+    /// Comment view: comment text only, columns kept.
+    pub comments: Vec<String>,
+    /// Token stream in source order (comments excluded).
+    pub tokens: Vec<Tok>,
+}
+
+impl FileMap {
+    /// Lex `source` into aligned views. Never fails: unterminated
+    /// literals or comments simply run to end of input, which is the
+    /// useful behavior for a linter that must not crash on a typo.
+    #[must_use]
+    pub fn parse(source: &str) -> FileMap {
+        Lexer::new(source).run()
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    i: usize,
+    line: usize,
+    code: Vec<u8>,
+    comment: Vec<u8>,
+    tokens: Vec<Tok>,
+}
+
+/// Two-character operators lexed as one token. Order irrelevant; all
+/// single chars fall through to one-byte puncts.
+const TWO_CHAR_OPS: [&str; 20] = [
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        let n = source.len();
+        Lexer {
+            src: source.as_bytes(),
+            text: source,
+            i: 0,
+            line: 1,
+            code: vec![b' '; n],
+            comment: vec![b' '; n],
+            tokens: Vec::new(),
+        }
+    }
+
+    fn at(&self, k: usize) -> u8 {
+        self.src.get(k).copied().unwrap_or(0)
+    }
+
+    /// Record a newline in both views so line splitting stays aligned.
+    fn newline(&mut self, k: usize) {
+        self.code[k] = b'\n';
+        self.comment[k] = b'\n';
+        self.line += 1;
+    }
+
+    fn push_tok(&mut self, kind: TokKind, line: usize, start: usize, end: usize) {
+        let end = end.min(self.src.len());
+        self.tokens.push(Tok {
+            kind,
+            line,
+            text: String::from_utf8_lossy(&self.src[start..end]).into_owned(),
+        });
+    }
+
+    fn run(mut self) -> FileMap {
+        while self.i < self.src.len() {
+            let c = self.src[self.i];
+            match c {
+                b'\n' => {
+                    self.newline(self.i);
+                    self.i += 1;
+                }
+                b'/' if self.at(self.i + 1) == b'/' => self.line_comment(),
+                b'/' if self.at(self.i + 1) == b'*' => self.block_comment(),
+                b'"' => self.cooked_string(self.i),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.literal_prefix() => {}
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                _ => self.punct(),
+            }
+        }
+        let lines = self
+            .text
+            .split('\n')
+            .map(|l| l.strip_suffix('\r').unwrap_or(l).to_string())
+            .collect();
+        let split = |buf: Vec<u8>| -> Vec<String> {
+            String::from_utf8_lossy(&buf)
+                .split('\n')
+                .map(ToString::to_string)
+                .collect()
+        };
+        FileMap {
+            lines,
+            code: split(self.code),
+            comments: split(self.comment),
+            tokens: self.tokens,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while self.i < self.src.len() && self.src[self.i] != b'\n' {
+            self.comment[self.i] = self.src[self.i];
+            self.i += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.i < self.src.len() {
+            let c = self.src[self.i];
+            if c == b'\n' {
+                self.newline(self.i);
+                self.i += 1;
+            } else if c == b'/' && self.at(self.i + 1) == b'*' {
+                depth += 1;
+                self.comment[self.i] = b'/';
+                self.comment[self.i + 1] = b'*';
+                self.i += 2;
+            } else if c == b'*' && self.at(self.i + 1) == b'/' {
+                depth -= 1;
+                self.comment[self.i] = b'*';
+                self.comment[self.i + 1] = b'/';
+                self.i += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.comment[self.i] = c;
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Cooked (escaped) string starting at the opening quote; `start` is
+    /// where the literal's token text begins (before any `b` prefix).
+    fn cooked_string(&mut self, start: usize) {
+        let line = self.line;
+        self.code[self.i] = b'"';
+        self.i += 1;
+        while self.i < self.src.len() {
+            match self.src[self.i] {
+                // Escape: interior stays blanked. A `\` before a newline
+                // is a line continuation — step one byte so the newline
+                // itself is still seen and the line views stay aligned.
+                b'\\' => self.i += if self.at(self.i + 1) == b'\n' { 1 } else { 2 },
+                b'\n' => {
+                    self.newline(self.i);
+                    self.i += 1;
+                }
+                b'"' => {
+                    self.code[self.i] = b'"';
+                    self.i += 1;
+                    self.push_tok(TokKind::Str, line, start, self.i);
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push_tok(TokKind::Str, line, start, self.i);
+    }
+
+    /// Raw string starting at the first `#` or `"` after the `r`/`br`
+    /// prefix; `start` is where the token text begins.
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.at(self.i) == b'#' {
+            self.code[self.i] = b'#';
+            self.i += 1;
+            hashes += 1;
+        }
+        self.code[self.i] = b'"'; // opening quote
+        self.i += 1;
+        while self.i < self.src.len() {
+            if self.src[self.i] == b'\n' {
+                self.newline(self.i);
+                self.i += 1;
+            } else if self.src[self.i] == b'"'
+                && (0..hashes).all(|k| self.at(self.i + 1 + k) == b'#')
+            {
+                self.code[self.i] = b'"';
+                for k in 0..hashes {
+                    self.code[self.i + 1 + k] = b'#';
+                }
+                self.i += 1 + hashes;
+                self.push_tok(TokKind::Str, line, start, self.i);
+                return;
+            } else {
+                self.i += 1;
+            }
+        }
+        self.push_tok(TokKind::Str, line, start, self.i);
+    }
+
+    /// Char or byte-char literal starting at the quote; `start` covers an
+    /// optional `b` prefix.
+    fn char_literal(&mut self, start: usize) {
+        let line = self.line;
+        self.code[self.i] = b'\'';
+        self.i += 1;
+        if self.at(self.i) == b'\\' {
+            self.i += 2;
+        } else if self.i < self.src.len() {
+            // Skip one (possibly multi-byte) character.
+            let w = self.text[self.i..].chars().next().map_or(1, char::len_utf8);
+            self.i += w;
+        }
+        if self.at(self.i) == b'\'' {
+            self.code[self.i] = b'\'';
+            self.i += 1;
+        }
+        self.push_tok(TokKind::Char, line, start, self.i);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) by looking for the
+    /// closing quote after exactly one character.
+    fn char_or_lifetime(&mut self) {
+        let next = self.at(self.i + 1);
+        if next == b'\\' {
+            self.char_literal(self.i);
+            return;
+        }
+        let rest = &self.text[self.i + 1..];
+        if let Some(c) = rest.chars().next() {
+            if c != '\'' && rest.as_bytes().get(c.len_utf8()) == Some(&b'\'') {
+                self.char_literal(self.i);
+                return;
+            }
+        }
+        // Lifetime: quote plus identifier chars.
+        let line = self.line;
+        let start = self.i;
+        self.code[self.i] = b'\'';
+        self.i += 1;
+        while self.at(self.i) == b'_' || self.at(self.i).is_ascii_alphanumeric() {
+            self.code[self.i] = self.src[self.i];
+            self.i += 1;
+        }
+        self.push_tok(TokKind::Lifetime, line, start, self.i);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` and raw
+    /// identifiers (`r#type`). Returns true when a literal prefix was
+    /// consumed; false means "lex as a plain identifier".
+    fn literal_prefix(&mut self) -> bool {
+        let start = self.i;
+        let c = self.src[self.i];
+        let (skip, next) = if c == b'b' && self.at(self.i + 1) == b'r' {
+            (2, self.at(self.i + 2))
+        } else {
+            (1, self.at(self.i + 1))
+        };
+        let is_raw = (c == b'r' && skip == 1) || skip == 2;
+        match next {
+            b'"' if is_raw || c == b'b' => {
+                for k in 0..skip {
+                    self.code[self.i + k] = self.src[self.i + k];
+                }
+                self.i += skip;
+                if is_raw {
+                    self.raw_string(start);
+                } else {
+                    self.cooked_string(start);
+                }
+                true
+            }
+            b'#' if is_raw => {
+                // Raw string with hashes, or a raw identifier (`r#type`).
+                let mut j = self.i + skip;
+                while self.at(j) == b'#' {
+                    j += 1;
+                }
+                if self.at(j) == b'"' {
+                    for k in 0..skip {
+                        self.code[self.i + k] = self.src[self.i + k];
+                    }
+                    self.i += skip;
+                    self.raw_string(start);
+                } else {
+                    // Raw identifier: keep `r#` and the name as one ident.
+                    let line = self.line;
+                    for k in self.i..self.i + skip + 1 {
+                        self.code[k] = self.src[k];
+                    }
+                    self.i += skip + 1;
+                    while self.at(self.i) == b'_' || self.at(self.i).is_ascii_alphanumeric() {
+                        self.code[self.i] = self.src[self.i];
+                        self.i += 1;
+                    }
+                    self.push_tok(TokKind::Ident, line, start, self.i);
+                }
+                true
+            }
+            b'\'' if c == b'b' => {
+                self.code[self.i] = b'b';
+                self.i += 1;
+                self.char_literal(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.at(self.i) == b'_' || self.at(self.i).is_ascii_alphanumeric() {
+            self.code[self.i] = self.src[self.i];
+            self.i += 1;
+        }
+        self.push_tok(TokKind::Ident, line, start, self.i);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.at(self.i) == b'_' || self.at(self.i).is_ascii_alphanumeric() {
+            self.code[self.i] = self.src[self.i];
+            self.i += 1;
+        }
+        // Fractional part: only when followed by a digit, so `0..n` and
+        // `1.max(2)` keep their `.` as punctuation.
+        if self.at(self.i) == b'.' && self.at(self.i + 1).is_ascii_digit() {
+            self.code[self.i] = b'.';
+            self.i += 1;
+            while self.at(self.i) == b'_' || self.at(self.i).is_ascii_alphanumeric() {
+                self.code[self.i] = self.src[self.i];
+                self.i += 1;
+            }
+        }
+        self.push_tok(TokKind::Number, line, start, self.i);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let pair = &self.src[self.i..self.src.len().min(self.i + 2)];
+        let len = if pair.len() == 2
+            && TWO_CHAR_OPS.iter().any(|op| op.as_bytes() == pair)
+        {
+            2
+        } else {
+            1
+        };
+        for k in self.i..self.i + len {
+            self.code[k] = self.src[k];
+        }
+        self.i += len;
+        self.push_tok(TokKind::Punct, line, start, self.i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        FileMap::parse(src).code
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_code_and_kept_in_comments() {
+        let fm = FileMap::parse("let x = 1; // as f32 here\nlet y = 2;\n");
+        assert!(!fm.code[0].contains("as f32"));
+        assert!(fm.code[0].contains("let x = 1;"));
+        assert!(fm.comments[0].contains("as f32"));
+        assert!(fm.comments[1].trim().is_empty());
+    }
+
+    #[test]
+    fn slashes_inside_strings_are_not_comments() {
+        let fm = FileMap::parse("let u = \"https://example.org\"; x.unwrap();\n");
+        assert!(fm.code[0].contains(".unwrap()"), "{:?}", fm.code[0]);
+        assert!(!fm.code[0].contains("https"));
+        assert!(fm.comments[0].trim().is_empty());
+    }
+
+    #[test]
+    fn string_interiors_are_blanked_but_delimiters_kept() {
+        let code = code_of("let s = \"as f32 { HashMap\";\n");
+        assert!(!code[0].contains("as f32"));
+        assert!(!code[0].contains('{'));
+        assert_eq!(code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_end_at_the_matching_close() {
+        let fm = FileMap::parse("a /* x /* y */ z */ b.unwrap()\n");
+        assert!(fm.code[0].contains("b.unwrap()"));
+        assert!(!fm.code[0].contains('z'));
+        assert!(fm.comments[0].contains('y'));
+    }
+
+    #[test]
+    fn multiline_block_comment_blanks_every_line() {
+        let fm = FileMap::parse("/* one\n as f32\n*/ let m = HashMap::new();\n");
+        assert!(fm.code[1].trim().is_empty());
+        assert!(fm.code[2].contains("HashMap"));
+        assert_eq!(fm.lines.len(), fm.code.len());
+        assert_eq!(fm.lines.len(), fm.comments.len());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_literals() {
+        let fm = FileMap::parse("let s = r#\"quote \" and // brace {\"#; y.unwrap();\n");
+        assert!(fm.code[0].contains(".unwrap()"));
+        assert!(!fm.code[0].contains("brace"));
+        let strs: Vec<_> =
+            fm.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.starts_with("r#\""));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_lex_as_literals() {
+        let fm = FileMap::parse("let a = b\"x{\"; let c = b'{'; f();\n");
+        assert!(!fm.code[0].contains('{'));
+        assert!(fm.code[0].contains("f();"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let fm = FileMap::parse("fn f<'a>(x: &'a str) { let c = '{'; g(c) }\n");
+        assert!(!fm.code[0].contains("'{'")); // interior blanked
+        let lifetimes: Vec<_> =
+            fm.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> =
+            fm.tokens.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        // Brace balance survives: one open, one close from real code.
+        let joined = fm.code.join("\n");
+        assert_eq!(
+            joined.matches('{').count(),
+            joined.matches('}').count()
+        );
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_a_string() {
+        let fm = FileMap::parse("let s = \"a\\\"b\"; h.unwrap();\n");
+        assert!(fm.code[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn tokens_carry_line_numbers_and_two_char_ops() {
+        let fm = FileMap::parse("if a == b {\n    K_REQ => c::d(),\n}\n");
+        let eq = fm.tokens.iter().find(|t| t.is_punct("==")).unwrap();
+        assert_eq!(eq.line, 1);
+        let arrow = fm.tokens.iter().find(|t| t.is_punct("=>")).unwrap();
+        assert_eq!(arrow.line, 2);
+        let path = fm.tokens.iter().find(|t| t.is_punct("::")).unwrap();
+        assert_eq!(path.line, 2);
+        assert!(fm.tokens.iter().any(|t| t.is_ident("K_REQ")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let fm = FileMap::parse("let r#type = 1; let x = r#type;\n");
+        assert!(fm.tokens.iter().filter(|t| t.is_ident("r#type")).count() == 2);
+        assert!(fm.tokens.iter().all(|t| t.kind != TokKind::Str));
+    }
+
+    #[test]
+    fn attribute_text_survives_in_code_view() {
+        let code = code_of("#[cfg(test)]\nmod tests {\n}\n");
+        assert!(code[0].trim_start().starts_with("#[cfg(test)]"));
+    }
+}

@@ -1,12 +1,22 @@
 //! # hot-analyze
 //!
-//! Correctness tooling for the HOT97 workspace, in two halves:
+//! Correctness tooling for the HOT97 workspace:
 //!
+//! * [`lexer`] + [`model`] — the analysis engine: a token-level Rust
+//!   lexer (strings, char/byte literals, raw strings, nested block
+//!   comments) producing aligned code/comment line views and a token
+//!   stream, plus a lightweight semantic model on top (function spans,
+//!   `#[cfg(test)]` masking, call-site and suppression extraction).
 //! * [`lint`] — a static workspace linter enforcing the project invariants
 //!   the compiler cannot see: the 38-flop accounting convention, f64-only
 //!   accumulation paths, deterministic (iteration-order-free) reductions
-//!   and wire encoding, wall-clock-free simulation logic, and an audited
-//!   `unwrap`/`expect` surface.
+//!   and wire encoding, wall-clock-free simulation logic, an audited
+//!   `unwrap`/`expect` surface, and honest suppression inventories.
+//! * [`protocol`] — a static communication-protocol checker: extracts
+//!   the send/recv/post/poll call graph and every collective site of
+//!   `crates/comm` and the drivers, then enforces collective-order,
+//!   tag-matching, and counter-discipline over all np at once.
+//! * [`json`] — schema-versioned finding output for CI artifacts.
 //! * [`schedules`] — a dynamic checker that reruns the comm runtime's
 //!   collectives and ABM traversal under many seeded rank interleavings
 //!   (via [`hot_comm::FuzzScheduler`]) and asserts freedom from deadlock,
@@ -17,12 +27,17 @@
 //!   identical to the fault-free reference.
 //!
 //! Run as `cargo run -p hot-analyze -- lint`,
+//! `cargo run -p hot-analyze -- protocol`,
 //! `cargo run -p hot-analyze -- schedules --seeds 32`, and
 //! `cargo run -p hot-analyze -- faults --seeds 32`. All exit non-zero
 //! on findings; `ci.sh` wires them into the verify pipeline. Rules,
 //! rationale and suppression syntax are documented in `VERIFICATION.md`.
 
 pub mod faults;
+pub mod json;
+pub mod lexer;
 pub mod lint;
+pub mod model;
+pub mod protocol;
 pub mod schedules;
 pub(crate) mod workloads;

@@ -1,7 +1,8 @@
 //! `hot-analyze` command-line interface.
 //!
 //! ```text
-//! hot-analyze lint [--root PATH]
+//! hot-analyze lint [--root PATH] [--json]
+//! hot-analyze protocol [--root PATH] [--json]
 //! hot-analyze schedules [--seeds N]
 //! hot-analyze faults [--seeds N]
 //! ```
@@ -9,16 +10,19 @@
 //! Every subcommand exits 0 when clean and 1 on findings, so they slot
 //! directly into `ci.sh`. See VERIFICATION.md for the rule catalog.
 
-use hot_analyze::{faults, lint, schedules};
+use hot_analyze::{faults, json, lint, protocol, schedules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  hot-analyze lint [--root PATH]       static invariant linter\n  \
-         hot-analyze schedules [--seeds N]    seeded schedule checker\n  \
-         hot-analyze faults [--seeds N]       fault-plan × schedule checker\n\nlint rules: {}",
-        lint::RULES.join(", ")
+        "usage:\n  hot-analyze lint [--root PATH] [--json]      static invariant linter\n  \
+         hot-analyze protocol [--root PATH] [--json]  static comm-protocol checker\n  \
+         hot-analyze schedules [--seeds N]            seeded schedule checker\n  \
+         hot-analyze faults [--seeds N]               fault-plan × schedule checker\n\n\
+         lint rules: {}\nprotocol rules: {}",
+        lint::RULES.join(", "),
+        protocol::RULES.join(", ")
     );
     ExitCode::from(2)
 }
@@ -27,6 +31,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("protocol") => run_protocol(&args[1..]),
         Some("schedules") => run_schedules(&args[1..]),
         Some("faults") => run_faults(&args[1..]),
         _ => usage(),
@@ -37,7 +42,7 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
-fn run_lint(args: &[String]) -> ExitCode {
+fn parse_root(cmd: &str, args: &[String]) -> Result<PathBuf, ExitCode> {
     let root = flag_value(args, "--root").map_or_else(
         || {
             // Default: the workspace containing this binary's sources.
@@ -45,10 +50,19 @@ fn run_lint(args: &[String]) -> ExitCode {
         },
         PathBuf::from,
     );
-    if !root.is_dir() {
-        eprintln!("hot-analyze lint: root {} is not a directory", root.display());
-        return ExitCode::from(2);
+    if root.is_dir() {
+        Ok(root)
+    } else {
+        eprintln!("hot-analyze {cmd}: root {} is not a directory", root.display());
+        Err(ExitCode::from(2))
     }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let root = match parse_root("lint", args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
     let findings = lint::lint_workspace(&root);
     let files = lint::collect_sources(&root).len();
     if files == 0 {
@@ -56,6 +70,10 @@ fn run_lint(args: &[String]) -> ExitCode {
         // report a vacuous pass.
         eprintln!("hot-analyze lint: no .rs sources under {}", root.display());
         return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", json::lint_json(&findings));
+        return if findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
     if findings.is_empty() {
         println!("hot-analyze lint: {files} files clean ({} rules)", lint::RULES.len());
@@ -65,6 +83,48 @@ fn run_lint(args: &[String]) -> ExitCode {
             println!("{f}");
         }
         println!("hot-analyze lint: {} finding(s) across {files} files", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_protocol(args: &[String]) -> ExitCode {
+    let root = match parse_root("protocol", args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let rep = protocol::check_workspace(&root);
+    if rep.summary.vacuous() {
+        // No collectives or no tags extracted means the scan missed the
+        // protocol entirely (wrong root, renamed files) — refuse rather
+        // than report a vacuous pass.
+        eprintln!(
+            "hot-analyze protocol: extraction vacuous under {} \
+             (collectives: {}, tags: {})",
+            root.display(),
+            rep.summary.collectives.len(),
+            rep.summary.tags.len()
+        );
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", json::protocol_json(&rep));
+        return if rep.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    println!("hot-analyze protocol: extracted communication protocol");
+    for line in rep.summary.render() {
+        println!("{line}");
+    }
+    if rep.passed() {
+        println!(
+            "hot-analyze protocol: clean ({} rules)",
+            protocol::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &rep.findings {
+            println!("{f}");
+        }
+        println!("hot-analyze protocol: {} finding(s)", rep.findings.len());
         ExitCode::FAILURE
     }
 }

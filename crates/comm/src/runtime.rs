@@ -26,7 +26,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 // Wall-clock here times the host machine's run for Gflop/s reporting; the
 // simulation itself never reads it (enforced by `hot-analyze lint`).
-use std::time::{Duration, Instant}; // hot-lint: allow(wall-clock)
+use std::time::{Duration, Instant};
 
 /// Highest tag available to applications; larger tags are reserved for
 /// collectives and runtime control traffic.
