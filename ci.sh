@@ -13,7 +13,7 @@ echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> trace + analyze golden + differential suites"
-cargo test -q --offline --test trace_golden --test trace_differential --test analyze_golden
+cargo test -q --offline --test trace_golden --test trace_differential --test analyze_golden --test faults_golden
 
 echo "==> hot-analyze lint"
 cargo run -q --offline --release -p hot-analyze -- lint
@@ -53,6 +53,20 @@ cargo run -q --offline --release -p hot-analyze -- schedules --seeds 32
 
 echo "==> hot-analyze faults --seeds 32 (fault plans × fuzzed schedules)"
 cargo run -q --offline --release -p hot-analyze -- faults --seeds 32
+
+echo "==> hot-analyze kills --seeds 8 (crash-stop detection + bitwise rollback recovery)"
+cargo run -q --offline --release -p hot-analyze -- kills --seeds 8
+
+echo "==> hot-analyze kills non-vacuity (planted undetected-kill fixture must exit 1)"
+rc=0
+cargo run -q --offline --release -p hot-analyze -- kills --planted-undetected >/dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "ERROR: planted undetected-kill fixture exited $rc, expected 1 — kill gate is vacuous" >&2
+  exit 1
+fi
+
+echo "==> exp_recovery smoke (Daly cadence ≤ 5% overhead, bitwise recovery gate)"
+cargo run -q --offline --release -p hot-bench --bin exp_recovery -- 2 128 4
 
 echo "==> checkpoint/restart smoke (bitwise-identical resume)"
 cargo test -q --offline --release -p hot-cosmo checkpoint

@@ -1,0 +1,403 @@
+//! Crash-stop kill checker: seeded rank deaths must be *detected* by a
+//! survivor, and supervised rollback must recover to the bitwise golden.
+//!
+//! Two sweeps back the gate:
+//!
+//! 1. **Detection** ([`check_detection`]) — seeded crash-stop plans
+//!    ([`FaultConfig::lethal`]) crossed with schedules (the production
+//!    timed scheduler *and* seeded [`FuzzScheduler`] interleavings) over a
+//!    chatty point-to-point workload. Every run where a kill fired must
+//!    abort with at least one failure-detection record, every detection
+//!    must accuse a rank that actually died (no false accusations of live
+//!    peers), and a run where no kill fired must complete cleanly.
+//! 2. **Recovery** ([`check_recovery`]) — targeted kills at step positions
+//!    crossing checkpoint boundaries (top-of-step and mid-step, np ∈
+//!    {2, 4, 8}) driven through the cosmology supervisor
+//!    ([`hot_cosmo::supervisor`]): each killed run must detect, roll back,
+//!    rerun, and finish with state digest and trace totals **bitwise
+//!    identical** to the fault-free golden's.
+//!
+//! Both sweeps reject vacuous passes (a sweep in which no kill ever fired
+//! proves nothing), and the separate planted fixture
+//! ([`check_planted_undetected`], CLI `--planted-undetected`) proves the
+//! detection gate bites: a workload whose ranks never communicate gives
+//! the detector nothing to observe, the runtime's teardown audit flags the
+//! undetected death, and the checker *must* report it (CI asserts exit 1).
+
+use hot_comm::{
+    Comm, DetectionRecord, FaultConfig, FaultPlan, FuzzScheduler, RunConfig, Scheduler, World,
+};
+use hot_cosmo::supervisor::{self, KillSpec, SupervisorConfig};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// Outcome of one kill sweep.
+#[derive(Debug)]
+pub struct KillSweepReport {
+    /// Sweep name.
+    pub name: &'static str,
+    /// Kill plans (or kill specs) exercised.
+    pub plans: u64,
+    /// Schedules each plan was crossed with.
+    pub schedules: u64,
+    /// Human-readable failures; empty means the sweep passed.
+    pub failures: Vec<String>,
+    /// Kills that actually fired across the sweep.
+    pub kills_fired: u64,
+    /// Failure detections recorded across the sweep.
+    pub detections: u64,
+    /// Rollback-rerun cycles performed (recovery sweep only).
+    pub recoveries: u64,
+}
+
+impl KillSweepReport {
+    /// True when every killed run was detected/recovered as required.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// A chatty neighbor exchange: enough blocked receives that a survivor is
+/// always waiting on the dead rank's frozen heartbeat within the kill
+/// window. Pure function of `(np, rank)`.
+fn ring_workload(c: &mut Comm) -> u64 {
+    let np = c.size();
+    let right = (c.rank() + 1) % np;
+    let left = (c.rank() + np - 1) % np;
+    let mut acc = u64::from(c.rank());
+    for round in 0..64u64 {
+        c.send(right, 5, &(acc + round));
+        acc = acc.wrapping_add(c.recv::<u64>(left, 5));
+    }
+    acc
+}
+
+/// Cross seeded crash-stop plans with schedules and demand every fired
+/// kill is detected. Schedule 0 is the production timed scheduler
+/// (timeout-escalation detection path); schedules ≥ 1 are seeded
+/// [`FuzzScheduler`] interleavings (quiescence detection path).
+#[must_use]
+pub fn check_detection(np: u32, kill_seeds: u64, schedules: u64) -> KillSweepReport {
+    let mut failures = Vec::new();
+    let mut kills_fired = 0u64;
+    let mut detections = 0u64;
+    let mut wipeouts = 0u64;
+
+    'sweep: for kill_seed in 0..kill_seeds {
+        // Per-rank death probability well under 1: a plan that kills every
+        // rank leaves no survivor to do the detecting and proves nothing.
+        let config = FaultConfig::lethal(0x4B11 + kill_seed, 0.4, (16, 96));
+        for sched_seed in 0..schedules {
+            let plan = FaultPlan::new(config);
+            let monitor = plan.monitor();
+            let scheduler: Option<Arc<dyn Scheduler>> = if sched_seed == 0 {
+                None // production scheduler, timed detection rounds
+            } else {
+                Some(Arc::new(FuzzScheduler::new(np, sched_seed)))
+            };
+            let label = format!("np {np} kill seed {kill_seed} × schedule {sched_seed}");
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                World::run_config(np, RunConfig { scheduler, faults: Some(plan) }, ring_workload);
+            }));
+            let kills = monitor.kills();
+            let found: Vec<DetectionRecord> = monitor.detections();
+            kills_fired += kills.len() as u64;
+            detections += found.len() as u64;
+            if kills.len() as u32 == np {
+                // Total wipeout: nothing left to detect; not a pass, not a
+                // failure — but counted, so a sweep of wipeouts stays
+                // vacuous rather than silently passing.
+                wipeouts += 1;
+                continue;
+            }
+            match result {
+                Ok(()) => {
+                    if !kills.is_empty() {
+                        failures.push(format!(
+                            "{label}: {} kill(s) fired yet the run completed normally",
+                            kills.len()
+                        ));
+                    }
+                }
+                Err(payload) => {
+                    if kills.is_empty() {
+                        failures.push(format!(
+                            "{label}: no kill fired but the run aborted: {}",
+                            panic_text(payload.as_ref())
+                        ));
+                        continue;
+                    }
+                    if found.is_empty() {
+                        failures.push(format!(
+                            "{label}: {} kill(s) fired, run aborted, but no survivor \
+                             recorded a detection: {}",
+                            kills.len(),
+                            panic_text(payload.as_ref())
+                        ));
+                    }
+                    for d in &found {
+                        if !kills.iter().any(|k| k.rank == d.dead) {
+                            failures.push(format!(
+                                "{label}: rank {} falsely confirmed live rank {} dead \
+                                 (after {} ticks via {:?})",
+                                d.by, d.dead, d.ticks, d.via
+                            ));
+                        }
+                    }
+                }
+            }
+            if failures.len() > 8 {
+                failures.push("… sweep aborted after 8 failures".to_string());
+                break 'sweep;
+            }
+        }
+    }
+    if failures.is_empty() && kills_fired == 0 {
+        failures.push("vacuous sweep: no kill plan ever fired".to_string());
+    }
+    if failures.is_empty() && detections == 0 {
+        failures.push(format!(
+            "vacuous sweep: kills fired but zero detections recorded \
+             ({wipeouts} total-wipeout runs)"
+        ));
+    }
+    KillSweepReport {
+        name: "kill-detection",
+        plans: kill_seeds,
+        schedules,
+        failures,
+        kills_fired,
+        detections,
+        recoveries: 0,
+    }
+}
+
+/// Kill positions for an `n`-step supervised run checkpointed every 2
+/// steps: inside the first segment (top-of-step), at a segment boundary
+/// (mid-step), and in the final segment (mid-step) — the "≥ 3 kill times
+/// crossing checkpoint boundaries" of the acceptance gate.
+fn boundary_kills(np: u32) -> [KillSpec; 3] {
+    [
+        KillSpec { rank: np - 1, step: 1, mid_step: false },
+        KillSpec { rank: 0, step: 2, mid_step: true },
+        KillSpec { rank: np / 2, step: 3, mid_step: true },
+    ]
+}
+
+/// Drive the cosmology supervisor through targeted kills × schedules and
+/// demand bitwise recovery: final state digest and trace totals equal to
+/// the fault-free golden's. Schedule 0 is the production scheduler;
+/// schedules ≥ 1 are fuzzed.
+#[must_use]
+pub fn check_recovery(np: u32, schedules: u64) -> KillSweepReport {
+    const STEPS: u64 = 4;
+    const EVERY: u64 = 2;
+    let mut failures = Vec::new();
+    let mut kills_fired = 0u64;
+    let mut detections = 0u64;
+    let mut recoveries = 0u64;
+    let dir = std::env::temp_dir().join("hot97_analyze_kills");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        failures.push(format!("cannot create checkpoint dir {}: {e}", dir.display()));
+    }
+
+    let state = || supervisor::demo_state(64, 0xC0);
+    let golden = match supervisor::run_supervised(
+        state(),
+        &SupervisorConfig::golden(np, STEPS, 0.01, EVERY, dir.join(format!("golden_np{np}.ckpt"))),
+    ) {
+        Ok(rep) => Some(rep),
+        Err(e) => {
+            failures.push(format!("np {np}: fault-free golden failed: {e}"));
+            None
+        }
+    };
+
+    if let Some(golden) = &golden {
+        let specs = boundary_kills(np);
+        'sweep: for (i, spec) in specs.iter().enumerate() {
+            for sched_seed in 0..schedules {
+                let label = format!(
+                    "np {np} kill rank {} at step {}{} × schedule {sched_seed}",
+                    spec.rank,
+                    spec.step,
+                    if spec.mid_step { " (mid-step)" } else { "" }
+                );
+                let cfg = SupervisorConfig {
+                    faults: Some(FaultConfig::clean(0xD1E ^ sched_seed)),
+                    kills: vec![*spec],
+                    fuzz_seed: (sched_seed > 0).then_some(sched_seed),
+                    ..SupervisorConfig::golden(
+                        np,
+                        STEPS,
+                        0.01,
+                        EVERY,
+                        dir.join(format!("kill_np{np}_{i}_{sched_seed}.ckpt")),
+                    )
+                };
+                match supervisor::run_supervised(state(), &cfg) {
+                    Err(e) => failures.push(format!("{label}: supervised run failed: {e}")),
+                    Ok(rep) => {
+                        kills_fired += rep.kills_fired;
+                        detections += rep.detections;
+                        recoveries += u64::from(rep.recoveries);
+                        if rep.kills_fired == 0 {
+                            failures.push(format!("{label}: planted kill never fired"));
+                        } else if rep.detections == 0 {
+                            failures.push(format!(
+                                "{label}: kill fired but no detection was recorded"
+                            ));
+                        }
+                        if rep.recoveries == 0 && rep.kills_fired > 0 {
+                            failures.push(format!("{label}: kill fired but no rollback ran"));
+                        }
+                        if rep.state_digest != golden.state_digest {
+                            failures.push(format!(
+                                "{label}: recovered state digest {:016x} != golden {:016x}",
+                                rep.state_digest, golden.state_digest
+                            ));
+                        }
+                        if rep.totals != golden.totals {
+                            failures.push(format!(
+                                "{label}: recovered trace totals differ from golden\n  \
+                                 golden:    {:?}\n  recovered: {:?}",
+                                golden.totals, rep.totals
+                            ));
+                        }
+                    }
+                }
+                if failures.len() > 8 {
+                    failures.push("… sweep aborted after 8 failures".to_string());
+                    break 'sweep;
+                }
+            }
+        }
+        if failures.is_empty() && (kills_fired == 0 || recoveries == 0) {
+            failures.push("vacuous sweep: no kill fired or no rollback ran".to_string());
+        }
+    }
+
+    KillSweepReport {
+        name: "kill-recovery",
+        plans: 3,
+        schedules,
+        failures,
+        kills_fired,
+        detections,
+        recoveries,
+    }
+}
+
+/// The planted fixture behind `hot-analyze kills --planted-undetected`:
+/// ranks that never communicate give the failure detector nothing to
+/// observe, so a kill there is undetectable by construction. The runtime's
+/// teardown audit still catches it, and this sweep reports it as the
+/// failure it is — CI asserts the command exits 1, proving the detection
+/// gate is not vacuously green.
+#[must_use]
+pub fn check_planted_undetected(np: u32) -> KillSweepReport {
+    let plan = FaultPlan::new(FaultConfig::clean(1)).with_rank_kill_at_epoch(np - 1, 0);
+    let monitor = plan.monitor();
+    let mut failures = Vec::new();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        World::run_config(np, RunConfig { scheduler: None, faults: Some(plan) }, |c| {
+            // No messages: survivors cannot observe the death in-band.
+            c.kill_point(0);
+            u64::from(c.rank())
+        });
+    }));
+    let kills = monitor.kills();
+    let detections = monitor.detections();
+    match result {
+        Ok(()) => failures.push(format!(
+            "planted fixture: run completed with {} kill(s) fired and nothing flagged",
+            kills.len()
+        )),
+        Err(payload) => {
+            let msg = panic_text(payload.as_ref());
+            if kills.is_empty() {
+                failures.push(format!("planted fixture broke: kill never fired ({msg})"));
+            } else {
+                failures.push(format!(
+                    "planted fixture: {} kill(s) fired with no survivor detection — \
+                     caught by the teardown audit: {msg}",
+                    kills.len()
+                ));
+            }
+        }
+    }
+    KillSweepReport {
+        name: "planted-undetected",
+        plans: 1,
+        schedules: 1,
+        failures,
+        kills_fired: kills.len() as u64,
+        detections: detections.len() as u64,
+        recoveries: 0,
+    }
+}
+
+/// The full kill sweep CI runs. `kill_seeds` scales the detection sweep;
+/// the supervised recovery sweep is fixed at the acceptance-gate shape
+/// (np ∈ {2, 4, 8} × 3 boundary-crossing kill positions × production +
+/// fuzzed schedules).
+#[must_use]
+pub fn check_all(kill_seeds: u64) -> Vec<KillSweepReport> {
+    let mut reports = Vec::new();
+    for np in [2, 4] {
+        reports.push(check_detection(np, detection_seed_cap(kill_seeds), 3));
+    }
+    for np in [2, 4, 8] {
+        reports.push(check_recovery(np, 2));
+    }
+    reports
+}
+
+/// Kill-seed budget for the detection sweep inside [`check_all`]: each
+/// seed runs `np` ranks to quiescence under multiple schedulers, so the
+/// sweep is capped like the traced-pipeline fault sweep (the cap is
+/// printed by the CLI, never silently applied).
+#[must_use]
+pub fn detection_seed_cap(kill_seeds: u64) -> u64 {
+    kill_seeds.min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_sweep_passes_and_is_not_vacuous() {
+        let rep = check_detection(4, 2, 2);
+        assert!(rep.passed(), "{:?}", rep.failures);
+        assert!(rep.kills_fired > 0, "no kill fired");
+        assert!(rep.detections > 0, "no detection recorded");
+    }
+
+    #[test]
+    fn recovery_sweep_passes_and_is_not_vacuous() {
+        let rep = check_recovery(2, 2);
+        assert!(rep.passed(), "{:?}", rep.failures);
+        assert!(rep.kills_fired > 0);
+        assert!(rep.recoveries > 0);
+    }
+
+    #[test]
+    fn planted_undetected_kill_is_reported() {
+        let rep = check_planted_undetected(4);
+        assert!(!rep.passed(), "planted undetected kill sailed through");
+        assert_eq!(rep.kills_fired, 1);
+        assert_eq!(rep.detections, 0);
+        let msg = rep.failures.join("\n");
+        assert!(msg.contains("teardown audit"), "{msg}");
+    }
+}

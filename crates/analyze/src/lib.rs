@@ -25,16 +25,22 @@
 //!   (drop/duplicate/reorder/corrupt/stall at ≥ 10% each), asserting the
 //!   reliable transport keeps results and the `hot-trace` report bitwise
 //!   identical to the fault-free reference.
+//! * [`kills`] — crash-stop rank deaths crossed with schedules: every
+//!   fired kill must be detected by a survivor, and supervised
+//!   checkpoint-rollback recovery must converge to the bitwise fault-free
+//!   golden; a planted undetected-kill fixture proves the gate bites.
 //!
 //! Run as `cargo run -p hot-analyze -- lint`,
 //! `cargo run -p hot-analyze -- protocol`,
-//! `cargo run -p hot-analyze -- schedules --seeds 32`, and
-//! `cargo run -p hot-analyze -- faults --seeds 32`. All exit non-zero
+//! `cargo run -p hot-analyze -- schedules --seeds 32`,
+//! `cargo run -p hot-analyze -- faults --seeds 32`, and
+//! `cargo run -p hot-analyze -- kills --seeds 8`. All exit non-zero
 //! on findings; `ci.sh` wires them into the verify pipeline. Rules,
 //! rationale and suppression syntax are documented in `VERIFICATION.md`.
 
 pub mod faults;
 pub mod json;
+pub mod kills;
 pub mod lexer;
 pub mod lint;
 pub mod model;

@@ -5,12 +5,13 @@
 //! hot-analyze protocol [--root PATH] [--json]
 //! hot-analyze schedules [--seeds N]
 //! hot-analyze faults [--seeds N]
+//! hot-analyze kills [--seeds N] [--planted-undetected]
 //! ```
 //!
 //! Every subcommand exits 0 when clean and 1 on findings, so they slot
 //! directly into `ci.sh`. See VERIFICATION.md for the rule catalog.
 
-use hot_analyze::{faults, json, lint, protocol, schedules};
+use hot_analyze::{faults, json, kills, lint, protocol, schedules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,7 +20,9 @@ fn usage() -> ExitCode {
         "usage:\n  hot-analyze lint [--root PATH] [--json]      static invariant linter\n  \
          hot-analyze protocol [--root PATH] [--json]  static comm-protocol checker\n  \
          hot-analyze schedules [--seeds N]            seeded schedule checker\n  \
-         hot-analyze faults [--seeds N]               fault-plan × schedule checker\n\n\
+         hot-analyze faults [--seeds N]               fault-plan × schedule checker\n  \
+         hot-analyze kills [--seeds N]                crash-stop detection/recovery checker\n  \
+         hot-analyze kills --planted-undetected       planted fixture (must exit 1)\n\n\
          lint rules: {}\nprotocol rules: {}",
         lint::RULES.join(", "),
         protocol::RULES.join(", ")
@@ -34,6 +37,7 @@ fn main() -> ExitCode {
         Some("protocol") => run_protocol(&args[1..]),
         Some("schedules") => run_schedules(&args[1..]),
         Some("faults") => run_faults(&args[1..]),
+        Some("kills") => run_kills(&args[1..]),
         _ => usage(),
     }
 }
@@ -211,6 +215,55 @@ fn run_faults(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!("hot-analyze faults: results and trace reports identical under all fault plans");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_kills(args: &[String]) -> ExitCode {
+    // Every killed run aborts via panic by design; silence the per-rank
+    // panic spew so the sweep report below stays readable. Failure detail
+    // survives in the report (the checker captures the payloads).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let reports = if args.iter().any(|a| a == "--planted-undetected") {
+        // The fixture exists to fail: a kill no survivor can observe must
+        // still be flagged. CI asserts this command exits 1.
+        vec![kills::check_planted_undetected(4)]
+    } else {
+        let seeds: u64 = match parse_seeds("kills", args) {
+            Ok(n) => n,
+            Err(code) => return code,
+        };
+        let cap = kills::detection_seed_cap(seeds);
+        if cap < seeds {
+            println!("note: detection sweep capped at {cap} of {seeds} kill seeds (cost)");
+        }
+        kills::check_all(seeds)
+    };
+    std::panic::set_hook(prev_hook);
+    let mut failed = false;
+    for rep in &reports {
+        if rep.passed() {
+            println!(
+                "ok   {} ({} plans × {} schedules): {} kills fired, {} detections, \
+                 {} recoveries",
+                rep.name, rep.plans, rep.schedules, rep.kills_fired, rep.detections, rep.recoveries
+            );
+        } else {
+            failed = true;
+            println!("FAIL {} ({} plans × {} schedules)", rep.name, rep.plans, rep.schedules);
+            for f in &rep.failures {
+                println!("     {f}");
+            }
+        }
+    }
+    if failed {
+        println!("hot-analyze kills: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "hot-analyze kills: every fired kill detected; recovery bitwise-identical to golden"
+        );
         ExitCode::SUCCESS
     }
 }

@@ -13,7 +13,7 @@
 //! `hot-analyze faults` crosses fault seeds with fuzzed schedules and
 //! asserts results stay bitwise identical to a fault-free run.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Per-run fault-injection rates and bounds. All probabilities are in
 /// `[0, 1]` and evaluated independently per frame.
@@ -39,6 +39,15 @@ pub struct FaultConfig {
     /// so every run terminates (a real network's loss bursts are finite
     /// too).
     pub max_faults_per_frame: u32,
+    /// Probability a rank is killed (crash-stop) during the run. Unlike a
+    /// stall, a killed rank never comes back: it silently stops sending
+    /// and acking, exactly like a node losing power mid-job.
+    pub kill: f64,
+    /// Model-clock window `[lo, hi)` (in per-rank channel-operation
+    /// counts) a seeded kill time is drawn from. Channel-op counts are a
+    /// schedule-independent clock: the same program reaches op `t` at the
+    /// same logical point under every interleaving.
+    pub kill_window: (u64, u64),
 }
 
 impl FaultConfig {
@@ -55,6 +64,8 @@ impl FaultConfig {
             corrupt: 0.0,
             stall: 0.0,
             max_faults_per_frame: 3,
+            kill: 0.0,
+            kill_window: (0, 0),
         }
     }
 
@@ -71,7 +82,30 @@ impl FaultConfig {
             corrupt: 0.10,
             stall: 0.10,
             max_faults_per_frame: 3,
+            // Hostile plans stay crash-free: every message-level fault is
+            // recoverable in-run, so `hot-analyze faults` can demand the
+            // run *completes* bitwise-identically. Kills abort the run and
+            // need a supervisor; they are armed explicitly.
+            kill: 0.0,
+            kill_window: (0, 0),
         }
+    }
+
+    /// A crash-stop plan: no message-level faults, but each rank dies with
+    /// probability `kill` at a seeded model-clock op in `window`. Used by
+    /// `hot-analyze kills` to cross kill plans with fuzzed schedules.
+    #[must_use]
+    pub fn lethal(seed: u64, kill: f64, window: (u64, u64)) -> FaultConfig {
+        FaultConfig { kill, kill_window: window, ..FaultConfig::clean(seed) }
+    }
+
+    /// True when this configuration can kill ranks (seeded kills enabled).
+    /// Targeted kills added via [`FaultPlan::with_rank_kill_at_op`] /
+    /// [`FaultPlan::with_rank_kill_at_epoch`] arm the plan too — see
+    /// [`FaultPlan::kill_armed`].
+    #[must_use]
+    pub fn kills_enabled(&self) -> bool {
+        self.kill > 0.0 && self.kill_window.1 > self.kill_window.0
     }
 }
 
@@ -123,13 +157,113 @@ pub struct InjectedFaults {
     pub delays: u64,
     /// Rank stalls injected.
     pub stalls: u64,
+    /// Ranks killed (crash-stop).
+    pub kills: u64,
 }
 
 impl InjectedFaults {
     /// Total injected fault events.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.drops + self.duplicates + self.corruptions + self.delays + self.stalls
+        self.drops + self.duplicates + self.corruptions + self.delays + self.stalls + self.kills
+    }
+}
+
+/// Where in a rank's execution a kill fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillSite {
+    /// At the rank's n-th channel operation (seeded or op-targeted kills).
+    Op(u64),
+    /// At an application-declared kill point ([`crate::Comm::kill_point`]);
+    /// the supervisor uses step-indexed epochs so a kill lands at an exact
+    /// model-clock position relative to checkpoint boundaries.
+    Epoch(u64),
+}
+
+/// One rank death the plan actually carried out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillRecord {
+    /// The rank that died.
+    pub rank: u32,
+    /// Where its execution stopped.
+    pub site: KillSite,
+}
+
+/// How a survivor concluded a peer was dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectionPath {
+    /// Heartbeat/ack silence escalated through suspect to confirmed-dead
+    /// in the reliable transport's per-peer detector.
+    Timeout,
+    /// The serialized fuzz scheduler proved global quiescence while a
+    /// rank was down — the analogue of the process manager reaping a dead
+    /// process and broadcasting the failure.
+    Quiescence,
+}
+
+/// One confirmed-death event observed by a survivor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectionRecord {
+    /// The rank that detected the death.
+    pub by: u32,
+    /// The rank it confirmed dead.
+    pub dead: u32,
+    /// Detector ticks (pump rounds with a frozen peer clock) it took; the
+    /// detection bound is `ticks × heartbeat interval` on the model clock.
+    pub ticks: u64,
+    /// Which mechanism confirmed it.
+    pub via: DetectionPath,
+}
+
+/// Shared observability handle for a [`FaultPlan`]: the injection ledger
+/// plus kill/detection event logs. The plan itself moves into the
+/// transport when a run starts; a supervisor keeps a clone of this `Arc`
+/// so it can still read what happened after the run aborts by panic.
+#[derive(Debug, Default)]
+pub struct FaultMonitor {
+    injected: Mutex<InjectedFaults>,
+    kills: Mutex<Vec<KillRecord>>,
+    detections: Mutex<Vec<DetectionRecord>>,
+}
+
+impl FaultMonitor {
+    /// Faults injected so far (monotone over a run).
+    #[must_use]
+    pub fn injected(&self) -> InjectedFaults {
+        *self.injected.lock().expect("fault ledger lock")
+    }
+
+    /// Kills that actually fired, in firing order.
+    #[must_use]
+    pub fn kills(&self) -> Vec<KillRecord> {
+        self.kills.lock().expect("kill ledger lock").clone()
+    }
+
+    /// Number of kills that actually fired.
+    #[must_use]
+    pub fn kills_fired(&self) -> u64 {
+        self.kills.lock().expect("kill ledger lock").len() as u64
+    }
+
+    /// Confirmed-death events recorded by survivors.
+    #[must_use]
+    pub fn detections(&self) -> Vec<DetectionRecord> {
+        self.detections.lock().expect("detection ledger lock").clone()
+    }
+
+    /// Record that `rank` died at `site`. Called by the runtime when the
+    /// kill fires (the decision itself is a pure query).
+    pub fn record_kill(&self, rank: u32, site: KillSite) {
+        self.kills.lock().expect("kill ledger lock").push(KillRecord { rank, site });
+        self.injected.lock().expect("fault ledger lock").kills += 1;
+    }
+
+    /// Record that `by` confirmed `dead` dead.
+    pub fn record_detection(&self, by: u32, dead: u32, ticks: u64, via: DetectionPath) {
+        self.detections
+            .lock()
+            .expect("detection ledger lock")
+            .push(DetectionRecord { by, dead, ticks, via });
     }
 }
 
@@ -140,7 +274,9 @@ impl InjectedFaults {
 pub struct FaultPlan {
     config: FaultConfig,
     targeted: Vec<Targeted>,
-    injected: Mutex<InjectedFaults>,
+    kill_ops: Vec<(u32, u64)>,
+    kill_epochs: Vec<(u32, u64)>,
+    monitor: Arc<FaultMonitor>,
 }
 
 /// splitmix64: the same generator the fuzz scheduler uses, so a fault
@@ -161,7 +297,13 @@ impl FaultPlan {
     /// Plan over `config`.
     #[must_use]
     pub fn new(config: FaultConfig) -> FaultPlan {
-        FaultPlan { config, targeted: Vec::new(), injected: Mutex::new(InjectedFaults::default()) }
+        FaultPlan {
+            config,
+            targeted: Vec::new(),
+            kill_ops: Vec::new(),
+            kill_epochs: Vec::new(),
+            monitor: Arc::new(FaultMonitor::default()),
+        }
     }
 
     /// The configuration this plan draws from.
@@ -179,10 +321,66 @@ impl FaultPlan {
         self
     }
 
+    /// Test/supervisor hook: kill `rank` when its per-rank channel-op
+    /// clock reaches `op`. Targeted kills stack with seeded ones.
+    #[must_use]
+    pub fn with_rank_kill_at_op(mut self, rank: u32, op: u64) -> Self {
+        self.kill_ops.push((rank, op));
+        self
+    }
+
+    /// Supervisor hook: kill `rank` when it executes
+    /// [`crate::Comm::kill_point`] with this `epoch`. Epochs let the
+    /// supervisor place deaths at exact step boundaries (or mid-step)
+    /// relative to its checkpoint cadence.
+    #[must_use]
+    pub fn with_rank_kill_at_epoch(mut self, rank: u32, epoch: u64) -> Self {
+        self.kill_epochs.push((rank, epoch));
+        self
+    }
+
+    /// True when this plan can kill ranks: the runtime arms failure
+    /// detection (and timed scheduler waits) only for such plans, so
+    /// kill-free runs behave exactly as before.
+    #[must_use]
+    pub fn kill_armed(&self) -> bool {
+        self.config.kills_enabled() || !self.kill_ops.is_empty() || !self.kill_epochs.is_empty()
+    }
+
+    /// The seeded model-clock op at which `rank` dies, if any: a pure
+    /// function of `(seed, rank)`, like every other fault decision.
+    /// Targeted op-kills override the seeded draw.
+    #[must_use]
+    pub fn kill_time(&self, rank: u32) -> Option<u64> {
+        if let Some(&(_, op)) = self.kill_ops.iter().find(|&&(r, _)| r == rank) {
+            return Some(op);
+        }
+        let (lo, hi) = self.config.kill_window;
+        if self.config.kills_enabled() && unit(self.draw(8, rank, rank, 0, 0)) < self.config.kill {
+            Some(lo + self.draw(9, rank, rank, 0, 0) % (hi - lo))
+        } else {
+            None
+        }
+    }
+
+    /// The kill-point epoch at which `rank` dies, if any (targeted only).
+    #[must_use]
+    pub fn kill_epoch(&self, rank: u32) -> Option<u64> {
+        self.kill_epochs.iter().find(|&&(r, _)| r == rank).map(|&(_, e)| e)
+    }
+
+    /// The shared observability handle: injection ledger + kill/detection
+    /// logs. Clone this before handing the plan to a run; it outlives the
+    /// run even when the run aborts by panic.
+    #[must_use]
+    pub fn monitor(&self) -> Arc<FaultMonitor> {
+        Arc::clone(&self.monitor)
+    }
+
     /// Faults injected so far (monotone over a run).
     #[must_use]
     pub fn injected(&self) -> InjectedFaults {
-        *self.injected.lock().expect("fault ledger lock")
+        self.monitor.injected()
     }
 
     fn draw(&self, what: u64, src: u32, dst: u32, seq: u64, attempt: u32) -> u64 {
@@ -221,7 +419,7 @@ impl FaultPlan {
                 }
             }
         }
-        let mut inj = self.injected.lock().expect("fault ledger lock");
+        let mut inj = self.monitor.injected.lock().expect("fault ledger lock");
         if d.drop {
             inj.drops += 1;
         }
@@ -243,7 +441,7 @@ impl FaultPlan {
     pub fn decide_stall(&self, rank: u32, op_index: u64) -> bool {
         let s = unit(self.draw(7, rank, rank, op_index, 0)) < self.config.stall;
         if s {
-            self.injected.lock().expect("fault ledger lock").stalls += 1;
+            self.monitor.injected.lock().expect("fault ledger lock").stalls += 1;
         }
         s
     }
@@ -336,6 +534,61 @@ mod tests {
         assert_eq!(plan.decide(2, 5, 12, 0), FaultDecision::default());
         // Retransmission (attempt 1) of the targeted frame is clean.
         assert_eq!(plan.decide(2, 5, 11, 1), FaultDecision::default());
+    }
+
+    #[test]
+    fn kill_times_are_pure_functions_of_seed_and_rank() {
+        let a = FaultPlan::new(FaultConfig::lethal(11, 0.5, (10, 200)));
+        let b = FaultPlan::new(FaultConfig::lethal(11, 0.5, (10, 200)));
+        let mut any = false;
+        for rank in 0..32 {
+            let t = a.kill_time(rank);
+            assert_eq!(t, b.kill_time(rank));
+            if let Some(op) = t {
+                any = true;
+                assert!((10..200).contains(&op), "kill op {op} outside window");
+            }
+        }
+        assert!(any, "0 of 32 ranks drew a kill at 50%");
+        // Querying is pure: nothing is recorded until a kill fires.
+        assert_eq!(a.monitor().kills_fired(), 0);
+        assert_eq!(a.injected().kills, 0);
+    }
+
+    #[test]
+    fn kill_seeds_change_victims() {
+        let a = FaultPlan::new(FaultConfig::lethal(1, 0.5, (0, 100)));
+        let b = FaultPlan::new(FaultConfig::lethal(2, 0.5, (0, 100)));
+        let differ = (0..64).any(|r| a.kill_time(r) != b.kill_time(r));
+        assert!(differ, "64 ranks drew identical kills under different seeds");
+    }
+
+    #[test]
+    fn targeted_kills_arm_and_override() {
+        let plan = FaultPlan::new(FaultConfig::clean(0))
+            .with_rank_kill_at_op(1, 42)
+            .with_rank_kill_at_epoch(2, 7);
+        assert!(plan.kill_armed());
+        assert_eq!(plan.kill_time(1), Some(42));
+        assert_eq!(plan.kill_time(0), None);
+        assert_eq!(plan.kill_epoch(2), Some(7));
+        assert_eq!(plan.kill_epoch(1), None);
+        assert!(!FaultPlan::new(FaultConfig::hostile(3)).kill_armed());
+    }
+
+    #[test]
+    fn monitor_outlives_the_plan_and_records_events() {
+        let plan = FaultPlan::new(FaultConfig::clean(0)).with_rank_kill_at_op(0, 5);
+        let mon = plan.monitor();
+        mon.record_kill(0, KillSite::Op(5));
+        mon.record_detection(1, 0, 64, DetectionPath::Timeout);
+        drop(plan);
+        assert_eq!(mon.kills_fired(), 1);
+        assert_eq!(mon.kills(), vec![KillRecord { rank: 0, site: KillSite::Op(5) }]);
+        assert_eq!(mon.injected().kills, 1);
+        let d = mon.detections();
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].by, d[0].dead, d[0].via), (1, 0, DetectionPath::Timeout));
     }
 
     #[test]

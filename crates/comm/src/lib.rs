@@ -41,11 +41,18 @@ pub mod sched;
 pub mod wire;
 
 pub use abm::{Abm, AbmStats};
-pub use fault::{FaultConfig, FaultDecision, FaultPlan, InjectedFaults};
+pub use fault::{
+    DetectionPath, DetectionRecord, FaultConfig, FaultDecision, FaultMonitor, FaultPlan,
+    InjectedFaults, KillRecord, KillSite,
+};
 pub use netmodel::NetworkModel;
-pub use reliable::{ReliabilityStats, ReliableComm};
+pub use reliable::{
+    ReliabilityStats, ReliableComm, BACKOFF_CAP, CONFIRM_DEAD_AFTER_TICKS, DETECT_TICK_MICROS,
+    SUSPECT_AFTER_TICKS,
+};
 pub use runtime::{
-    Comm, Envelope, RunConfig, RunOutput, TrafficStats, Undrained, World, MAX_USER_TAG, POISON_TAG,
+    Comm, Envelope, RankKilled, RunConfig, RunOutput, TrafficStats, Undrained, World, MAX_USER_TAG,
+    POISON_TAG,
 };
 pub use sched::{Deadlock, FuzzScheduler, RealScheduler, SchedOp, Scheduler, Want};
 pub use wire::{

@@ -97,10 +97,11 @@ proptest! {
     fn framed_bitflip_always_rejected(
         payload in proptest::collection::vec(any::<u8>(), 0..160),
         seq in any::<u64>(),
+        hb in any::<u64>(),
         tag in any::<u32>(),
         bit in any::<u64>(),
     ) {
-        let frame = frame_message(seq, tag, &payload);
+        let frame = frame_message(seq, hb, tag, &payload);
         prop_assert!(unframe_message(&frame).is_ok());
         let flipped = bytes::Bytes::from(FaultPlan::corrupt(&frame, bit));
         prop_assert!(

@@ -17,8 +17,10 @@
 //! and audit teardown for undrained messages.
 
 use crate::chan::{Mailbox, Scan};
-use crate::fault::{FaultPlan, InjectedFaults};
-use crate::reliable::{ReliabilityStats, Transport, FRAME_TAG};
+use crate::fault::{DetectionPath, FaultPlan, InjectedFaults, KillSite};
+use crate::reliable::{
+    ReliabilityStats, Transport, CONFIRM_DEAD_AFTER_TICKS, DETECT_TICK_MICROS, FRAME_TAG,
+};
 use crate::sched::{RealScheduler, SchedOp, Scheduler, Want};
 use crate::wire::{from_bytes, to_bytes, Wire};
 use bytes::Bytes;
@@ -102,6 +104,15 @@ struct Machine {
     transport: Option<Transport>,
 }
 
+/// Panic payload of a rank whose [`FaultPlan`] kill fired: the crash-stop
+/// unwind. [`World::run_config`] recognizes it and lets the rank vanish
+/// silently (no poison, no result) instead of treating it as a bug.
+#[derive(Debug)]
+pub struct RankKilled {
+    /// The rank that died.
+    pub rank: u32,
+}
+
 /// A rank's handle onto the simulated machine.
 ///
 /// Not `Clone` and not `Sync`: exactly one thread drives each rank, as on
@@ -110,8 +121,13 @@ pub struct Comm {
     rank: u32,
     machine: Arc<Machine>,
     stats: TrafficStats,
-    /// Channel operations performed, indexing the fault plan's stall draws.
+    /// Channel operations performed — the rank's model clock. Indexes the
+    /// fault plan's stall and kill draws and, on kill-armed runs, is
+    /// published as the rank's heartbeat.
     ops: u64,
+    /// Set when this rank's crash-stop kill fires, switching teardown from
+    /// the poison protocol to silent death.
+    killed: bool,
 }
 
 impl Comm {
@@ -154,13 +170,21 @@ impl Comm {
         }
     }
 
-    /// Fault-plan hook: possibly stall this rank at a channel operation by
-    /// spending extra schedule yields (a transient node hiccup — the rank
-    /// loses its turn a few times but performs no I/O).
+    /// Fault-plan hook at every channel operation: advance and publish the
+    /// model clock, fire a pending crash-stop kill, and possibly stall
+    /// this rank by spending extra schedule yields (a transient node
+    /// hiccup — the rank loses its turn a few times but performs no I/O).
     fn maybe_stall(&mut self, op: SchedOp) {
         if let Some(t) = &self.machine.transport {
             let idx = self.ops;
             self.ops += 1;
+            if t.kill_armed() {
+                // Heartbeat: every channel op publishes the rank's clock.
+                t.publish_clock(self.rank, self.ops);
+                if t.plan.kill_time(self.rank).is_some_and(|at| idx >= at) {
+                    self.die(KillSite::Op(idx));
+                }
+            }
             if t.plan.decide_stall(self.rank, idx) {
                 t.note_stall(self.rank);
                 for _ in 0..2 {
@@ -168,6 +192,30 @@ impl Comm {
                 }
             }
         }
+    }
+
+    /// Application-declared kill point: if the run's fault plan scheduled
+    /// this rank's death at `epoch`, the rank dies here — before
+    /// performing any effect of the epoch. Supervised simulations call
+    /// this with step-indexed epochs so a kill lands at an exact position
+    /// relative to checkpoint boundaries; a no-op on every other run.
+    pub fn kill_point(&mut self, epoch: u64) {
+        if let Some(t) = &self.machine.transport {
+            if t.kill_armed() && t.plan.kill_epoch(self.rank) == Some(epoch) {
+                self.die(KillSite::Epoch(epoch));
+            }
+        }
+    }
+
+    /// Crash-stop: mark this rank dead in the transport (its sends and
+    /// retransmissions vanish, its heartbeat freezes), record the kill,
+    /// and unwind with the [`RankKilled`] payload. Holds no locks.
+    fn die(&mut self, site: KillSite) -> ! {
+        let t = self.machine.transport.as_ref().expect("kill fired without transport");
+        t.mark_dead(self.rank);
+        t.plan.monitor().record_kill(self.rank, site);
+        self.killed = true;
+        std::panic::panic_any(RankKilled { rank: self.rank });
     }
 
     /// Send encoded bytes to `dst` with `tag`. Asynchronous: never blocks
@@ -227,6 +275,17 @@ impl Comm {
         loop {
             if let Some(t) = transport {
                 t.pump(rank, mbox);
+                // The detector runs in the blocked-wait check below, where
+                // it cannot panic; the abort it requests is raised here,
+                // outside every scheduler and transport lock.
+                let confirmed = t.confirmed_dead(rank);
+                if !confirmed.is_empty() {
+                    panic!(
+                        "crash-stop: rank {rank} confirmed rank(s) {confirmed:?} dead \
+                         (heartbeat frozen {CONFIRM_DEAD_AFTER_TICKS} intervals while \
+                         owing progress); aborting step for rollback recovery"
+                    );
+                }
             }
             match mbox.take_match(src, tag) {
                 Scan::Matched(e) => {
@@ -244,13 +303,44 @@ impl Comm {
                 self.machine.sched.wait_message(self.rank, &want, &mut || {
                     // While blocked, every wake drives transport progress:
                     // a dropped frame's notify lands here and recovery
-                    // retransmits it, so loss never wedges a receiver.
+                    // retransmits it, so loss never wedges a receiver. On
+                    // kill-armed runs each wake is also one failure-
+                    // detector round; a confirmed death reads as "message
+                    // available" so the blocked wait returns and the
+                    // receive loop raises the crash-stop abort lock-free.
                     if let Some(t) = transport {
                         t.pump(rank, mbox);
+                        t.detect_tick(rank, src);
+                        if !t.confirmed_dead(rank).is_empty() {
+                            return true;
+                        }
                     }
                     mbox.has_match_or_poison(src, tag)
                 })
             {
+                // The serialized checker proved global quiescence. With a
+                // crashed rank that is the failure detector's strongest
+                // oracle — the runtime analogue of the process manager
+                // reaping a dead process — so classify it as a crash-stop
+                // detection rather than a program deadlock.
+                if let Some(t) = transport {
+                    let dead = t.dead_ranks();
+                    if t.kill_armed() && !dead.is_empty() {
+                        for &d in &dead {
+                            t.plan.monitor().record_detection(
+                                rank,
+                                d,
+                                0,
+                                DetectionPath::Quiescence,
+                            );
+                        }
+                        panic!(
+                            "crash-stop: rank {rank}: machine quiesced with rank(s) \
+                             {dead:?} dead ({deadlock}); aborting step for rollback \
+                             recovery"
+                        );
+                    }
+                }
                 panic!("rank {}: {deadlock}", self.rank);
             }
         }
@@ -320,7 +410,21 @@ impl Drop for Comm {
         // poison message so a rank blocked in `recv` tears down instead of
         // deadlocking. The poison bypasses `yield_point`: a panicking rank
         // must never park itself waiting for a schedule grant.
-        if std::thread::panicking() {
+        //
+        // A crash-stop kill is different: the rank must vanish *silently* —
+        // no poison, because a real dead node sends nothing. It still drains
+        // its own mailbox (the simulator reclaiming the dead node's memory)
+        // and still wakes peers, so blocked receivers re-run their check and
+        // the failure detector gets scheduled; what they observe is only
+        // the absence of progress.
+        if self.killed {
+            self.machine.mailboxes[self.rank as usize].drain_all();
+            for dst in 0..self.machine.np {
+                if dst != self.rank {
+                    self.machine.sched.notify(dst);
+                }
+            }
+        } else if std::thread::panicking() {
             self.machine.mailboxes[self.rank as usize].drain_all();
             for dst in 0..self.machine.np {
                 if dst != self.rank {
@@ -486,9 +590,19 @@ impl World {
         F: Fn(&mut Comm) -> T + Sync,
     {
         assert!(np >= 1, "need at least one rank");
-        let sched = cfg
-            .scheduler
-            .unwrap_or_else(|| Arc::new(RealScheduler::new(np)) as Arc<dyn Scheduler>);
+        let kill_armed = cfg.faults.as_ref().is_some_and(FaultPlan::kill_armed);
+        let sched = cfg.scheduler.unwrap_or_else(|| {
+            if kill_armed {
+                // A dead rank never notifies: blocked receivers must wake on
+                // a timer to run failure-detection rounds. The period is the
+                // model-level detection tick — wall time only wakes the
+                // thread; every detection decision reads model clocks.
+                Arc::new(RealScheduler::timed(np, Duration::from_micros(DETECT_TICK_MICROS)))
+                    as Arc<dyn Scheduler>
+            } else {
+                Arc::new(RealScheduler::new(np)) as Arc<dyn Scheduler>
+            }
+        });
         let machine = Arc::new(Machine {
             np,
             mailboxes: (0..np).map(|_| Mailbox::default()).collect(),
@@ -517,12 +631,30 @@ impl World {
                             machine: machine.clone(),
                             stats: TrafficStats::default(),
                             ops: 0,
+                            killed: false,
                         };
-                        let out = f(&mut comm);
-                        let stats = comm.stats();
-                        // `comm` drops here, releasing the schedule slot.
-                        drop(comm);
-                        *slot.lock().expect("result slot") = Some((out, stats));
+                        // Catch only the crash-stop unwind: a killed rank
+                        // vanishes silently (its slot stays `None`). Any
+                        // other panic is resumed *while `comm` is still in
+                        // scope*, so the poison-teardown Drop runs under
+                        // `thread::panicking()` exactly as before.
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&mut comm),
+                        ));
+                        match out {
+                            Ok(v) => {
+                                let stats = comm.stats();
+                                // `comm` drops here, releasing the slot.
+                                drop(comm);
+                                *slot.lock().expect("result slot") = Some((v, stats));
+                            }
+                            Err(p) if p.downcast_ref::<RankKilled>().is_some() => {
+                                // Crash-stop: silent teardown (Drop sees
+                                // `killed`), no result, no propagation.
+                                drop(comm);
+                            }
+                            Err(p) => std::panic::resume_unwind(p),
+                        }
                     })
                     .expect("spawn rank thread");
                 handles.push(handle);
@@ -538,6 +670,23 @@ impl World {
             }
         });
         let elapsed = t0.elapsed();
+
+        // Undetected-kill invariant: if a crash-stop kill fired, some
+        // surviving rank must have aborted the step (its crash-stop panic
+        // propagated above and we never reach this line). Reaching here with
+        // dead ranks means every survivor ran to completion oblivious — a
+        // broken failure detector. The `hot-analyze kills` planted fixture
+        // relies on this firing.
+        if let Some(t) = &machine.transport {
+            let dead = t.dead_ranks();
+            if !dead.is_empty() {
+                panic!(
+                    "crash-stop: rank(s) {dead:?} were killed mid-run but every \
+                     surviving rank completed without detecting the death — \
+                     undetected kill"
+                );
+            }
+        }
 
         // Teardown audit. Without a transport this is a straight mailbox
         // sweep; with one, leftover raw frames are unframed and cross-
@@ -588,7 +737,112 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{DetectionPath, FaultConfig, FaultPlan};
     use crate::sched::FuzzScheduler;
+
+    /// Ring workload with enough rounds of traffic that a mid-run kill
+    /// leaves plenty of surviving communication to detect it through.
+    fn chatty_ring(c: &mut Comm) -> u64 {
+        let right = (c.rank() + 1) % c.size();
+        let left = (c.rank() + c.size() - 1) % c.size();
+        let mut acc = 0u64;
+        for i in 0..64u64 {
+            acc = acc.wrapping_add(c.sendrecv::<u64>(right, left, 7, &i));
+        }
+        acc
+    }
+
+    fn panic_text(payload: &Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic".into())
+    }
+
+    #[test]
+    fn killed_rank_aborts_run_via_timeout_detection() {
+        let plan = FaultPlan::new(FaultConfig::clean(3)).with_rank_kill_at_op(1, 40);
+        let monitor = plan.monitor();
+        let result = std::panic::catch_unwind(|| {
+            World::run_config(4, RunConfig { scheduler: None, faults: Some(plan) }, chatty_ring);
+        });
+        // The run must abort (crash-stop panic from a detecting survivor;
+        // whichever join lands first may surface its poison instead).
+        assert!(result.is_err(), "killed run completed");
+        let kills = monitor.kills();
+        assert_eq!(kills.len(), 1);
+        assert_eq!(kills[0].rank, 1);
+        assert_eq!(kills[0].site, KillSite::Op(40));
+        let detections = monitor.detections();
+        assert!(
+            detections.iter().any(|d| d.dead == 1 && d.via == DetectionPath::Timeout),
+            "no survivor timeout-detected the dead rank: {detections:?}"
+        );
+    }
+
+    #[test]
+    fn killed_rank_under_fuzz_is_detected_at_quiescence() {
+        let plan = FaultPlan::new(FaultConfig::clean(7)).with_rank_kill_at_op(2, 30);
+        let monitor = plan.monitor();
+        let sched = Arc::new(FuzzScheduler::new(4, 11));
+        let result = std::panic::catch_unwind(|| {
+            World::run_config(
+                4,
+                RunConfig { scheduler: Some(sched), faults: Some(plan) },
+                chatty_ring,
+            );
+        });
+        let payload = result.expect_err("killed fuzz run completed");
+        let msg = panic_text(&payload);
+        assert!(
+            msg.contains("crash-stop") || msg.contains("poison"),
+            "unexpected abort message: {msg}"
+        );
+        assert_eq!(monitor.kills_fired(), 1);
+        assert!(
+            !monitor.detections().is_empty(),
+            "quiescence intercept recorded no detection"
+        );
+    }
+
+    #[test]
+    fn undetected_kill_panics_at_teardown() {
+        // Epoch kill in a workload with no post-kill communication: nobody
+        // can notice the death, so the World itself must flag it.
+        let plan = FaultPlan::new(FaultConfig::clean(1)).with_rank_kill_at_epoch(1, 0);
+        let monitor = plan.monitor();
+        let result = std::panic::catch_unwind(|| {
+            World::run_config(2, RunConfig { scheduler: None, faults: Some(plan) }, |c| {
+                c.kill_point(0);
+                u64::from(c.rank()) * 3
+            });
+        });
+        let payload = result.expect_err("undetected kill must abort teardown");
+        let msg = panic_text(&payload);
+        assert!(msg.contains("undetected kill"), "{msg}");
+        assert_eq!(monitor.kills_fired(), 1);
+        assert!(monitor.detections().is_empty());
+    }
+
+    #[test]
+    fn kill_free_armed_run_matches_unarmed_golden() {
+        // Arming the detector (heartbeats, timed scheduler, detection
+        // rounds) must not perturb logical results or traffic when no kill
+        // actually fires: the recovery machinery is observable only through
+        // ReliabilityStats.
+        let golden = World::run(4, chatty_ring);
+        let plan = FaultPlan::new(FaultConfig::clean(5)).with_rank_kill_at_epoch(3, u64::MAX);
+        assert!(plan.kill_armed());
+        let out = World::run_config(
+            4,
+            RunConfig { scheduler: None, faults: Some(plan) },
+            chatty_ring,
+        );
+        assert_eq!(out.results, golden.results);
+        assert_eq!(out.stats, golden.stats);
+        assert!(out.undrained.is_empty());
+    }
 
     #[test]
     fn single_rank() {

@@ -133,13 +133,30 @@ pub trait Scheduler: Send + Sync {
 /// per-rank condition variable that [`Scheduler::notify`] signals.
 pub struct RealScheduler {
     slots: Vec<(Mutex<u64>, Condvar)>,
+    /// When set, blocked waits re-run `check` at least this often even
+    /// without a notify. A crash-stopped rank never notifies, so on
+    /// kill-armed runs the runtime needs periodic wakes to drive its
+    /// failure-detection rounds; the wall-clock period only wakes the
+    /// thread — every detection *decision* reads model clocks.
+    tick: Option<std::time::Duration>,
 }
 
 impl RealScheduler {
     /// Scheduler for an `np`-rank machine.
     #[must_use]
     pub fn new(np: u32) -> RealScheduler {
-        RealScheduler { slots: (0..np).map(|_| (Mutex::new(0), Condvar::new())).collect() }
+        RealScheduler {
+            slots: (0..np).map(|_| (Mutex::new(0), Condvar::new())).collect(),
+            tick: None,
+        }
+    }
+
+    /// Scheduler whose blocked waits additionally wake every `tick`, so
+    /// `check` closures poll even when no peer ever notifies (failure
+    /// detection on kill-armed runs).
+    #[must_use]
+    pub fn timed(np: u32, tick: std::time::Duration) -> RealScheduler {
+        RealScheduler { tick: Some(tick), ..RealScheduler::new(np) }
     }
 }
 
@@ -162,7 +179,19 @@ impl Scheduler for RealScheduler {
             }
             let seen = *version;
             while *version == seen {
-                version = cv.wait(version).expect("sched slot lock");
+                match self.tick {
+                    Some(tick) => {
+                        let (guard, timeout) =
+                            cv.wait_timeout(version, tick).expect("sched slot lock");
+                        version = guard;
+                        if timeout.timed_out() {
+                            // Timer tick: re-run `check` (one detection
+                            // round) even though no message arrived.
+                            break;
+                        }
+                    }
+                    None => version = cv.wait(version).expect("sched slot lock"),
+                }
             }
         }
     }

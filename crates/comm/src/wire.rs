@@ -294,10 +294,10 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
-/// Bytes a transport frame adds around its payload: a 16-byte header
-/// (`seq: u64`, `tag: u32`, `len: u32`) plus a trailing `crc32: u32` over
-/// header and payload.
-pub const FRAME_OVERHEAD_BYTES: usize = 20;
+/// Bytes a transport frame adds around its payload: a 24-byte header
+/// (`seq: u64`, `hb: u64`, `tag: u32`, `len: u32`) plus a trailing
+/// `crc32: u32` over header and payload.
+pub const FRAME_OVERHEAD_BYTES: usize = 28;
 
 /// A decoded transport frame: one sequence-numbered, CRC-protected logical
 /// message of a `(src, dst)` flow.
@@ -305,6 +305,12 @@ pub const FRAME_OVERHEAD_BYTES: usize = 20;
 pub struct Frame {
     /// Per-flow sequence number (0-based, contiguous).
     pub seq: u64,
+    /// Heartbeat: the sender's model clock (per-rank channel-op count) at
+    /// transmission. Piggybacking it on every frame makes liveness
+    /// observable for free — a peer whose heartbeat stops advancing while
+    /// it owes traffic is suspect, and the failure detector escalates on
+    /// that model-clock silence, never on wall time.
+    pub hb: u64,
     /// The application tag the payload was sent under.
     pub tag: u32,
     /// The original payload bytes.
@@ -332,10 +338,12 @@ impl std::fmt::Display for FrameError {
 }
 
 /// Wrap `payload` in a sequence-numbered, CRC-protected transport frame.
+/// `hb` is the sender's model clock at transmission (its heartbeat).
 #[must_use]
-pub fn frame_message(seq: u64, tag: u32, payload: &[u8]) -> Bytes {
+pub fn frame_message(seq: u64, hb: u64, tag: u32, payload: &[u8]) -> Bytes {
     let mut buf = BytesMut::with_capacity(FRAME_OVERHEAD_BYTES + payload.len());
     buf.put_u64_le(seq);
+    buf.put_u64_le(hb);
     buf.put_u32_le(tag);
     buf.put_u32_le(payload.len() as u32);
     buf.put_slice(payload);
@@ -360,6 +368,7 @@ pub fn unframe_message(data: &Bytes) -> Result<Frame, FrameError> {
         return Err(FrameError::CrcMismatch);
     }
     let seq = body.get_u64_le();
+    let hb = body.get_u64_le();
     let tag = body.get_u32_le();
     let len = body.get_u32_le() as usize;
     // The CRC passed, so a length/size disagreement means the frame was
@@ -367,7 +376,7 @@ pub fn unframe_message(data: &Bytes) -> Result<Frame, FrameError> {
     if len != body.remaining() {
         return Err(FrameError::Truncated);
     }
-    Ok(Frame { seq, tag, payload: body })
+    Ok(Frame { seq, hb, tag, payload: body })
 }
 
 /// Encode a value into a standalone buffer.
@@ -477,25 +486,39 @@ mod tests {
     #[test]
     fn frame_roundtrip() {
         let payload = to_bytes(&(7u64, 2.5f64));
-        let framed = frame_message(42, 9, &payload);
+        let framed = frame_message(42, 1000, 9, &payload);
         assert_eq!(framed.len(), FRAME_OVERHEAD_BYTES + payload.len());
         let frame = unframe_message(&framed).expect("clean frame");
         assert_eq!(frame.seq, 42);
+        assert_eq!(frame.hb, 1000);
         assert_eq!(frame.tag, 9);
         assert_eq!(&frame.payload[..], &payload[..]);
     }
 
     #[test]
     fn frame_empty_payload() {
-        let framed = frame_message(0, 1, &[]);
+        let framed = frame_message(0, 0, 1, &[]);
         assert_eq!(framed.len(), FRAME_OVERHEAD_BYTES);
         let frame = unframe_message(&framed).expect("clean frame");
         assert!(frame.payload.is_empty());
     }
 
     #[test]
+    fn frame_heartbeat_is_crc_protected() {
+        // The heartbeat field sits at bytes 8..16 of the header; flipping
+        // any of them must fail the CRC, so a corrupted heartbeat can never
+        // feed the failure detector a bogus liveness signal.
+        let framed = frame_message(1, 0xAABB_CCDD, 2, &[9, 9, 9]);
+        for i in 8..16 {
+            let mut bad = framed.to_vec();
+            bad[i] ^= 0x01;
+            assert!(unframe_message(&Bytes::from(bad)).is_err(), "hb byte {i}");
+        }
+    }
+
+    #[test]
     fn frame_rejects_every_single_byte_corruption() {
-        let framed = frame_message(3, 5, &to_bytes(&0xDEAD_BEEF_u64));
+        let framed = frame_message(3, 17, 5, &to_bytes(&0xDEAD_BEEF_u64));
         for i in 0..framed.len() {
             let mut bad = framed.to_vec();
             bad[i] ^= 0x10;
@@ -506,7 +529,7 @@ mod tests {
 
     #[test]
     fn frame_rejects_truncation() {
-        let framed = frame_message(1, 2, &to_bytes(&0x0123_4567_89AB_CDEFu64));
+        let framed = frame_message(1, 0, 2, &to_bytes(&0x0123_4567_89AB_CDEFu64));
         let short = Bytes::copy_from_slice(&framed[..framed.len() - 5]);
         assert!(unframe_message(&short).is_err());
         let tiny = Bytes::copy_from_slice(&framed[..FRAME_OVERHEAD_BYTES - 1]);

@@ -42,7 +42,8 @@ use hot_base::Vec3;
 use hot_comm::crc32;
 use hot_core::Mac;
 use hot_gravity::treecode::TreecodeOptions;
-use std::io::{Error, ErrorKind, Read, Result, Write};
+use std::fmt;
+use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: u64 = 0x484F_5439_3743_4B50; // "HOT97CKP"
@@ -53,8 +54,83 @@ const MAGIC: u64 = 0x484F_5439_3743_4B50; // "HOT97CKP"
 /// quadrupole, bit 1 = parallel force schedule).
 pub const CHECKPOINT_VERSION: u64 = 3;
 
-fn bad(msg: String) -> Error {
-    Error::new(ErrorKind::InvalidData, msg)
+/// Why a checkpoint failed to load. Typed so recovery code — the
+/// crash-stop supervisor rolls back through this path with a run at
+/// stake — can distinguish "file is damaged, refuse" from transient I/O,
+/// and so tests can pin the exact rejection reason instead of a panic.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error (open, read, write).
+    Io(std::io::Error),
+    /// The file ended before the declared header or body was complete.
+    Truncated {
+        /// What was being read when the data ran out.
+        what: &'static str,
+    },
+    /// The leading magic is not `"HOT97CKP"` — not a checkpoint at all
+    /// (a v1 snapshot-backed "checkpoint" lands here by design).
+    BadMagic {
+        /// The 8 bytes found where the magic belongs.
+        found: u64,
+    },
+    /// A real checkpoint, but from an incompatible schema generation.
+    Version {
+        /// Version stamped in the file.
+        found: u64,
+        /// Version this build reads.
+        want: u64,
+    },
+    /// The body does not hash to the stored CRC-32: torn write or bit rot.
+    CrcMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum computed over the body actually read.
+        computed: u32,
+    },
+    /// The body passed the CRC but does not decode: unknown MAC kind,
+    /// unknown option flags, or trailing bytes past the decoded state.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Truncated { what } => {
+                write!(f, "truncated checkpoint: file ended inside {what}")
+            }
+            CheckpointError::BadMagic { found } => {
+                write!(f, "bad checkpoint magic {found:#018x} (not a HOT97CKP file)")
+            }
+            CheckpointError::Version { found, want } => {
+                write!(f, "unsupported checkpoint version {found} (want {want})")
+            }
+            CheckpointError::CrcMismatch { stored, computed } => write!(
+                f,
+                "checkpoint CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint body: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+fn bad(msg: String) -> CheckpointError {
+    CheckpointError::Malformed(msg)
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -77,7 +153,7 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         if self.data.len() - self.at < n {
             return Err(bad(format!(
                 "truncated checkpoint body: need {n} bytes at offset {}",
@@ -89,19 +165,26 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CheckpointError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
-    fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.array()?))
     }
 
-    fn vec3(&mut self) -> Result<Vec3> {
+    fn vec3(&mut self) -> Result<Vec3, CheckpointError> {
         Ok(Vec3::new(self.f64()?, self.f64()?, self.f64()?))
     }
 }
@@ -136,7 +219,7 @@ fn encode_body(sim: &CosmoSim) -> Vec<u8> {
 }
 
 /// Reconstruct a [`CosmoSim`] from a version-3 body.
-fn decode_body(body: &[u8]) -> Result<CosmoSim> {
+fn decode_body(body: &[u8]) -> Result<CosmoSim, CheckpointError> {
     let mut c = Cursor { data: body, at: 0 };
     let steps = c.u64()?;
     let a = c.f64()?;
@@ -195,50 +278,84 @@ fn decode_body(body: &[u8]) -> Result<CosmoSim> {
 /// Write a checkpoint of `sim` to `path`. Returns bytes written.
 ///
 /// The body is checksummed (CRC-32) so a torn or bit-rotted file is
-/// rejected at [`load`] instead of resuming a subtly wrong run.
-pub fn save(sim: &CosmoSim, path: &Path) -> Result<u64> {
+/// rejected at [`load`] instead of resuming a subtly wrong run. The file
+/// is written to a `.tmp` sibling and atomically renamed into place, so a
+/// crash *during checkpointing* leaves the previous checkpoint intact —
+/// the supervisor's rollback target must never be a half-written file.
+pub fn save(sim: &CosmoSim, path: &Path) -> std::io::Result<u64> {
     let body = encode_body(sim);
-    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-    w.write_all(&MAGIC.to_le_bytes())?;
-    w.write_all(&CHECKPOINT_VERSION.to_le_bytes())?;
-    w.write_all(&(body.len() as u64).to_le_bytes())?;
-    w.write_all(&crc32(&body).to_le_bytes())?;
-    w.write_all(&body)?;
-    w.flush()?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        w.write_all(&MAGIC.to_le_bytes())?;
+        w.write_all(&CHECKPOINT_VERSION.to_le_bytes())?;
+        w.write_all(&(body.len() as u64).to_le_bytes())?;
+        w.write_all(&crc32(&body).to_le_bytes())?;
+        w.write_all(&body)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
     Ok(28 + body.len() as u64)
 }
 
-/// Read a checkpoint back. Fails with `InvalidData` on a wrong magic,
-/// an unsupported version, a length mismatch, or a CRC mismatch.
-pub fn load(path: &Path) -> Result<CosmoSim> {
+fn head_field<const N: usize>(head: &[u8; 28], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&head[at..at + N]);
+    out
+}
+
+/// Read a checkpoint back, reporting exactly why a damaged file was
+/// rejected: [`CheckpointError::Truncated`], [`CheckpointError::BadMagic`]
+/// (a v1 snapshot-backed file lands here), [`CheckpointError::Version`],
+/// [`CheckpointError::CrcMismatch`], or [`CheckpointError::Malformed`].
+pub fn load(path: &Path) -> Result<CosmoSim, CheckpointError> {
     let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
     let mut head = [0u8; 28];
-    r.read_exact(&mut head)?;
-    let magic = u64::from_le_bytes(head[0..8].try_into().expect("8-byte slice"));
+    read_or_truncated(&mut r, &mut head, "the 28-byte header")?;
+    let magic = u64::from_le_bytes(head_field(&head, 0));
     if magic != MAGIC {
-        return Err(bad(format!("bad checkpoint magic {magic:#x}")));
+        return Err(CheckpointError::BadMagic { found: magic });
     }
-    let version = u64::from_le_bytes(head[8..16].try_into().expect("8-byte slice"));
+    let version = u64::from_le_bytes(head_field(&head, 8));
     if version != CHECKPOINT_VERSION {
-        return Err(bad(format!(
-            "unsupported checkpoint version {version} (want {CHECKPOINT_VERSION})"
-        )));
+        return Err(CheckpointError::Version { found: version, want: CHECKPOINT_VERSION });
     }
-    let len = u64::from_le_bytes(head[16..24].try_into().expect("8-byte slice")) as usize;
-    let crc = u32::from_le_bytes(head[24..28].try_into().expect("4-byte slice"));
+    let len = u64::from_le_bytes(head_field(&head, 16)) as usize;
+    let crc = u32::from_le_bytes(head_field(&head, 24));
+    // Bound the allocation by what the file can actually hold: a corrupted
+    // length field must be rejected as truncation, not honored as a
+    // multi-petabyte allocation request.
+    let file_len = r.get_ref().metadata()?.len();
+    if len as u64 > file_len.saturating_sub(28) {
+        return Err(CheckpointError::Truncated { what: "the declared body" });
+    }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    read_or_truncated(&mut r, &mut body, "the declared body")?;
     let mut extra = [0u8; 1];
     if r.read(&mut extra)? != 0 {
-        return Err(bad("checkpoint file longer than its declared body".into()));
+        return Err(bad("file longer than its declared body".into()));
     }
     let got = crc32(&body);
     if got != crc {
-        return Err(bad(format!(
-            "checkpoint CRC mismatch: stored {crc:#010x}, computed {got:#010x}"
-        )));
+        return Err(CheckpointError::CrcMismatch { stored: crc, computed: got });
     }
     decode_body(&body)
+}
+
+/// `read_exact` with end-of-file reported as [`CheckpointError::Truncated`]
+/// naming `what` was being read; other I/O errors pass through.
+fn read_or_truncated(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated { what }
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -348,10 +465,63 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Each damage class maps to its own [`CheckpointError`] variant — the
+    /// typed contract recovery code and operators diagnose by.
+    #[test]
+    fn rejection_reasons_are_typed() {
+        let dir = std::env::temp_dir().join("hot97_ckpt_typed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.bin");
+        let sim = sample(12, 6, TreecodeOptions::default());
+        save(&sim, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Truncated inside the header and inside the body.
+        for cut in [10, clean.len() - 5] {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            let err = load(&path).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Truncated { .. }),
+                "cut at {cut}: got {err:?}"
+            );
+        }
+
+        // Wrong magic.
+        let mut wrong = clean.clone();
+        wrong[0] ^= 0xff;
+        std::fs::write(&path, &wrong).unwrap();
+        assert!(matches!(load(&path).unwrap_err(), CheckpointError::BadMagic { .. }));
+
+        // Future schema version.
+        let mut vnext = clean.clone();
+        vnext[8..16].copy_from_slice(&(CHECKPOINT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &vnext).unwrap();
+        match load(&path).unwrap_err() {
+            CheckpointError::Version { found, want } => {
+                assert_eq!(found, CHECKPOINT_VERSION + 1);
+                assert_eq!(want, CHECKPOINT_VERSION);
+            }
+            other => panic!("expected Version, got {other:?}"),
+        }
+
+        // Body bit-rot.
+        let mut rotted = clean.clone();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0x01;
+        std::fs::write(&path, &rotted).unwrap();
+        assert!(matches!(load(&path).unwrap_err(), CheckpointError::CrcMismatch { .. }));
+
+        // Missing file is plain I/O, not data damage.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(load(&path).unwrap_err(), CheckpointError::Io(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn version_1_snapshot_is_not_a_checkpoint() {
         // A v1 "checkpoint" was a particle snapshot; its magic differs and
-        // it must be rejected loudly, not resumed with rounded momenta.
+        // it must be rejected loudly — with the BadMagic variant, not a
+        // panic — never resumed with rounded momenta.
         let dir = std::env::temp_dir().join("hot97_ckpt_v1");
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("old");
@@ -364,6 +534,7 @@ mod tests {
         };
         crate::snapshot::write_stripe(&base, 0, &snap).unwrap();
         let err = load(&base.with_extension("stripe0000")).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic { .. }), "{err:?}");
         assert!(err.to_string().contains("magic"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -30,6 +30,7 @@ pub mod power;
 mod proptests;
 pub mod sim;
 pub mod snapshot;
+pub mod supervisor;
 
 pub use checkpoint::CHECKPOINT_VERSION;
 pub use fft::{Complex, Grid3};

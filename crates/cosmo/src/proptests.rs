@@ -96,4 +96,57 @@ proptest! {
             prop_assert_eq!(back.mass[i].to_bits(), sim.mass[i].to_bits(), "mass {}", i);
         }
     }
+
+    /// A checkpoint with any single flipped bit, or cut at any truncation
+    /// offset, is always rejected — the rollback target can be damaged
+    /// (torn write, bit rot) but never deserializes to a wrong-but-
+    /// plausible state. This is the load-bearing property behind the
+    /// supervisor's "rollback converges bitwise" guarantee.
+    #[test]
+    fn damaged_checkpoint_never_loads(
+        particles in proptest::collection::vec((any_vec3(), any_vec3(), any_f64_bits()), 0..12),
+        a in any_f64_bits(),
+        steps in any::<u64>(),
+        bit in any::<u64>(),
+        cut in any::<u64>(),
+        case in any::<u64>(),
+    ) {
+        let sim = CosmoSim {
+            pos: particles.iter().map(|p| p.0).collect(),
+            mom: particles.iter().map(|p| p.1).collect(),
+            mass: particles.iter().map(|p| p.2).collect(),
+            a,
+            center: Vec3::ZERO,
+            opts: TreecodeOptions::default(),
+            steps,
+            calc: hot_gravity::ForceCalc::new(),
+        };
+        let dir = std::env::temp_dir().join("hot97_ckpt_prop_damage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("ck_{case:016x}.bin"));
+        checkpoint::save(&sim, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Single bit flip anywhere in the file.
+        let at = (bit / 8) as usize % clean.len();
+        let mut flipped = clean.clone();
+        flipped[at] ^= 1u8 << (bit % 8);
+        std::fs::write(&path, &flipped).unwrap();
+        prop_assert!(
+            checkpoint::load(&path).is_err(),
+            "bit {} of byte {} flipped and the checkpoint still loaded",
+            bit % 8,
+            at
+        );
+
+        // Truncation at any offset short of the full file.
+        let keep = (cut as usize) % clean.len();
+        std::fs::write(&path, &clean[..keep]).unwrap();
+        prop_assert!(
+            checkpoint::load(&path).is_err(),
+            "checkpoint truncated to {keep} of {} bytes still loaded",
+            clean.len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -178,8 +178,12 @@ impl CosmoSim {
     /// Restore from a checkpoint written by [`CosmoSim::save_checkpoint`].
     /// Everything — raw momenta, step count, center, treecode options — is
     /// in the file, so the resumed run is bitwise identical to one that
-    /// never stopped.
-    pub fn load_checkpoint(path: &std::path::Path) -> std::io::Result<Self> {
+    /// never stopped. A damaged file is rejected with a typed
+    /// [`CheckpointError`](crate::checkpoint::CheckpointError) naming the
+    /// reason, never loaded as a wrong-but-plausible state.
+    pub fn load_checkpoint(
+        path: &std::path::Path,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
         crate::checkpoint::load(path)
     }
 }

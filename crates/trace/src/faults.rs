@@ -23,7 +23,7 @@ use hot_comm::{FaultConfig, InjectedFaults, ReliabilityStats};
 /// Schema identifier for the fault-report JSON. Separate from the trace
 /// [`crate::SCHEMA`] because the two artifacts have different stability
 /// guarantees: trace JSON is bitwise-pinned, fault JSON is not.
-pub const FAULT_SCHEMA: &str = "hot-trace/faults-v1";
+pub const FAULT_SCHEMA: &str = "hot-trace/faults-v2";
 
 /// Recovery activity reduced over a whole run.
 #[derive(Clone, Debug, PartialEq)]
@@ -101,8 +101,18 @@ impl FaultReport {
         if let Some(c) = &self.config {
             let _ = writeln!(
                 out,
-                "fault plan: seed {} · drop {} dup {} delay {} (≤{}) corrupt {} stall {}",
-                c.seed, c.drop, c.duplicate, c.delay, c.max_delay_slots, c.corrupt, c.stall
+                "fault plan: seed {} · drop {} dup {} delay {} (≤{}) corrupt {} stall {} \
+                 kill {} in [{}, {})",
+                c.seed,
+                c.drop,
+                c.duplicate,
+                c.delay,
+                c.max_delay_slots,
+                c.corrupt,
+                c.stall,
+                c.kill,
+                c.kill_window.0,
+                c.kill_window.1
             );
         } else {
             let _ = writeln!(out, "fault plan: none");
@@ -110,31 +120,50 @@ impl FaultReport {
         let i = &self.injected;
         let _ = writeln!(
             out,
-            "injected:   {} total ({} drops, {} dups, {} corruptions, {} delays, {} stalls)",
+            "injected:   {} total ({} drops, {} dups, {} corruptions, {} delays, {} stalls, \
+             {} kills)",
             i.total(),
             i.drops,
             i.duplicates,
             i.corruptions,
             i.delays,
-            i.stalls
+            i.stalls,
+            i.kills
         );
         let _ = writeln!(
             out,
-            "{:<6} {:>9} {:>9} {:>12} {:>9} {:>8} {:>13}",
-            "rank", "retries", "timeouts", "crc_rejects", "dups", "stalls", "backoff_units"
+            "{:<6} {:>9} {:>9} {:>12} {:>9} {:>8} {:>13} {:>9} {:>9}",
+            "rank", "retries", "timeouts", "crc_rejects", "dups", "stalls", "backoff_units",
+            "suspects", "dead"
         );
         for (rank, r) in self.per_rank.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "{:<6} {:>9} {:>9} {:>12} {:>9} {:>8} {:>13}",
-                rank, r.retries, r.timeouts, r.crc_rejects, r.dup_suppressed, r.stalls, r.backoff_units
+                "{:<6} {:>9} {:>9} {:>12} {:>9} {:>8} {:>13} {:>9} {:>9}",
+                rank,
+                r.retries,
+                r.timeouts,
+                r.crc_rejects,
+                r.dup_suppressed,
+                r.stalls,
+                r.backoff_units,
+                r.suspect_events,
+                r.dead_confirms
             );
         }
         let t = &self.totals;
         let _ = writeln!(
             out,
-            "{:<6} {:>9} {:>9} {:>12} {:>9} {:>8} {:>13}",
-            "total", t.retries, t.timeouts, t.crc_rejects, t.dup_suppressed, t.stalls, t.backoff_units
+            "{:<6} {:>9} {:>9} {:>12} {:>9} {:>8} {:>13} {:>9} {:>9}",
+            "total",
+            t.retries,
+            t.timeouts,
+            t.crc_rejects,
+            t.dup_suppressed,
+            t.stalls,
+            t.backoff_units,
+            t.suspect_events,
+            t.dead_confirms
         );
         out
     }
@@ -144,7 +173,7 @@ fn json_config(c: &FaultConfig) -> String {
     format!(
         "{{\"seed\": {}, \"drop\": {}, \"duplicate\": {}, \"delay\": {}, \
          \"max_delay_slots\": {}, \"corrupt\": {}, \"stall\": {}, \
-         \"max_faults_per_frame\": {}}}",
+         \"max_faults_per_frame\": {}, \"kill\": {}, \"kill_window\": [{}, {}]}}",
         c.seed,
         json_f64(c.drop),
         json_f64(c.duplicate),
@@ -152,23 +181,33 @@ fn json_config(c: &FaultConfig) -> String {
         c.max_delay_slots,
         json_f64(c.corrupt),
         json_f64(c.stall),
-        c.max_faults_per_frame
+        c.max_faults_per_frame,
+        json_f64(c.kill),
+        c.kill_window.0,
+        c.kill_window.1
     )
 }
 
 fn json_injected(i: &InjectedFaults) -> String {
     format!(
         "{{\"drops\": {}, \"duplicates\": {}, \"corruptions\": {}, \"delays\": {}, \
-         \"stalls\": {}}}",
-        i.drops, i.duplicates, i.corruptions, i.delays, i.stalls
+         \"stalls\": {}, \"kills\": {}}}",
+        i.drops, i.duplicates, i.corruptions, i.delays, i.stalls, i.kills
     )
 }
 
 fn json_reliability(r: &ReliabilityStats) -> String {
     format!(
         "{{\"retries\": {}, \"timeouts\": {}, \"crc_rejects\": {}, \"dup_suppressed\": {}, \
-         \"stalls\": {}, \"backoff_units\": {}}}",
-        r.retries, r.timeouts, r.crc_rejects, r.dup_suppressed, r.stalls, r.backoff_units
+         \"stalls\": {}, \"backoff_units\": {}, \"suspect_events\": {}, \"dead_confirms\": {}}}",
+        r.retries,
+        r.timeouts,
+        r.crc_rejects,
+        r.dup_suppressed,
+        r.stalls,
+        r.backoff_units,
+        r.suspect_events,
+        r.dead_confirms
     )
 }
 
@@ -211,9 +250,16 @@ mod tests {
             InjectedFaults { corruptions: 2, ..Default::default() },
         );
         let j = rep.to_json();
-        assert!(j.contains("\"schema\": \"hot-trace/faults-v1\""));
+        assert!(j.contains("\"schema\": \"hot-trace/faults-v2\""));
         assert!(j.contains("\"corruptions\": 2"));
         assert!(j.contains("\"crc_rejects\": 2"));
+        // v2 additions: the crash-stop plan, kill ledger, and detector
+        // escalation counters all appear with fixed keys.
+        assert!(j.contains("\"kill\": "));
+        assert!(j.contains("\"kill_window\": ["));
+        assert!(j.contains("\"kills\": 0"));
+        assert!(j.contains("\"suspect_events\": 0"));
+        assert!(j.contains("\"dead_confirms\": 0"));
         // Deterministic formatting: same report, same bytes.
         assert_eq!(j, rep.to_json());
         // A plan-less report still serializes.
