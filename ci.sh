@@ -65,6 +65,14 @@ if [ "$rc" -ne 1 ]; then
   exit 1
 fi
 
+echo "==> exp_event_scale smoke (np=1024 collectives + reduced treecode step on fibers, wall-clock budget)"
+# Collectives at np=1024 twice (both stage slots), treecode at np=256 with
+# 16 bodies/rank: the same O(log p) structural assertions and budgets as
+# the full run, sized for CI. The full-size run (np=6800 collectives,
+# np=1024 treecode) backs EXPERIMENTS.md H2.
+cargo run -q --offline --release -p hot-bench --bin exp_event_scale -- 1024 256 16
+test -s results/BENCH_event_scale.json
+
 echo "==> exp_recovery smoke (Daly cadence ≤ 5% overhead, bitwise recovery gate)"
 cargo run -q --offline --release -p hot-bench --bin exp_recovery -- 2 128 4
 

@@ -19,7 +19,7 @@
 //!    touched nothing proves nothing and is reported as a failure.
 
 use crate::workloads;
-use hot_comm::{Comm, FaultConfig, FaultPlan, FuzzScheduler, RunConfig, World};
+use hot_comm::{Comm, FaultConfig, FaultPlan, FuzzScheduler, RunConfig};
 use hot_trace::FaultReport;
 use std::fmt::Debug;
 use std::panic::AssertUnwindSafe;
@@ -69,11 +69,12 @@ where
     T: Send,
     F: Fn(&mut Comm) -> T + Sync,
 {
-    let cfg = RunConfig {
-        scheduler: Some(Arc::new(FuzzScheduler::new(np, sched_seed))),
-        faults: fault.map(FaultPlan::new),
-    };
-    let out = std::panic::catch_unwind(AssertUnwindSafe(|| World::run_config(np, cfg, body)))
+    let cfg = RunConfig::builder()
+        .np(np)
+        .scheduler(Arc::new(FuzzScheduler::new(np, sched_seed)))
+        .faults_opt(fault.map(FaultPlan::new))
+        .build();
+    let out = std::panic::catch_unwind(AssertUnwindSafe(|| cfg.run(body)))
         .map_err(|p| {
             let msg = p
                 .downcast_ref::<String>()

@@ -25,7 +25,8 @@
 //! undetected death, and the checker *must* report it (CI asserts exit 1).
 
 use hot_comm::{
-    Comm, DetectionRecord, FaultConfig, FaultPlan, FuzzScheduler, RunConfig, Scheduler, World,
+    Comm, DetectionRecord, FaultConfig, FaultPlan, FuzzScheduler, RunConfig, Runtime,
+    Scheduler,
 };
 use hot_cosmo::supervisor::{self, KillSpec, SupervisorConfig};
 use std::panic::AssertUnwindSafe;
@@ -84,7 +85,10 @@ fn ring_workload(c: &mut Comm) -> u64 {
 /// Cross seeded crash-stop plans with schedules and demand every fired
 /// kill is detected. Schedule 0 is the production timed scheduler
 /// (timeout-escalation detection path); schedules ≥ 1 are seeded
-/// [`FuzzScheduler`] interleavings (quiescence detection path).
+/// [`FuzzScheduler`] interleavings (quiescence detection path); one extra
+/// run per plan uses the event runtime (fibers whose quiescent pool ticks
+/// failure-detection rounds), so the sweep also gates the thread→fiber
+/// substrate swap.
 #[must_use]
 pub fn check_detection(np: u32, kill_seeds: u64, schedules: u64) -> KillSweepReport {
     let mut failures = Vec::new();
@@ -96,17 +100,29 @@ pub fn check_detection(np: u32, kill_seeds: u64, schedules: u64) -> KillSweepRep
         // Per-rank death probability well under 1: a plan that kills every
         // rank leaves no survivor to do the detecting and proves nothing.
         let config = FaultConfig::lethal(0x4B11 + kill_seed, 0.4, (16, 96));
-        for sched_seed in 0..schedules {
+        // Index `schedules` is the extra event-runtime run for this plan.
+        for sched_seed in 0..=schedules {
             let plan = FaultPlan::new(config);
             let monitor = plan.monitor();
-            let scheduler: Option<Arc<dyn Scheduler>> = if sched_seed == 0 {
+            let on_events = sched_seed == schedules;
+            let scheduler: Option<Arc<dyn Scheduler>> = if on_events || sched_seed == 0 {
                 None // production scheduler, timed detection rounds
             } else {
                 Some(Arc::new(FuzzScheduler::new(np, sched_seed)))
             };
-            let label = format!("np {np} kill seed {kill_seed} × schedule {sched_seed}");
+            let label = if on_events {
+                format!("np {np} kill seed {kill_seed} × event runtime")
+            } else {
+                format!("np {np} kill seed {kill_seed} × schedule {sched_seed}")
+            };
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                World::run_config(np, RunConfig { scheduler, faults: Some(plan) }, ring_workload);
+                let b = RunConfig::builder().np(np).faults(plan);
+                let b = if on_events {
+                    b.runtime(Runtime::Events)
+                } else {
+                    b.scheduler_opt(scheduler)
+                };
+                b.run(ring_workload);
             }));
             let kills = monitor.kills();
             let found: Vec<DetectionRecord> = monitor.detections();
@@ -309,7 +325,7 @@ pub fn check_planted_undetected(np: u32) -> KillSweepReport {
     let monitor = plan.monitor();
     let mut failures = Vec::new();
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        World::run_config(np, RunConfig { scheduler: None, faults: Some(plan) }, |c| {
+        RunConfig::builder().np(np).faults(plan).run(|c| {
             // No messages: survivors cannot observe the death in-band.
             c.kill_point(0);
             u64::from(c.rank())

@@ -51,13 +51,14 @@ impl fmt::Display for Finding {
 /// Names of every lint rule, for `--help` output and docs cross-checking.
 /// (The `hot-analyze protocol` subcommand has its own rule list,
 /// [`protocol::RULES`].)
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "f32-accumulation",
     "flop-accounting",
     "determinism",
     "wall-clock",
     "unwrap-audit",
     "evaluator-api",
+    "runtime-api",
     "stale-suppression",
 ];
 
@@ -121,6 +122,22 @@ const DEPRECATED_FORCE_CALLS: [&str; 4] = [
 /// the trait's own definition site and the list-builder adaptor that is
 /// the one remaining in-tree implementor.
 const EVALUATOR_EXEMPT: [&str; 2] = ["core/src/walk.rs", "core/src/ilist.rs"];
+
+/// The execution substrate's own modules: the only places allowed to spawn
+/// OS threads or mention the deprecated `World::run*` trio outside tests.
+const RUNTIME_EXEMPT: [&str; 3] =
+    ["comm/src/runtime.rs", "comm/src/events.rs", "comm/src/fiber.rs"];
+
+/// Direct OS-thread spawn forms. Rank concurrency must come from
+/// `RunConfig` (which picks threads or fibers); ad-hoc threads bypass the
+/// scheduler hooks, so fuzzed schedules, fault injection, and the event
+/// runtime cannot see them.
+const THREAD_SPAWN_CALLS: [&str; 3] =
+    ["thread::spawn(", "thread::scope(", "thread::Builder"];
+
+/// The pre-redesign entry points, kept only as deprecated shims.
+const DEPRECATED_RUN_CALLS: [&str; 3] =
+    ["World::run(", "World::run_with_scheduler(", "World::run_config("];
 
 /// Lint one source file. `rel` is the workspace-relative path with `/`
 /// separators; `allow_unwrap` is the list of allowlisted paths for the
@@ -260,6 +277,30 @@ fn lint_filemap(rel: &str, fm: &FileMap, allow_unwrap: &[String]) -> Vec<Finding
                      through ForceCalc / walk_lists instead; the Evaluator trait is \
                      internal to the list builder and the tree_accelerations* entry \
                      points no longer exist"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // Rule: runtime-api.
+    if !RUNTIME_EXEMPT.iter().any(|s| rel.ends_with(s)) {
+        for (i, code) in fm.code.iter().enumerate() {
+            let spawns_thread = THREAD_SPAWN_CALLS
+                .iter()
+                .any(|k| code.contains(k) && !code.contains("use "));
+            let calls_deprecated_run =
+                DEPRECATED_RUN_CALLS.iter().any(|k| code.contains(k));
+            if spawns_thread || calls_deprecated_run {
+                emit(
+                    "runtime-api",
+                    i,
+                    "rank concurrency outside the runtime modules: spawn ranks \
+                     through RunConfig::builder() (which selects the thread or \
+                     event substrate and keeps every blocking point visible to \
+                     the scheduler hooks); the World::run* trio is deprecated \
+                     and ad-hoc std::thread use hides work from fuzzed \
+                     schedules and fault injection"
                         .to_string(),
                 );
             }
@@ -542,6 +583,42 @@ mod tests {
         let src = "fn f() {\n    // discussion of as f32 and HashMap here\n}\n";
         assert!(rules_hit("crates/core/src/moments.rs", src).is_empty());
         assert!(rules_hit("crates/comm/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn runtime_api_rule_flags_thread_spawns_and_deprecated_world_calls() {
+        let spawn_bad = "fn go() {\n    let h = std::thread::spawn(|| work());\n}\n";
+        assert_eq!(rules_hit("crates/cosmo/src/other.rs", spawn_bad), ["runtime-api"]);
+        let scope_bad = "fn go() {\n    std::thread::scope(|s| { s.spawn(|| work()); });\n}\n";
+        assert_eq!(rules_hit("crates/core/src/other.rs", scope_bad), ["runtime-api"]);
+        let builder_bad =
+            "fn go() {\n    thread::Builder::new().stack_size(n).spawn(f);\n}\n";
+        assert_eq!(rules_hit("crates/npb/src/other.rs", builder_bad), ["runtime-api"]);
+        let world_bad = "fn go() {\n    let out = World::run(4, |c| c.rank());\n}\n";
+        assert_eq!(rules_hit("crates/gravity/src/other.rs", world_bad), ["runtime-api"]);
+        let world_bad2 =
+            "fn go() {\n    let out = World::run_with_scheduler(4, sched, body);\n}\n";
+        assert_eq!(rules_hit("crates/gravity/src/other.rs", world_bad2), ["runtime-api"]);
+    }
+
+    #[test]
+    fn runtime_api_rule_exempts_runtime_modules_tests_and_imports() {
+        let spawn = "fn go() {\n    let h = std::thread::spawn(|| work());\n}\n";
+        // The substrate's own modules may spawn.
+        assert!(rules_hit("crates/comm/src/runtime.rs", spawn).is_empty());
+        assert!(rules_hit("crates/comm/src/events.rs", spawn).is_empty());
+        assert!(rules_hit("crates/comm/src/fiber.rs", spawn).is_empty());
+        // Tests may spawn helper threads.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                       let h = std::thread::spawn(|| 1);\n        \
+                       let o = World::run(2, |c| c.rank());\n    }\n}\n";
+        assert!(rules_hit("crates/base/src/flops.rs", in_test).is_empty());
+        // Importing the name is not using it.
+        let use_line = "use std::thread::Builder;\n";
+        assert!(rules_hit("crates/cosmo/src/other.rs", use_line).is_empty());
+        // The builder entry point is of course fine.
+        let good = "fn go() {\n    let out = RunConfig::builder().np(4).run(body);\n}\n";
+        assert!(rules_hit("crates/cosmo/src/other.rs", good).is_empty());
     }
 
     #[test]

@@ -16,9 +16,15 @@
 //!    posted/delivered message counts but not raw traffic: batch
 //!    boundaries legitimately vary with the schedule (documented in
 //!    VERIFICATION.md).
+//!
+//! Every workload is swept twice: once under [`FuzzScheduler`] on the
+//! thread runtime, and once under the event runtime's seeded serialized
+//! mode (`RunConfig::event_seed`), with the event results compared against
+//! the thread-runtime reference — so the checker also proves the
+//! thread→fiber substrate swap is invisible to workload behavior.
 
 use crate::workloads;
-use hot_comm::{Comm, FuzzScheduler, TrafficStats, World};
+use hot_comm::{Comm, FuzzScheduler, RunConfig, TrafficStats};
 use std::fmt::Debug;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -60,7 +66,7 @@ where
     let sched = Arc::new(FuzzScheduler::new(np, seed));
     let sched2 = sched.clone();
     let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        World::run_with_scheduler(np, sched2, body)
+        RunConfig::builder().np(np).scheduler(sched2).run(body)
     }))
     .map_err(|p| {
         let msg = p
@@ -75,6 +81,33 @@ where
         stats: out.stats,
         undrained: out.undrained.len(),
         trace: sched.trace(),
+    })
+}
+
+/// The same run on the event runtime's seeded serialized mode (fibers on
+/// one worker, splitmix64 schedule): the thread→fiber substrate swap must
+/// be invisible to results, traffic, and teardown.
+fn run_one_events<T, F>(np: u32, seed: u64, body: F) -> Result<RunSnapshot<T>, String>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        RunConfig::builder().np(np).event_seed(seed).run(body)
+    }))
+    .map_err(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(ToString::to_string))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("event seed {seed}: rank panic: {msg}")
+    })?;
+    Ok(RunSnapshot {
+        results: out.results,
+        stats: out.stats,
+        undrained: out.undrained.len(),
+        trace: Vec::new(),
     })
 }
 
@@ -123,6 +156,40 @@ where
                                 r.stats, snap.stats
                             ));
                         }
+                    }
+                }
+            }
+        }
+    }
+    // The same seeds on the event runtime (seeded serialized fibers),
+    // compared against the thread-runtime reference: one more way a
+    // schedule-dependent reduction or a substrate-visible difference in
+    // the thread→fiber swap would surface.
+    for seed in 0..seeds {
+        match run_one_events(np, seed, &body) {
+            Err(e) => failures.push(e),
+            Ok(snap) => {
+                if snap.undrained > 0 {
+                    failures.push(format!(
+                        "event seed {seed}: {} message(s) left undrained at teardown",
+                        snap.undrained
+                    ));
+                }
+                if let Some(r) = &reference {
+                    if snap.results != r.results {
+                        failures.push(format!(
+                            "event seed {seed}: results differ from the thread-runtime \
+                             reference\n  reference: {:?}\n  event seed {seed}: {:?}",
+                            r.results, snap.results
+                        ));
+                    }
+                    if compare_traffic && snap.stats != r.stats {
+                        failures.push(format!(
+                            "event seed {seed}: TrafficStats differ from the \
+                             thread-runtime reference\n  reference: {:?}\n  \
+                             event seed {seed}: {:?}",
+                            r.stats, snap.stats
+                        ));
                     }
                 }
             }

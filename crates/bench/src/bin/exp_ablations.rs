@@ -7,10 +7,11 @@
 //!    clustering,
 //! 5. ABM batch size vs physical message count.
 
+use hot_comm::RunConfig;
 use hot_base::flops::FlopCounter;
 use hot_base::Aabb;
 use hot_bench::{clustered_bodies, header};
-use hot_comm::{Abm, World};
+use hot_comm::Abm;
 use hot_core::decomp::decompose;
 use hot_core::htable::KeyTable;
 use hot_core::Mac;
@@ -111,7 +112,7 @@ fn ablation_decomp() {
     header("Ablation 4: work-weighted vs uniform decomposition under clustering");
     let np = 8u32;
     for weighted in [false, true] {
-        let out = World::run(np, move |c| {
+        let out = RunConfig::builder().np(np).run(move |c| {
             let mut bodies = clustered_bodies(c.rank(), 3_000, 11, 6);
             if weighted {
                 // First pass to learn weights.
@@ -167,7 +168,7 @@ fn ablation_decomp() {
 fn ablation_abm() {
     header("Ablation 5: ABM batch size vs physical messages");
     for batch in [64usize, 1024, 16 * 1024] {
-        let out = World::run(4, move |c| {
+        let out = RunConfig::builder().np(4).run(move |c| {
             let mut abm = Abm::new(c, batch);
             let np = abm.size();
             for i in 0..3_000u64 {

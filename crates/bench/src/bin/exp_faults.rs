@@ -22,7 +22,7 @@
 use hot_base::flops::FlopCounter;
 use hot_base::Aabb;
 use hot_bench::{arg_usize, header, random_bodies, rule};
-use hot_comm::{FaultConfig, FaultPlan, RunConfig, World};
+use hot_comm::{FaultConfig, FaultPlan, RunConfig};
 use hot_gravity::dist::{distributed_accelerations_traced, DistOptions};
 use hot_trace::{FaultReport, Ledger, ModelClock};
 
@@ -33,8 +33,7 @@ struct Sample {
 }
 
 fn run_once(np: u32, n_per_rank: usize, fault: Option<FaultConfig>) -> Sample {
-    let cfg = RunConfig { scheduler: None, faults: fault.map(FaultPlan::new) };
-    let out = World::run_config(np, cfg, move |c| {
+    let out = RunConfig::builder().np(np).faults_opt(fault.map(FaultPlan::new)).run(move |c| {
         let bodies = random_bodies(c.rank(), n_per_rank, 1997);
         let counter = FlopCounter::new();
         let opts = DistOptions { eps2: 1e-6, ..Default::default() };

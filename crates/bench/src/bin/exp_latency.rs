@@ -20,10 +20,11 @@
 //!
 //! Args: `exp_latency [n_total] [np]` (defaults 32768, 8).
 
+use hot_comm::RunConfig;
 use hot_base::Aabb;
 use hot_bench::{arg_usize, clustered_bodies, header, rule};
 use hot_base::flops::FlopCounter;
-use hot_comm::{NetworkModel, World};
+use hot_comm::NetworkModel;
 use hot_core::dwalk::WalkConfig;
 use hot_gravity::{distributed_accelerations_traced, DistOptions};
 use hot_core::Mac;
@@ -61,7 +62,7 @@ fn walk_seconds(net: NetworkModel, cs: &CounterSet) -> f64 {
 
 fn run_config(name: &'static str, n_total: usize, np: u32, walk: WalkConfig) -> ConfigRun {
     let n_per = n_total / np as usize;
-    let out = World::run(np, move |c| {
+    let out = RunConfig::builder().np(np).run(move |c| {
         let bodies = clustered_bodies(c.rank(), n_per, 1997, 8);
         let counter = FlopCounter::new();
         let opts = DistOptions {

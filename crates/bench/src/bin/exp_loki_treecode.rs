@@ -6,10 +6,10 @@
 //! a 16-rank simulated Loki; measured interaction counts extrapolate to
 //! the paper's N and step count through the Loki machine model.
 
+use hot_comm::RunConfig;
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, Vec3, FLOPS_PER_GRAV_INTERACTION};
 use hot_bench::{arg_usize, header};
-use hot_comm::World;
 use hot_cosmo::ics::{gaussian_field, sphere_with_buffer, zeldovich};
 use hot_cosmo::power::CdmSpectrum;
 use hot_cosmo::sim::{growth_factor, zeldovich_velocity_factor, RHO_BAR};
@@ -43,7 +43,7 @@ fn main() {
     let np = 16u32;
     let domain = Aabb::cube(Vec3::splat(box_size * 0.5), box_size * 0.55);
     let (pos_c, mass_c) = (pos.clone(), mass.clone());
-    let out = World::run(np, move |c| {
+    let out = RunConfig::builder().np(np).run(move |c| {
         let per = n / np as usize;
         let lo = c.rank() as usize * per;
         let hi = if c.rank() == np - 1 { n } else { lo + per };

@@ -11,8 +11,9 @@
 //! Loki falls furthest behind on exactly those rows — the paper's
 //! observation.
 
+use hot_comm::RunConfig;
 use hot_bench::header;
-use hot_comm::{RunOutput, TrafficStats, World};
+use hot_comm::{RunOutput, TrafficStats};
 use hot_machine::specs::{JANUS_16, LOKI};
 use hot_npb::common::BenchResult;
 
@@ -60,13 +61,13 @@ fn main() {
     println!("(mini-NPB sizes; paper ran Class B — shapes, not magnitudes, compare)");
 
     let rows = vec![
-        collect(&World::run(np, |c| hot_npb::apps::run_bt(c, n, 2))),
-        collect(&World::run(np, |c| hot_npb::apps::run_sp(c, n, 2))),
-        collect(&World::run(np, |c| hot_npb::apps::run_lu(c, n, 4))),
-        collect(&World::run(np, |c| hot_npb::mg::run_distributed(c, n, 2))),
-        collect(&World::run(np, |c| hot_npb::ft::run(c, n, 2))),
-        collect(&World::run(np, |c| hot_npb::ep::run(c, 18).0)),
-        collect(&World::run(np, |c| hot_npb::is::run(c, 18, 16))),
+        collect(&RunConfig::builder().np(np).run(|c| hot_npb::apps::run_bt(c, n, 2))),
+        collect(&RunConfig::builder().np(np).run(|c| hot_npb::apps::run_sp(c, n, 2))),
+        collect(&RunConfig::builder().np(np).run(|c| hot_npb::apps::run_lu(c, n, 4))),
+        collect(&RunConfig::builder().np(np).run(|c| hot_npb::mg::run_distributed(c, n, 2))),
+        collect(&RunConfig::builder().np(np).run(|c| hot_npb::ft::run(c, n, 2))),
+        collect(&RunConfig::builder().np(np).run(|c| hot_npb::ep::run(c, 18).0)),
+        collect(&RunConfig::builder().np(np).run(|c| hot_npb::is::run(c, 18, 16))),
     ];
 
     println!(

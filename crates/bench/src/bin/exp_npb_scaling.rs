@@ -6,8 +6,9 @@
 //! measured Mop/s on this machine and the Loki-model prediction, which is
 //! the series Figure 3 plots.
 
+use hot_comm::RunConfig;
 use hot_bench::header;
-use hot_comm::{RunOutput, World};
+use hot_comm::RunOutput;
 use hot_machine::specs::LOKI;
 use hot_npb::common::BenchResult;
 
@@ -48,13 +49,13 @@ fn main() {
         let mut series = Vec::new();
         for &np in &counts {
             let out: RunOutput<BenchResult> = match name {
-                "BT" => World::run(np, |c| hot_npb::apps::run_bt(c, n, 2)),
-                "SP" => World::run(np, |c| hot_npb::apps::run_sp(c, n, 2)),
-                "LU" => World::run(np, |c| hot_npb::apps::run_lu(c, n, 4)),
-                "FT" => World::run(np, |c| hot_npb::ft::run(c, n, 2)),
-                "MG" => World::run(np, |c| hot_npb::mg::run_distributed(c, n, 2)),
-                "IS" => World::run(np, |c| hot_npb::is::run(c, 18, 16)),
-                "EP" => World::run(np, |c| hot_npb::ep::run(c, 18).0),
+                "BT" => RunConfig::builder().np(np).run(|c| hot_npb::apps::run_bt(c, n, 2)),
+                "SP" => RunConfig::builder().np(np).run(|c| hot_npb::apps::run_sp(c, n, 2)),
+                "LU" => RunConfig::builder().np(np).run(|c| hot_npb::apps::run_lu(c, n, 4)),
+                "FT" => RunConfig::builder().np(np).run(|c| hot_npb::ft::run(c, n, 2)),
+                "MG" => RunConfig::builder().np(np).run(|c| hot_npb::mg::run_distributed(c, n, 2)),
+                "IS" => RunConfig::builder().np(np).run(|c| hot_npb::is::run(c, 18, 16)),
+                "EP" => RunConfig::builder().np(np).run(|c| hot_npb::ep::run(c, 18).0),
                 _ => unreachable!(),
             };
             assert!(out.results.iter().all(|r| r.verified), "{name} at np={np}");

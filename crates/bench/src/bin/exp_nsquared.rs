@@ -5,10 +5,10 @@
 //! flop counts use the paper's 38-flop convention; the ASCI Red model then
 //! predicts the full-size run.
 
+use hot_comm::RunConfig;
 use hot_base::flops::FlopCounter;
 use hot_base::Vec3;
 use hot_bench::{arg_usize, header};
-use hot_comm::World;
 use hot_gravity::direct::direct_ring;
 use hot_machine::perf::{predict, PhaseCount};
 use hot_machine::specs::ASCI_RED_6800;
@@ -21,7 +21,7 @@ fn main() {
     header("Experiment H1: O(N^2) ring benchmark (paper: 635 Gflops, 239.3 s)");
 
     let t0 = Instant::now();
-    let out = World::run(np, move |c| {
+    let out = RunConfig::builder().np(np).run(move |c| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(c.rank() as u64);
         let pos: Vec<Vec3> =
             (0..n_local).map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen())).collect();

@@ -5,10 +5,10 @@
 //! A 32-rank distributed treecode benchmark runs for real; the combined
 //! machine model prices it.
 
+use hot_comm::RunConfig;
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, FLOPS_PER_GRAV_INTERACTION};
 use hot_bench::{arg_usize, header, random_bodies};
-use hot_comm::World;
 use hot_gravity::dist::{distributed_accelerations, DistOptions};
 use hot_machine::cost::{dollars_per_mflop, gflops_per_million_dollars, sc96_combined_total};
 use hot_machine::perf::{predict, scale_traffic, PhaseCount};
@@ -19,7 +19,7 @@ fn main() {
     let n_local = arg_usize(1, 2_000);
     header("Experiment H6: SC'96 bridged Loki+Hyglac (paper: 2.19 Gflops, $47/Mflop)");
 
-    let out = World::run(np, move |c| {
+    let out = RunConfig::builder().np(np).run(move |c| {
         let bodies = random_bodies(c.rank(), n_local, 1996);
         let counter = FlopCounter::new();
         let opts = DistOptions { eps2: 1e-8, ..Default::default() };

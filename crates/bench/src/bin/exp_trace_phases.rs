@@ -13,10 +13,10 @@
 //!
 //! Args: `exp_trace_phases [np] [n_per_rank]` (defaults 8, 4000).
 
+use hot_comm::RunConfig;
 use hot_base::flops::FlopCounter;
 use hot_base::Aabb;
 use hot_bench::{arg_usize, header, random_bodies, rule};
-use hot_comm::World;
 use hot_gravity::dist::{distributed_accelerations_traced, DistOptions};
 use hot_trace::{Ledger, ModelClock};
 
@@ -26,7 +26,7 @@ fn main() {
     header("Experiment T1: per-rank phase tracing, paper-style breakdown");
     println!("np = {np}, {n_per_rank} particles/rank, Loki machine model");
 
-    let out = World::run(np, move |c| {
+    let out = RunConfig::builder().np(np).run(move |c| {
         let bodies = random_bodies(c.rank(), n_per_rank, 1997);
         let counter = FlopCounter::new();
         let opts = DistOptions { eps2: 1e-6, ..Default::default() };

@@ -8,11 +8,15 @@
 //! to the paper's N. The clustered stage reruns with a clumped
 //! distribution to measure the load-imbalance and traversal overheads that
 //! explain the 430 → 170 drop.
+//!
+//! Args: `exp_treecode_asci [np] [threads|events] [n_per_rank]` (defaults
+//! 8, threads, a built-in ladder). With `events`, np = 1024+ machines run
+//! for real on the fiber runtime instead of extrapolating from np = 8.
 
+use hot_comm::{RunConfig, Runtime};
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, FLOPS_PER_GRAV_INTERACTION};
 use hot_bench::{arg_usize, clustered_bodies, header, random_bodies};
-use hot_comm::World;
 use hot_gravity::dist::{distributed_accelerations, DistOptions};
 use hot_machine::specs::{
     ASCI_RED_4096, ASCI_RED_6800, ASCI_RED_TREE_EARLY_MFLOPS_PER_PROC,
@@ -44,9 +48,15 @@ fn calibrate_kernel_ns() -> f64 {
     t0.elapsed().as_nanos() as f64 / reps as f64
 }
 
-fn run_at(np: u32, n_local: usize, clustered: bool, kernel_ns: f64) -> Sample {
+fn run_at(np: u32, n_local: usize, clustered: bool, kernel_ns: f64, rt: Runtime) -> Sample {
     let t0 = Instant::now();
-    let out = World::run(np, move |c| {
+    // Fibers map stack pages lazily, so a modest reservation carries the
+    // full pipeline; threads keep the roomy default.
+    let stack = match rt {
+        Runtime::Events => 2 << 20,
+        Runtime::Threads => 16 << 20,
+    };
+    let out = RunConfig::builder().np(np).runtime(rt).stack_size(stack).run(move |c| {
         let bodies = if clustered {
             clustered_bodies(c.rank(), n_local, 99, 8)
         } else {
@@ -79,23 +89,38 @@ fn run_at(np: u32, n_local: usize, clustered: bool, kernel_ns: f64) -> Sample {
 
 fn main() {
     let np = arg_usize(1, 8) as u32;
+    let rt = match std::env::args().nth(2).as_deref() {
+        Some("events") => Runtime::Events,
+        _ => Runtime::Threads,
+    };
+    let n_per_rank = arg_usize(3, 0); // 0 = the default ladder below
     header("Experiment H2: treecode on ASCI Red (paper: 430 Gflops early, 170 sustained)");
+    println!("np = {np}, runtime = {rt:?}");
     let kernel_ns = calibrate_kernel_ns();
     println!("kernel calibration: {kernel_ns:.1} ns per 38-flop interaction on this machine");
 
     // Interactions/particle vs N (uniform = early universe).
     println!("interactions per particle vs N (uniform distribution, theta=0.7):");
-    let ladder = [2_000usize, 4_000, 8_000, 16_000];
+    // At event-runtime machine sizes (np >= 1024) total N explodes, so the
+    // ladder is per-rank-scaled (or overridden by argv[3]) to keep a
+    // measured step affordable while still exercising the full pipeline.
+    let ladder: Vec<usize> = if n_per_rank > 0 {
+        vec![n_per_rank]
+    } else if np >= 256 {
+        vec![16, 32, 64]
+    } else {
+        vec![2_000, 4_000, 8_000, 16_000]
+    };
     let mut samples = Vec::new();
     for &per in &ladder {
-        let s = run_at(np, per, false, kernel_ns);
+        let s = run_at(np, per, false, kernel_ns, rt);
         println!(
             "  N = {:>7}:  {:>7.1} inter/particle   imbalance {:.2}   overhead x{:.2}",
             s.n, s.inter_per_particle, s.max_over_mean_work, s.overhead
         );
         samples.push(s);
     }
-    // Fit inter/particle = a + b ln N.
+    // Fit inter/particle = a + b ln N (single-point ladders pin b = 0).
     let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
     for s in &samples {
         let x = (s.n as f64).ln();
@@ -105,7 +130,8 @@ fn main() {
         sxy += x * s.inter_per_particle;
     }
     let m = samples.len() as f64;
-    let b = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+    let det = m * sxx - sx * sx;
+    let b = if det.abs() > 1e-9 { (m * sxy - sx * sy) / det } else { 0.0 };
     let a = (sy - b * sx) / m;
     println!("  fit: inter/particle = {a:.1} + {b:.1} ln N");
 
@@ -133,7 +159,7 @@ fn main() {
 
     // Clustered stage: imbalance + deeper traversals.
     println!("\nclustered (late-universe) stage:");
-    let s = run_at(np, ladder[ladder.len() - 1], true, kernel_ns);
+    let s = run_at(np, ladder[ladder.len() - 1], true, kernel_ns, rt);
     println!(
         "  N = {:>7}:  {:>7.1} inter/particle   imbalance {:.2}   overhead x{:.2}",
         s.n, s.inter_per_particle, s.max_over_mean_work, s.overhead

@@ -287,8 +287,8 @@ impl<'a> Abm<'a> {
 
 #[cfg(test)]
 mod tests {
+    use crate::runtime::RunConfig;
     use super::*;
-    use crate::runtime::World;
 
     /// Every rank asks every other rank to echo a value; replies must all
     /// arrive before `complete()` returns.
@@ -297,7 +297,7 @@ mod tests {
         const REQ: u16 = 1;
         const REP: u16 = 2;
         for np in [1u32, 2, 4, 6] {
-            let out = World::run(np, |c| {
+            let out = RunConfig::builder().np(np).run(|c| {
                 let rank = c.rank();
                 let np = c.size();
                 let mut got = vec![0u64; np as usize];
@@ -335,7 +335,7 @@ mod tests {
     fn cascading_requests_terminate() {
         const HOP: u16 = 7;
         let np = 5u32;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             let np = c.size();
             let mut final_value = 0u64;
             let mut abm = Abm::new(c, 32);
@@ -365,7 +365,7 @@ mod tests {
     #[test]
     fn batching_reduces_physical_messages() {
         let np = 2u32;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             let mut abm = Abm::new(c, 1 << 20); // huge batches: one flush
             if abm.rank() == 0 {
                 for i in 0..1000u64 {
@@ -389,7 +389,7 @@ mod tests {
 
     #[test]
     fn small_batch_capacity_flushes_eagerly() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             let mut abm = Abm::new(c, 16);
             if abm.rank() == 0 {
                 for i in 0..10u64 {
@@ -408,7 +408,7 @@ mod tests {
     /// the machine comm-cost model.
     #[test]
     fn logical_bytes_reconcile_with_wire_traffic() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             let before = c.stats();
             let mut abm = Abm::new(c, 64); // small capacity: several batches
             let n = 37u64;
@@ -452,7 +452,7 @@ mod tests {
     /// own idempotency, independent of the transport's.
     #[test]
     fn duplicate_batches_are_suppressed() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             if c.rank() == 0 {
                 // Hand-build one batch (seq 0, ack 0, CRC over body) and
                 // deliver it twice, bypassing the Abm sender's sequencing.
@@ -498,7 +498,7 @@ mod tests {
     #[test]
     fn corrupt_batch_panics_past_the_transport() {
         let result = std::panic::catch_unwind(|| {
-            World::run(2, |c| {
+            RunConfig::builder().np(2).run(|c| {
                 if c.rank() == 0 {
                     let mut batch = BytesMut::new();
                     batch.put_u64_le(0); // seq
@@ -523,7 +523,7 @@ mod tests {
     /// requester knows the responder consumed its batch.
     #[test]
     fn acks_piggyback_on_replies() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             let rank = c.rank();
             let mut abm = Abm::new(c, 64);
             if rank == 0 {
@@ -542,7 +542,7 @@ mod tests {
 
     #[test]
     fn self_posts_loop_back() {
-        let out = World::run(1, |c| {
+        let out = RunConfig::builder().np(1).run(|c| {
             let mut seen = Vec::new();
             let mut abm = Abm::new(c, 8);
             abm.post(0, 9, &42u32);

@@ -20,6 +20,35 @@ pub(crate) const TAG_REDUCE: u32 = COLL_BASE + 0x200;
 pub(crate) const TAG_GATHER: u32 = COLL_BASE + 0x300;
 pub(crate) const TAG_ALLGATHER_RING: u32 = COLL_BASE + 0x400;
 pub(crate) const TAG_ALLTOALL: u32 = COLL_BASE + 0x500;
+pub(crate) const TAG_ALLGATHER_BRUCK: u32 = COLL_BASE + 0x600;
+
+/// Which algorithm family [`Comm::allgather`] (and everything built on it,
+/// e.g. the prefix sums feeding domain decomposition) uses.
+///
+/// Barrier, bcast, reduce and allreduce are already O(log p)
+/// (dissemination / binomial); allgather is the one collective with both a
+/// linear baseline (the ring) and a log-round algorithm (Bruck), so it is
+/// the one this knob selects. The two are *bitwise equivalent* — allgather
+/// moves bits, it never combines them — which is what lets `Auto` switch
+/// by machine size without perturbing any golden.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CollectiveShape {
+    /// Ring below [`AUTO_TREE_MIN_NP`] ranks (the bandwidth-optimal
+    /// pattern for the paper's switched-ethernet Loki/Hyglac class),
+    /// Bruck at or above it (latency-bound big machines). The default.
+    #[default]
+    Auto,
+    /// Always the np−1-step ring — the linear comparison baseline.
+    Ring,
+    /// Always the ⌈log₂ np⌉-round Bruck doubling algorithm.
+    Tree,
+}
+
+/// Machine size at which [`CollectiveShape::Auto`] switches the allgather
+/// from the ring baseline to the Bruck log-round algorithm. Every golden
+/// and pinned-traffic test runs below this bound, so their wire footprints
+/// are unchanged by the shape machinery.
+pub const AUTO_TREE_MIN_NP: u32 = 16;
 
 impl Comm {
     /// Dissemination barrier: `ceil(log2 np)` rounds, each rank sends one
@@ -193,10 +222,24 @@ impl Comm {
         }
     }
 
-    /// All ranks obtain every rank's value, via a ring pass
-    /// (np−1 steps, each forwarding the block received the step before —
-    /// the bandwidth-optimal pattern for switched ethernet).
+    /// All ranks obtain every rank's value, indexed by rank. Dispatches on
+    /// the run's [`CollectiveShape`]: the np−1-step ring
+    /// ([`Comm::allgather_ring`]) or the ⌈log₂ np⌉-round Bruck doubling
+    /// algorithm ([`Comm::allgather_bruck`]). Both produce bitwise
+    /// identical results — allgather is pure data movement.
     pub fn allgather<T: Wire + Clone>(&mut self, v: T) -> Vec<T> {
+        if self.tree_allgather() {
+            self.allgather_bruck(v)
+        } else {
+            self.allgather_ring(v)
+        }
+    }
+
+    /// Ring allgather: np−1 steps, each rank forwarding to its right
+    /// neighbour the block it received the step before — the
+    /// bandwidth-optimal pattern for switched ethernet, and the linear
+    /// baseline the Bruck algorithm is checked bitwise against.
+    pub fn allgather_ring<T: Wire + Clone>(&mut self, v: T) -> Vec<T> {
         let np = self.size();
         let mut out: Vec<Option<T>> = (0..np).map(|_| None).collect();
         out[self.rank() as usize] = Some(v.clone());
@@ -218,6 +261,45 @@ impl Comm {
             current = incoming;
         }
         out.into_iter().map(|o| o.expect("ring filled every slot")).collect()
+    }
+
+    /// Bruck allgather: ⌈log₂ np⌉ rounds of distance doubling. At the
+    /// start of a round each rank holds the values of `len` consecutive
+    /// ranks beginning with its own; it sends its first
+    /// `min(d, np − len)` blocks to rank `r − d` and appends the same
+    /// count received from rank `r + d`, doubling `d` each round. One
+    /// final local rotation restores rank order. O(log p) messages per
+    /// rank instead of the ring's O(p) — what makes np = 6800 tractable.
+    pub fn allgather_bruck<T: Wire + Clone>(&mut self, v: T) -> Vec<T> {
+        let np = self.size();
+        if np == 1 {
+            return vec![v];
+        }
+        let r = self.rank();
+        let mut have: Vec<T> = vec![v];
+        let mut d = 1u32;
+        while (have.len() as u32) < np {
+            let cnt = d.min(np - have.len() as u32) as usize;
+            let dst = (r + np - d) % np;
+            let src = (r + d) % np;
+            // One tag suffices: within one allgather each ordered pair
+            // (src, dst) communicates in exactly one round (the distances
+            // 1, 2, 4, … are distinct), and consecutive allgathers stay
+            // separated by per-(source, tag) FIFO as in the ring.
+            let block: Vec<T> = have[..cnt].to_vec();
+            self.send(dst, TAG_ALLGATHER_BRUCK, &block);
+            let incoming: Vec<T> = self.recv(src, TAG_ALLGATHER_BRUCK);
+            debug_assert_eq!(incoming.len(), cnt, "bruck round count mismatch");
+            have.extend(incoming);
+            d <<= 1;
+        }
+        // have[i] is the value of rank (r + i) mod np; rotate into rank
+        // order.
+        let mut out: Vec<Option<T>> = (0..np).map(|_| None).collect();
+        for (i, t) in have.into_iter().enumerate() {
+            out[(r as usize + i) % np as usize] = Some(t);
+        }
+        out.into_iter().map(|o| o.expect("bruck filled every slot")).collect()
     }
 
     /// Personalized all-to-all: `sends[d]` goes to rank `d`; returns the
@@ -267,7 +349,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::runtime::World;
+    use crate::runtime::RunConfig;
 
     /// Pin bytes-on-wire for every collective at np = 4, derived from
     /// `Wire::wire_size` — the one source of truth shared by the traffic
@@ -278,7 +360,7 @@ mod tests {
     fn bytes_on_wire_pinned_per_collective() {
         use crate::wire::Wire;
         let np = 4u32;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             let mut deltas = Vec::new();
             let mut mark = c.stats();
             let mut step = |c: &mut crate::runtime::Comm, deltas: &mut Vec<(u64, u64)>| {
@@ -331,7 +413,7 @@ mod tests {
     #[test]
     fn barrier_orders_phases() {
         for np in [1u32, 2, 3, 4, 7, 8] {
-            let out = World::run(np, |c| {
+            let out = RunConfig::builder().np(np).run(|c| {
                 for _ in 0..3 {
                     c.barrier();
                 }
@@ -345,7 +427,7 @@ mod tests {
     fn bcast_all_sizes_all_roots() {
         for np in [1u32, 2, 3, 5, 8, 13] {
             for root in [0, np - 1, np / 2] {
-                let out = World::run(np, move |c| {
+                let out = RunConfig::builder().np(np).run(move |c| {
                     let v = if c.rank() == root { 777u64 } else { 0 };
                     c.bcast(root, v)
                 });
@@ -357,7 +439,7 @@ mod tests {
     #[test]
     fn reduce_sum_matches() {
         for np in [1u32, 2, 4, 6, 9] {
-            let out = World::run(np, |c| c.reduce(0, c.rank() as u64 + 1, |a, b| a + b));
+            let out = RunConfig::builder().np(np).run(|c| c.reduce(0, c.rank() as u64 + 1, |a, b| a + b));
             let expect = (np as u64) * (np as u64 + 1) / 2;
             assert_eq!(out.results[0], Some(expect), "np={np}");
             for r in 1..np as usize {
@@ -369,7 +451,7 @@ mod tests {
     #[test]
     fn allreduce_everyone_agrees() {
         for np in [1u32, 2, 3, 8, 12] {
-            let out = World::run(np, |c| c.allreduce_sum_u64(c.rank() as u64 + 1));
+            let out = RunConfig::builder().np(np).run(|c| c.allreduce_sum_u64(c.rank() as u64 + 1));
             let expect = (np as u64) * (np as u64 + 1) / 2;
             assert!(out.results.iter().all(|&v| v == expect), "np={np}: {:?}", out.results);
         }
@@ -377,7 +459,7 @@ mod tests {
 
     #[test]
     fn allreduce_min_max() {
-        let out = World::run(5, |c| {
+        let out = RunConfig::builder().np(5).run(|c| {
             let x = (c.rank() as f64 - 2.0) * 1.5;
             (c.allreduce_min_f64(x), c.allreduce_max_f64(x))
         });
@@ -389,7 +471,7 @@ mod tests {
 
     #[test]
     fn allreduce_vec_elementwise() {
-        let out = World::run(4, |c| {
+        let out = RunConfig::builder().np(4).run(|c| {
             let v = vec![c.rank() as f64, 1.0, -(c.rank() as f64)];
             c.allreduce_sum_vec_f64(v)
         });
@@ -400,7 +482,7 @@ mod tests {
 
     #[test]
     fn gather_indexes_by_rank() {
-        let out = World::run(6, |c| c.gather(2, c.rank() * 10));
+        let out = RunConfig::builder().np(6).run(|c| c.gather(2, c.rank() * 10));
         assert_eq!(out.results[2], Some(vec![0, 10, 20, 30, 40, 50]));
         assert_eq!(out.results[0], None);
     }
@@ -408,7 +490,7 @@ mod tests {
     #[test]
     fn allgather_ring() {
         for np in [1u32, 2, 3, 4, 7] {
-            let out = World::run(np, |c| c.allgather(c.rank() as u64 * 3));
+            let out = RunConfig::builder().np(np).run(|c| c.allgather(c.rank() as u64 * 3));
             let expect: Vec<u64> = (0..np as u64).map(|r| r * 3).collect();
             for r in &out.results {
                 assert_eq!(r, &expect, "np={np}");
@@ -419,7 +501,7 @@ mod tests {
     #[test]
     fn alltoall_personalized() {
         let np = 4u32;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             // Rank r sends [r, d] to rank d.
             let sends: Vec<Vec<u32>> = (0..np).map(|d| vec![c.rank(), d]).collect();
             c.alltoall(sends)
@@ -434,7 +516,7 @@ mod tests {
     #[test]
     fn alltoall_uneven_buckets() {
         let np = 3u32;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             let sends: Vec<Vec<u8>> =
                 (0..np).map(|d| vec![c.rank() as u8; (d as usize) + c.rank() as usize]).collect();
             c.alltoall(sends)
@@ -450,7 +532,7 @@ mod tests {
 
     #[test]
     fn exscan() {
-        let out = World::run(5, |c| c.exscan_sum_u64((c.rank() as u64 + 1) * 2));
+        let out = RunConfig::builder().np(5).run(|c| c.exscan_sum_u64((c.rank() as u64 + 1) * 2));
         // values 2,4,6,8,10 ; total 30 ; prefix 0,2,6,12,20
         let prefixes: Vec<u64> = out.results.iter().map(|&(p, _)| p).collect();
         assert_eq!(prefixes, vec![0, 2, 6, 12, 20]);
@@ -461,7 +543,7 @@ mod tests {
     fn collectives_back_to_back_do_not_interfere() {
         // Two different collectives immediately after another; FIFO + tag
         // discipline must keep them separate.
-        let out = World::run(4, |c| {
+        let out = RunConfig::builder().np(4).run(|c| {
             let a = c.allreduce_sum_u64(1);
             let b = c.allgather(c.rank());
             c.barrier();

@@ -1,0 +1,414 @@
+//! The event-driven rank runtime: thousands of simulated ranks as
+//! cooperative fibers on a small worker pool.
+//!
+//! [`EventSched`] implements [`Scheduler`], so nothing in `Comm`, the
+//! collectives, the reliable transport, or the fault machinery changes:
+//! every blocking point already routes through `yield_point` /
+//! `wait_message`, and under this scheduler those hooks suspend the
+//! calling *fiber* (see [`crate::fiber`]) instead of parking an OS thread.
+//! That is what makes np = 1024–6800 — the paper's actual machine sizes —
+//! runnable for real instead of extrapolated from np = 8.
+//!
+//! Three operating modes, chosen by the `RunConfig` builder:
+//!
+//! * **Fifo** — the production event mode. Ready ranks run in FIFO order;
+//!   a rank that performs many channel ops without blocking is preempted
+//!   every [`PREEMPT_EVERY`] ops so `try_recv` poll loops cannot starve
+//!   the pool.
+//! * **Fifo + tick** — installed automatically on kill-armed fault runs:
+//!   when every rank is blocked, the pool waits one detection tick and
+//!   then requeues all blocked ranks so their `check` closures run
+//!   failure-detection rounds (the fiber analogue of
+//!   `RealScheduler::timed`).
+//! * **Seeded** — serialized, splitmix64-driven schedule exploration with
+//!   a replayable trace: the event-runtime analogue of
+//!   [`crate::sched::FuzzScheduler`] (whose blocking turn protocol would
+//!   wedge a fiber pool). Like the fuzz scheduler it proves deadlocks at
+//!   quiescence instead of hanging.
+//!
+//! ## The lost-wakeup protocol
+//!
+//! A fiber that wants to block records the per-rank notify `version` it
+//! observed *before* its final mailbox check, then yields with
+//! `Reason::Block { seen }`. The worker — after the fiber is fully
+//! suspended — compares the live version against `seen` under the state
+//! lock: if a notify landed in the window, the rank is requeued instead of
+//! parked. `notify` itself bumps the version first and only then flips
+//! Blocked → Ready. Every interleaving therefore either parks with no
+//! pending notify or requeues; no wakeup is lost.
+
+#![allow(unsafe_code)] // one `unsafe` call: the scoped-fiber constructor,
+                       // made sound here by joining all workers (and hence
+                       // all fibers) before `execute_scoped` returns.
+
+use crate::fiber::{fiber_yield, Fiber};
+use crate::sched::{Deadlock, SchedOp, Scheduler, Want};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// In Fifo mode, a rank is preempted after this many channel operations
+/// without blocking, so busy-polling ranks share the worker pool fairly.
+pub const PREEMPT_EVERY: u64 = 256;
+
+/// Why a fiber yielded back to its worker.
+#[derive(Clone, Copy)]
+enum Reason {
+    /// Voluntary / fairness yield: requeue immediately.
+    Preempt,
+    /// Blocked waiting for a message; `seen` is the notify version
+    /// observed before the final failed check.
+    Block { seen: u64 },
+}
+
+thread_local! {
+    /// Side-channel from the yielding fiber to the worker that resumed it.
+    /// Set immediately before `fiber_yield`; read exactly once after
+    /// `resume` returns on the same worker thread.
+    static REASON: Cell<Reason> = const { Cell::new(Reason::Preempt) };
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RankState {
+    Ready,
+    Running,
+    Blocked,
+    Done,
+}
+
+enum Pick {
+    /// Production: FIFO over the ready queue, any number of workers.
+    Fifo,
+    /// Checker: uniform seeded choice over the sorted ready set, one
+    /// worker, trace recorded — mirrors `FuzzScheduler::grant_next`.
+    Seeded { rng: u64, trace: Vec<u32> },
+}
+
+fn splitmix_next(rng: &mut u64) -> u64 {
+    *rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *rng;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct ExecState {
+    ready: VecDeque<u32>,
+    status: Vec<RankState>,
+    /// Last `Want` of each currently-Blocked rank (deadlock reporting).
+    wants: Vec<Option<Want>>,
+    running: u32,
+    unfinished: u32,
+    deadlock: Option<Deadlock>,
+    pick: Pick,
+}
+
+impl ExecState {
+    /// Take the next rank to run, transitioning it to Running.
+    fn pick_next(&mut self) -> Option<u32> {
+        let rank = match &mut self.pick {
+            Pick::Fifo => self.ready.pop_front()?,
+            Pick::Seeded { rng, trace } => {
+                if self.ready.is_empty() {
+                    return None;
+                }
+                let mut candidates: Vec<u32> = self.ready.iter().copied().collect();
+                candidates.sort_unstable();
+                let rank = candidates[(splitmix_next(rng) % candidates.len() as u64) as usize];
+                self.ready.retain(|&r| r != rank);
+                trace.push(rank);
+                rank
+            }
+        };
+        self.status[rank as usize] = RankState::Running;
+        self.running += 1;
+        Some(rank)
+    }
+
+    /// Requeue every Blocked rank (detection-tick round or post-deadlock
+    /// drain, so each blocked fiber re-runs its check / observes the
+    /// deadlock verdict).
+    fn requeue_blocked(&mut self) {
+        for r in 0..self.status.len() {
+            if self.status[r] == RankState::Blocked {
+                self.status[r] = RankState::Ready;
+                self.wants[r] = None;
+                self.ready.push_back(r as u32);
+            }
+        }
+    }
+
+    /// Record the quiescence verdict: every unfinished rank blocked, no
+    /// queued or future send can match — the same proof `FuzzScheduler`
+    /// constructs, reported per rank with its wanted `(source, tag)`.
+    fn declare_deadlock(&mut self) {
+        if self.deadlock.is_some() {
+            return;
+        }
+        let blocked = self
+            .status
+            .iter()
+            .enumerate()
+            .map(|(r, s)| {
+                let want = match s {
+                    RankState::Blocked => self.wants[r].clone(),
+                    _ => None,
+                };
+                (r as u32, want)
+            })
+            .collect();
+        self.deadlock = Some(Deadlock { blocked });
+    }
+}
+
+/// Scheduler + executor state for the event-driven (fiber) rank runtime.
+/// Created by `World` when `RunConfig` selects `Runtime::Events`; also the
+/// home of the seeded serialized mode the analyzers use on fibers.
+pub struct EventSched {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    /// Per-rank notify counters for the lost-wakeup protocol.
+    version: Vec<AtomicU64>,
+    /// Per-rank channel-op counters driving Fifo fairness preemption.
+    ops: Vec<AtomicU64>,
+    /// Some = requeue blocked ranks this often while quiescent (failure-
+    /// detection rounds on kill-armed runs). None = quiescence is final:
+    /// prove a deadlock.
+    tick: Option<Duration>,
+    seeded: bool,
+}
+
+impl EventSched {
+    fn with(np: u32, pick: Pick, tick: Option<Duration>) -> EventSched {
+        let seeded = matches!(pick, Pick::Seeded { .. });
+        EventSched {
+            state: Mutex::new(ExecState {
+                ready: (0..np).collect(),
+                status: vec![RankState::Ready; np as usize],
+                wants: vec![None; np as usize],
+                running: 0,
+                unfinished: np,
+                deadlock: None,
+                pick,
+            }),
+            cv: Condvar::new(),
+            version: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            ops: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            tick,
+            seeded,
+        }
+    }
+
+    /// Production event scheduler for an `np`-rank machine.
+    #[must_use]
+    pub fn new(np: u32) -> EventSched {
+        EventSched::with(np, Pick::Fifo, None)
+    }
+
+    /// Event scheduler whose quiescent pool requeues blocked ranks every
+    /// `tick` so failure-detection rounds run (kill-armed fault runs).
+    #[must_use]
+    pub fn timed(np: u32, tick: Duration) -> EventSched {
+        EventSched::with(np, Pick::Fifo, Some(tick))
+    }
+
+    /// Serialized seeded mode: one rank runs between hook points, chosen
+    /// by splitmix64 from `seed`; deadlocks are proven at quiescence. The
+    /// fiber-runtime analogue of [`crate::sched::FuzzScheduler`].
+    #[must_use]
+    pub fn seeded(np: u32, seed: u64) -> EventSched {
+        EventSched::with(np, Pick::Seeded { rng: seed, trace: Vec::new() }, None)
+    }
+
+    /// The schedule decided so far in seeded mode: each entry is a rank
+    /// granted the worker. Empty in Fifo mode.
+    pub fn trace(&self) -> Vec<u32> {
+        match &self.state.lock().expect("event sched lock").pick {
+            Pick::Seeded { trace, .. } => trace.clone(),
+            Pick::Fifo => Vec::new(),
+        }
+    }
+
+    /// Whether this scheduler serializes ranks (forces one worker).
+    #[must_use]
+    pub fn is_seeded(&self) -> bool {
+        self.seeded
+    }
+
+    /// Run each of `bodies` as a fiber and drive all of them to completion
+    /// on `workers` OS threads. Safe despite the bodies borrowing the
+    /// caller's stack (`'a`): every worker is joined before this returns,
+    /// and joined workers have either finished or dropped every fiber — the
+    /// same structural argument as `std::thread::scope`.
+    pub(crate) fn execute_scoped<'a>(
+        self: &Arc<EventSched>,
+        bodies: Vec<Box<dyn FnOnce() + Send + 'a>>,
+        workers: usize,
+        stack_size: usize,
+    ) {
+        assert!(!self.seeded || workers == 1, "seeded event runs are single-worker");
+        let fibers: Vec<Fiber> = bodies
+            .into_iter()
+            // SAFETY: see the scoping argument in the doc comment above.
+            .map(|b| unsafe { Fiber::new_scoped(stack_size, b) })
+            .collect();
+        let fibers: Vec<Mutex<Fiber>> = fibers.into_iter().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let sched = Arc::clone(self);
+                let fibers = &fibers;
+                std::thread::Builder::new()
+                    .name(format!("hot-events-{w}"))
+                    .spawn_scoped(scope, move || sched.worker_loop(fibers))
+                    .expect("spawn event worker");
+            }
+        });
+    }
+
+    fn worker_loop(&self, fibers: &[Mutex<Fiber>]) {
+        loop {
+            let rank = {
+                let mut st = self.state.lock().expect("event sched lock");
+                loop {
+                    if st.unfinished == 0 {
+                        self.cv.notify_all();
+                        return;
+                    }
+                    if let Some(r) = st.pick_next() {
+                        break r;
+                    }
+                    if st.running > 0 {
+                        // Another worker's fiber may unblock someone.
+                        st = self.cv.wait(st).expect("event sched lock");
+                        continue;
+                    }
+                    // Quiescent: every unfinished rank is Blocked.
+                    match self.tick {
+                        Some(tick) => {
+                            let (guard, timeout) = self
+                                .cv
+                                .wait_timeout(st, tick)
+                                .expect("event sched lock");
+                            st = guard;
+                            if timeout.timed_out() {
+                                // One failure-detection round per blocked
+                                // rank; their checks read model clocks.
+                                st.requeue_blocked();
+                            }
+                        }
+                        None => {
+                            st.declare_deadlock();
+                            st.requeue_blocked();
+                            self.cv.notify_all();
+                        }
+                    }
+                }
+            };
+            // Run outside the state lock; the fiber mutex is uncontended
+            // (Running status makes this worker the exclusive resumer).
+            let finished =
+                fibers[rank as usize].lock().expect("fiber slot").resume();
+            let mut st = self.state.lock().expect("event sched lock");
+            st.running -= 1;
+            let r = rank as usize;
+            if finished {
+                st.status[r] = RankState::Done;
+                st.wants[r] = None;
+                st.unfinished -= 1;
+            } else {
+                match REASON.with(Cell::get) {
+                    Reason::Preempt => {
+                        st.status[r] = RankState::Ready;
+                        st.wants[r] = None;
+                        st.ready.push_back(rank);
+                    }
+                    Reason::Block { seen } => {
+                        if self.version[r].load(Ordering::SeqCst) != seen {
+                            // A notify raced the suspend: don't park.
+                            st.status[r] = RankState::Ready;
+                            st.wants[r] = None;
+                            st.ready.push_back(rank);
+                        } else {
+                            st.status[r] = RankState::Blocked;
+                        }
+                    }
+                }
+            }
+            // Wake peers: for new ready work, for the final exit, and for
+            // quiescence decisions (which need running == 0 observed).
+            self.cv.notify_all();
+        }
+    }
+}
+
+impl Scheduler for EventSched {
+    fn rank_started(&self, _rank: u32) {}
+
+    fn yield_point(&self, rank: u32, _op: SchedOp) {
+        if self.seeded {
+            // Serialized exploration: every channel op is a schedule
+            // decision point, exactly like FuzzScheduler.
+            REASON.with(|r| r.set(Reason::Preempt));
+            fiber_yield();
+            return;
+        }
+        let n = self.ops[rank as usize].fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(PREEMPT_EVERY) {
+            REASON.with(|r| r.set(Reason::Preempt));
+            fiber_yield();
+        }
+    }
+
+    fn wait_message(
+        &self,
+        rank: u32,
+        want: &Want,
+        check: &mut dyn FnMut() -> bool,
+    ) -> Result<(), Deadlock> {
+        let r = rank as usize;
+        loop {
+            let seen = self.version[r].load(Ordering::SeqCst);
+            if check() {
+                return Ok(());
+            }
+            {
+                let mut st = self.state.lock().expect("event sched lock");
+                if let Some(d) = &st.deadlock {
+                    return Err(d.clone());
+                }
+                if self.version[r].load(Ordering::SeqCst) != seen {
+                    // Notify landed between the check and here; re-check
+                    // before committing to block.
+                    continue;
+                }
+                st.wants[r] = Some(want.clone());
+            }
+            REASON.with(|c| c.set(Reason::Block { seen }));
+            fiber_yield();
+            let st = self.state.lock().expect("event sched lock");
+            if let Some(d) = &st.deadlock {
+                return Err(d.clone());
+            }
+        }
+    }
+
+    fn notify(&self, dst: u32) {
+        // Version first: a worker deciding whether to park `dst` compares
+        // against this counter after the fiber suspends.
+        self.version[dst as usize].fetch_add(1, Ordering::SeqCst);
+        let mut st = self.state.lock().expect("event sched lock");
+        if st.status[dst as usize] == RankState::Blocked {
+            st.status[dst as usize] = RankState::Ready;
+            st.wants[dst as usize] = None;
+            st.ready.push_back(dst);
+            self.cv.notify_all();
+        }
+    }
+
+    fn rank_finished(&self, _rank: u32) {
+        // Completion is observed structurally by the worker (the fiber's
+        // body returned); nothing to record here.
+    }
+}

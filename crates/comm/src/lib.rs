@@ -4,25 +4,31 @@
 //! the paper's hardware substrates (ASCI Red's NX/MPI mesh, Loki/Hyglac's
 //! MPI-over-fast-ethernet).
 //!
-//! * [`runtime`] — ranks as OS threads, `(source, tag)`-matched send/recv,
-//!   per-rank traffic counters, panic-safe teardown.
+//! * [`runtime`] — the `(source, tag)`-matched send/recv machine, per-rank
+//!   traffic counters, panic-safe teardown, and the [`RunConfig`] builder
+//!   that selects the execution substrate: one OS thread per rank
+//!   ([`Runtime::Threads`]) or thousands of cooperative fibers on a worker
+//!   pool ([`Runtime::Events`] — the paper's 1024–6800 rank machines, run
+//!   for real).
+//! * [`events`] / fibers — the event-driven rank substrate.
 //! * [`collectives`] — barrier / bcast / reduce / allreduce / gather /
 //!   allgather / alltoall / prefix sums, all built from point-to-point
-//!   messages so the traffic counters reflect real wire activity.
+//!   messages so the traffic counters reflect real wire activity;
+//!   [`CollectiveShape`] picks ring vs log-round allgather.
 //! * [`abm`] — the paper's "asynchronous batched messages" active-message
 //!   layer with quiescence detection, used by the latency-hiding tree walk.
 //! * [`wire`] — explicit little-endian message encoding.
 //! * [`netmodel`] — latency/bandwidth cost model turning traffic counts
 //!   into predicted 1997 wall-clock.
 //!
-//! The SPMD entry point is [`World::run`]:
+//! The SPMD entry point is [`RunConfig::builder`]:
 //!
 //! ```
-//! use hot_comm::World;
-//! let out = World::run(4, |comm| {
-//!     let total = comm.allreduce_sum_u64(comm.rank() as u64);
-//!     total
-//! });
+//! use hot_comm::prelude::*;
+//! let out = RunConfig::builder()
+//!     .np(4)
+//!     .runtime(Runtime::Events)
+//!     .run(|comm| comm.allreduce_sum_u64(u64::from(comm.rank())));
 //! assert!(out.results.iter().all(|&t| t == 6));
 //! ```
 
@@ -31,7 +37,9 @@
 pub mod abm;
 mod chan;
 pub mod collectives;
+pub mod events;
 pub mod fault;
+mod fiber;
 pub mod netmodel;
 #[cfg(test)]
 mod proptests;
@@ -41,6 +49,8 @@ pub mod sched;
 pub mod wire;
 
 pub use abm::{Abm, AbmStats};
+pub use collectives::{CollectiveShape, AUTO_TREE_MIN_NP};
+pub use events::EventSched;
 pub use fault::{
     DetectionPath, DetectionRecord, FaultConfig, FaultDecision, FaultMonitor, FaultPlan,
     InjectedFaults, KillRecord, KillSite,
@@ -51,11 +61,30 @@ pub use reliable::{
     SUSPECT_AFTER_TICKS,
 };
 pub use runtime::{
-    Comm, Envelope, RankKilled, RunConfig, RunOutput, TrafficStats, Undrained, World, MAX_USER_TAG,
-    POISON_TAG,
+    Comm, Envelope, RankKilled, RunConfig, RunConfigBuilder, RunOutput, Runtime, TrafficStats,
+    Undrained, World, MAX_USER_TAG, POISON_TAG,
 };
 pub use sched::{Deadlock, FuzzScheduler, RealScheduler, SchedOp, Scheduler, Want};
 pub use wire::{
     crc32, frame_message, from_bytes, to_bytes, unframe_message, Frame, FrameError,
     KeyBatchRequest, Wire,
 };
+
+/// One-stop imports for SPMD programs on the simulated machine.
+///
+/// The nesting story, in one place: a run is configured by
+/// [`RunConfig::builder`] (machine size, runtime, scheduler, faults,
+/// collective shapes — everything about *how* the machine executes).
+/// Everything about *what* the program computes lives in the options
+/// struct of the subsystem you call (`hot_gravity::DistOptions`, which
+/// nests `hot_core::WalkConfig`; `hot_gravity::TreecodeOptions`;
+/// [`FaultConfig`] inside a [`FaultPlan`]). All of those are plain data
+/// with `Default` + `with_*` builder methods; none of them nests a
+/// `RunConfig`.
+pub mod prelude {
+    pub use crate::collectives::CollectiveShape;
+    pub use crate::fault::{FaultConfig, FaultPlan};
+    pub use crate::runtime::{Comm, RunConfig, RunOutput, Runtime, TrafficStats};
+    pub use crate::sched::{FuzzScheduler, Scheduler};
+    pub use crate::wire::Wire;
+}

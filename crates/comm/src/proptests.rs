@@ -4,7 +4,10 @@
 #![cfg(test)]
 
 use crate::wire::{frame_message, from_bytes, to_bytes, unframe_message, KeyBatchRequest, Wire};
-use crate::{Abm, FaultConfig, FaultDecision, FaultPlan, FuzzScheduler, RunConfig, World};
+use crate::{
+    Abm, CollectiveShape, Comm, FaultConfig, FaultDecision, FaultPlan, FuzzScheduler,
+    RunConfig,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -134,12 +137,11 @@ proptest! {
     ) {
         const K_CHUNK: u16 = 6;
         type Entry = (u64, Vec<u64>);
-        let cfg = RunConfig {
-            scheduler: Some(Arc::new(FuzzScheduler::new(2, sched_seed))),
-            faults: None,
-        };
         let sent = entries.clone();
-        let out = World::run_config(2, cfg, move |c| {
+        let out = RunConfig::builder()
+            .np(2)
+            .scheduler(Arc::new(FuzzScheduler::new(2, sched_seed)))
+            .run(move |c| {
             let mut ep = Abm::new(c, abm_capacity);
             if ep.rank() == 0 {
                 // Greedy whole-entry packing up to `chunk_limit` encoded
@@ -187,12 +189,12 @@ proptest! {
             0,
             FaultDecision { corrupt_bit: Some(bit), ..Default::default() },
         );
-        let cfg = RunConfig {
-            scheduler: Some(Arc::new(FuzzScheduler::new(2, sched_seed))),
-            faults: Some(plan),
-        };
         let expect = payload.clone();
-        let out = World::run_config(2, cfg, move |c| {
+        let out = RunConfig::builder()
+            .np(2)
+            .scheduler(Arc::new(FuzzScheduler::new(2, sched_seed)))
+            .faults(plan)
+            .run(move |c| {
             if c.rank() == 0 {
                 c.send(1, 7, &payload);
                 Vec::new()
@@ -207,5 +209,87 @@ proptest! {
         let rejects: u64 = out.reliability.iter().map(|r| r.crc_rejects).sum();
         prop_assert_eq!(retries, 1, "want exactly one retransmission");
         prop_assert_eq!(rejects, 1, "want exactly one CRC rejection");
+    }
+}
+
+proptest! {
+    // Collective-shape equivalence: full machines per case, so few cases.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The ring and Bruck allgathers are pure data movement, so their
+    /// results must be *bitwise* identical for arbitrary bit patterns —
+    /// across machine sizes, fuzzed thread schedules, and seeded event
+    /// schedules. This is the license for CollectiveShape::Auto to switch
+    /// algorithms on np alone.
+    #[test]
+    fn allgather_shapes_bitwise_equivalent(
+        np in 2u32..10,
+        base in any::<u64>(),
+        sched_seed in 0u64..4,
+        event_seed in 0u64..4,
+    ) {
+        // Per-rank contribution: an arbitrary 64-bit pattern (covers f64
+        // NaN payloads when reinterpreted; allgather never looks inside).
+        let body = move |c: &mut Comm| {
+            let v = base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(c.rank()) + 1));
+            c.allgather(v)
+        };
+        let ring = RunConfig::builder()
+            .np(np)
+            .collectives(CollectiveShape::Ring)
+            .run(body);
+        let tree = RunConfig::builder()
+            .np(np)
+            .collectives(CollectiveShape::Tree)
+            .run(body);
+        prop_assert_eq!(&ring.results, &tree.results);
+        // Fuzzed thread schedule, tree shape.
+        let fuzzed = RunConfig::builder()
+            .np(np)
+            .scheduler(Arc::new(FuzzScheduler::new(np, sched_seed)))
+            .collectives(CollectiveShape::Tree)
+            .run(body);
+        prop_assert_eq!(&ring.results, &fuzzed.results);
+        // Seeded event schedule (fibers), tree shape.
+        let events = RunConfig::builder()
+            .np(np)
+            .event_seed(event_seed)
+            .collectives(CollectiveShape::Tree)
+            .run(body);
+        prop_assert_eq!(&ring.results, &events.results);
+    }
+
+    /// The production binomial-tree allreduce agrees with a linear
+    /// gather → fold → bcast baseline for exactly-associative operators
+    /// (wrapping add, max, xor), on both runtimes. f64 sums are excluded
+    /// deliberately: tree reduction reassociates, which is why the f64
+    /// goldens pin the *tree* order instead.
+    #[test]
+    fn tree_allreduce_matches_linear_baseline_for_associative_ops(
+        np in 2u32..10,
+        base in any::<u64>(),
+        op_idx in 0usize..3,
+        event_seed in 0u64..4,
+    ) {
+        let ops: [fn(u64, u64) -> u64; 3] =
+            [u64::wrapping_add, std::cmp::max, |a, b| a ^ b];
+        let op = ops[op_idx];
+        let body = move |c: &mut Comm| {
+            let v = base ^ (0xD134_2543_DE82_EF95u64.wrapping_mul(u64::from(c.rank()) + 3));
+            let tree = c.allreduce(v, op);
+            // Linear baseline: rank 0 folds the gathered vector in rank
+            // order, then broadcasts the result.
+            let folded = c
+                .gather(0, v)
+                .map(|all| all.into_iter().reduce(op).expect("np >= 1"));
+            let linear = c.bcast(0, folded.unwrap_or_default());
+            (tree, linear)
+        };
+        let threads = RunConfig::builder().np(np).run(body);
+        for (rank, (tree, linear)) in threads.results.iter().enumerate() {
+            prop_assert_eq!(tree, linear, "threads rank {}", rank);
+        }
+        let events = RunConfig::builder().np(np).event_seed(event_seed).run(body);
+        prop_assert_eq!(&threads.results, &events.results);
     }
 }

@@ -721,12 +721,15 @@ impl<'a> ReliableComm<'a> {
 mod tests {
     use super::*;
     use crate::fault::FaultConfig;
-    use crate::runtime::{RunConfig, World};
+    use crate::runtime::RunConfig;
     use crate::sched::FuzzScheduler;
     use std::sync::Arc;
 
-    fn faulty(_np: u32, seed: u64) -> RunConfig {
-        RunConfig { faults: Some(FaultPlan::new(FaultConfig::hostile(seed))), ..RunConfig::default() }
+    fn faulty(np: u32, seed: u64) -> RunConfig {
+        RunConfig::builder()
+            .np(np)
+            .faults(FaultPlan::new(FaultConfig::hostile(seed)))
+            .build()
     }
 
     #[test]
@@ -764,7 +767,7 @@ mod tests {
 
     #[test]
     fn clean_plan_is_transparent() {
-        let reference = World::run(2, |c| {
+        let reference = RunConfig::builder().np(2).run(|c| {
             if c.rank() == 0 {
                 c.send(1, 5, &123u64);
                 c.recv::<u64>(1, 6)
@@ -774,11 +777,10 @@ mod tests {
                 v
             }
         });
-        let cfg = RunConfig {
-            faults: Some(FaultPlan::new(FaultConfig::clean(1))),
-            ..RunConfig::default()
-        };
-        let out = World::run_config(2, cfg, |c| {
+        let out = RunConfig::builder()
+            .np(2)
+            .faults(FaultPlan::new(FaultConfig::clean(1)))
+            .run(|c| {
             if c.rank() == 0 {
                 c.send(1, 5, &123u64);
                 c.recv::<u64>(1, 6)
@@ -809,9 +811,9 @@ mod tests {
             }
             sum + c.allreduce_sum_u64(1)
         };
-        let reference = World::run(4, body);
+        let reference = RunConfig::builder().np(4).run(body);
         for seed in 0..6 {
-            let out = World::run_config(4, faulty(4, seed), body);
+            let out = faulty(4, seed).run(body);
             assert_eq!(out.results, reference.results, "seed {seed}");
             assert_eq!(out.stats, reference.stats, "seed {seed} logical traffic");
             assert!(out.undrained.is_empty(), "seed {seed}");
@@ -827,14 +829,14 @@ mod tests {
             let all = c.allgather(v);
             (total, all)
         };
-        let reference = World::run(3, body);
+        let reference = RunConfig::builder().np(3).run(body);
         for fault_seed in 0..3 {
             for sched_seed in 0..3 {
-                let cfg = RunConfig {
-                    faults: Some(FaultPlan::new(FaultConfig::hostile(fault_seed))),
-                    scheduler: Some(Arc::new(FuzzScheduler::new(3, sched_seed))),
-                };
-                let out = World::run_config(3, cfg, body);
+                let out = RunConfig::builder()
+                    .np(3)
+                    .faults(FaultPlan::new(FaultConfig::hostile(fault_seed)))
+                    .scheduler(Arc::new(FuzzScheduler::new(3, sched_seed)))
+                    .run(body);
                 assert_eq!(
                     out.results, reference.results,
                     "fault seed {fault_seed} sched seed {sched_seed}"
@@ -854,11 +856,11 @@ mod tests {
             0,
             FaultDecision { corrupt_bit: Some(13), ..FaultDecision::default() },
         );
-        let cfg = RunConfig {
-            faults: Some(plan),
-            scheduler: Some(Arc::new(FuzzScheduler::new(2, 1))),
-        };
-        let out = World::run_config(2, cfg, |c| {
+        let out = RunConfig::builder()
+            .np(2)
+            .faults(plan)
+            .scheduler(Arc::new(FuzzScheduler::new(2, 1)))
+            .run(|c| {
             if c.rank() == 0 {
                 c.send(1, 5, &0xDEAD_BEEFu64);
                 0
@@ -881,11 +883,11 @@ mod tests {
             0,
             FaultDecision { duplicate: true, ..FaultDecision::default() },
         );
-        let cfg = RunConfig {
-            faults: Some(plan),
-            scheduler: Some(Arc::new(FuzzScheduler::new(2, 1))),
-        };
-        let out = World::run_config(2, cfg, |c| {
+        let out = RunConfig::builder()
+            .np(2)
+            .faults(plan)
+            .scheduler(Arc::new(FuzzScheduler::new(2, 1)))
+            .run(|c| {
             if c.rank() == 0 {
                 c.send(1, 5, &7u32);
                 0
@@ -925,9 +927,9 @@ mod tests {
             }
             got
         };
-        let reference = World::run(4, body);
+        let reference = RunConfig::builder().np(4).run(body);
         for seed in 0..4 {
-            let out = World::run_config(4, faulty(4, seed), body);
+            let out = faulty(4, seed).run(body);
             assert_eq!(out.results, reference.results, "seed {seed}");
             assert!(out.undrained.is_empty(), "seed {seed}");
         }
@@ -944,8 +946,7 @@ mod tests {
             0,
             FaultDecision { drop: true, ..FaultDecision::default() },
         );
-        let cfg = RunConfig { faults: Some(plan), ..RunConfig::default() };
-        let out = World::run_config(2, cfg, |c| {
+        let out = RunConfig::builder().np(2).faults(plan).run(|c| {
             if c.rank() == 0 {
                 c.send(1, 9, &3u32); // dropped, never received, never recovered
             }
@@ -956,11 +957,10 @@ mod tests {
 
     #[test]
     fn reliable_comm_wrapper_delegates() {
-        let cfg = RunConfig {
-            faults: Some(FaultPlan::new(FaultConfig::hostile(11))),
-            ..RunConfig::default()
-        };
-        let out = World::run_config(2, cfg, |c| {
+        let out = RunConfig::builder()
+            .np(2)
+            .faults(FaultPlan::new(FaultConfig::hostile(11)))
+            .run(|c| {
             let mut rc = ReliableComm::new(c);
             if rc.rank() == 0 {
                 rc.send(1, 5, &99u64);

@@ -17,6 +17,8 @@
 //! and audit teardown for undrained messages.
 
 use crate::chan::{Mailbox, Scan};
+use crate::collectives::{CollectiveShape, AUTO_TREE_MIN_NP};
+use crate::events::EventSched;
 use crate::fault::{DetectionPath, FaultPlan, InjectedFaults, KillSite};
 use crate::reliable::{
     ReliabilityStats, Transport, CONFIRM_DEAD_AFTER_TICKS, DETECT_TICK_MICROS, FRAME_TAG,
@@ -102,6 +104,9 @@ struct Machine {
     /// Reliable transport over a faulty wire; present iff the run installed
     /// a [`FaultPlan`].
     transport: Option<Transport>,
+    /// Which allgather algorithm this run uses (ring baseline vs Bruck
+    /// log-round); `Auto` resolves by machine size.
+    shape: CollectiveShape,
 }
 
 /// Panic payload of a rank whose [`FaultPlan`] kill fired: the crash-stop
@@ -143,6 +148,16 @@ impl Comm {
     #[must_use]
     pub fn size(&self) -> u32 {
         self.machine.np
+    }
+
+    /// Whether this run's allgather uses the Bruck log-round algorithm
+    /// (`true`) or the ring baseline (`false`); `Auto` picks by size.
+    pub(crate) fn tree_allgather(&self) -> bool {
+        match self.machine.shape {
+            CollectiveShape::Auto => self.machine.np >= AUTO_TREE_MIN_NP,
+            CollectiveShape::Ring => false,
+            CollectiveShape::Tree => true,
+        }
     }
 
     /// Communication counters so far. These are *logical* counters — under
@@ -488,7 +503,8 @@ impl fmt::Display for Undrained {
 #[must_use]
 pub fn tag_class_name(tag: u32) -> &'static str {
     use crate::collectives::{
-        TAG_ALLGATHER_RING, TAG_ALLTOALL, TAG_BARRIER, TAG_BCAST, TAG_GATHER, TAG_REDUCE,
+        TAG_ALLGATHER_BRUCK, TAG_ALLGATHER_RING, TAG_ALLTOALL, TAG_BARRIER, TAG_BCAST,
+        TAG_GATHER, TAG_REDUCE,
     };
     match tag {
         POISON_TAG => "poison",
@@ -499,6 +515,7 @@ pub fn tag_class_name(tag: u32) -> &'static str {
         TAG_REDUCE => "coll:reduce",
         TAG_GATHER => "coll:gather",
         TAG_ALLGATHER_RING => "coll:allgather",
+        TAG_ALLGATHER_BRUCK => "coll:allgather",
         TAG_ALLTOALL => "coll:alltoall",
         t if t <= MAX_USER_TAG => "user",
         _ => "internal",
@@ -543,199 +560,504 @@ impl<T> RunOutput<T> {
     }
 }
 
-/// Per-run machine configuration: scheduling policy and fault injection.
-#[derive(Default)]
+/// Which execution substrate carries the simulated ranks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Runtime {
+    /// One OS thread per rank (16 MiB stacks). Free OS concurrency, but
+    /// caps practical machine sizes near np ≈ 100.
+    #[default]
+    Threads,
+    /// Cooperative fibers multiplexed on a small worker pool (see
+    /// [`crate::events`]): the substrate that runs the paper's actual
+    /// 1024–6800 processor configurations for real.
+    Events,
+}
+
+/// Per-run machine configuration: size, runtime, scheduling policy, fault
+/// injection, and collective shapes. Build one with [`RunConfig::builder`]:
+///
+/// ```
+/// use hot_comm::RunConfig;
+/// let out = RunConfig::builder()
+///     .np(4)
+///     .run(|c| c.allreduce_sum_u64(u64::from(c.rank())));
+/// assert!(out.results.iter().all(|&t| t == 6));
+/// ```
 pub struct RunConfig {
-    /// Scheduling policy; `None` uses the production [`RealScheduler`].
-    pub scheduler: Option<Arc<dyn Scheduler>>,
-    /// Fault plan; when set, every non-poison message travels CRC-framed
+    np: u32,
+    scheduler: Option<Arc<dyn Scheduler>>,
+    faults: Option<FaultPlan>,
+    runtime: Runtime,
+    workers: Option<usize>,
+    stack_size: Option<usize>,
+    event_seed: Option<u64>,
+    collectives: CollectiveShape,
+}
+
+impl RunConfig {
+    /// Start building a run configuration. `np` defaults to 1, the runtime
+    /// to [`Runtime::Threads`], collectives to [`CollectiveShape::Auto`].
+    #[must_use]
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder {
+            cfg: RunConfig {
+                np: 1,
+                scheduler: None,
+                faults: None,
+                runtime: Runtime::default(),
+                workers: None,
+                stack_size: None,
+                event_seed: None,
+                collectives: CollectiveShape::default(),
+            },
+        }
+    }
+
+    /// Execute the SPMD closure `f` on this configuration's machine and
+    /// gather results. A panic on any rank poisons the others and
+    /// propagates out (lowest-rank panic wins when several fire).
+    pub fn run<T, F>(self, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let np = self.np;
+        assert!(np >= 1, "need at least one rank");
+        let kill_armed = self.faults.as_ref().is_some_and(FaultPlan::kill_armed);
+        match self.runtime {
+            Runtime::Threads => {
+                assert!(
+                    self.event_seed.is_none(),
+                    "event_seed requires Runtime::Events (the builder sets it)"
+                );
+                let sched = self.scheduler.unwrap_or_else(|| {
+                    if kill_armed {
+                        // A dead rank never notifies: blocked receivers must
+                        // wake on a timer to run failure-detection rounds.
+                        // The period is the model-level detection tick —
+                        // wall time only wakes the thread; every detection
+                        // decision reads model clocks.
+                        Arc::new(RealScheduler::timed(
+                            np,
+                            Duration::from_micros(DETECT_TICK_MICROS),
+                        )) as Arc<dyn Scheduler>
+                    } else {
+                        Arc::new(RealScheduler::new(np)) as Arc<dyn Scheduler>
+                    }
+                });
+                let machine = Machine::build(np, sched, self.faults, self.collectives);
+                let stack = self.stack_size.unwrap_or(16 << 20);
+                run_threads(np, &machine, stack, &f)
+            }
+            Runtime::Events => {
+                assert!(
+                    self.scheduler.is_none(),
+                    "the Events runtime provides its own scheduler; use \
+                     event_seed(..) for seeded serialized exploration"
+                );
+                let sched = Arc::new(match self.event_seed {
+                    Some(seed) => EventSched::seeded(np, seed),
+                    None if kill_armed => EventSched::timed(
+                        np,
+                        Duration::from_micros(DETECT_TICK_MICROS),
+                    ),
+                    None => EventSched::new(np),
+                });
+                let machine = Machine::build(
+                    np,
+                    sched.clone() as Arc<dyn Scheduler>,
+                    self.faults,
+                    self.collectives,
+                );
+                let workers = if sched.is_seeded() {
+                    1
+                } else {
+                    self.workers.unwrap_or_else(|| {
+                        std::thread::available_parallelism()
+                            .map(std::num::NonZeroUsize::get)
+                            .unwrap_or(1)
+                            .min(8)
+                    })
+                };
+                let stack = self.stack_size.unwrap_or(4 << 20);
+                run_events(np, &machine, &sched, workers, stack, &f)
+            }
+        }
+    }
+}
+
+/// Builder for [`RunConfig`] — the single entry point onto the simulated
+/// machine (collapsing the former `World::run` / `run_with_scheduler` /
+/// `run_config` trio).
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Number of ranks in the machine.
+    #[must_use]
+    pub fn np(mut self, np: u32) -> Self {
+        self.cfg.np = np;
+        self
+    }
+
+    /// Explicit scheduling policy (e.g. a seeded
+    /// [`crate::sched::FuzzScheduler`]) for the Threads runtime. The
+    /// Events runtime schedules itself; see [`Self::event_seed`].
+    #[must_use]
+    pub fn scheduler(mut self, sched: Arc<dyn Scheduler>) -> Self {
+        self.cfg.scheduler = Some(sched);
+        self
+    }
+
+    /// Optional form of [`Self::scheduler`], for sweep drivers that decide
+    /// per iteration whether to override the policy.
+    #[must_use]
+    pub fn scheduler_opt(mut self, sched: Option<Arc<dyn Scheduler>>) -> Self {
+        self.cfg.scheduler = sched;
+        self
+    }
+
+    /// Install a fault plan: every non-poison message travels CRC-framed
     /// through the plan's seeded adversary and the reliable transport
     /// ([`crate::reliable`]) recovers drops, duplicates, reordering,
     /// delays, and bit-flips transparently.
-    pub faults: Option<FaultPlan>,
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Optional form of [`Self::faults`].
+    #[must_use]
+    pub fn faults_opt(mut self, plan: Option<FaultPlan>) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Select the execution substrate (threads vs event-driven fibers).
+    #[must_use]
+    pub fn runtime(mut self, rt: Runtime) -> Self {
+        self.cfg.runtime = rt;
+        self
+    }
+
+    /// Worker-thread count for the Events runtime (default: available
+    /// parallelism, capped at 8). Ignored by the Threads runtime.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = Some(n.max(1));
+        self
+    }
+
+    /// Per-rank stack size in bytes (default 16 MiB on Threads, 4 MiB on
+    /// Events, where pages are lazily mapped so untouched stack is free).
+    #[must_use]
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.cfg.stack_size = Some(bytes);
+        self
+    }
+
+    /// Seeded serialized schedule exploration on the Events runtime (the
+    /// fiber analogue of a [`crate::sched::FuzzScheduler`]); implies
+    /// [`Runtime::Events`] and a single worker.
+    #[must_use]
+    pub fn event_seed(mut self, seed: u64) -> Self {
+        self.cfg.event_seed = Some(seed);
+        self.cfg.runtime = Runtime::Events;
+        self
+    }
+
+    /// Force a collective algorithm family instead of the size-based
+    /// [`CollectiveShape::Auto`] default.
+    #[must_use]
+    pub fn collectives(mut self, shape: CollectiveShape) -> Self {
+        self.cfg.collectives = shape;
+        self
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> RunConfig {
+        self.cfg
+    }
+
+    /// Build and run in one step — the common call shape:
+    /// `RunConfig::builder().np(4).run(|c| ...)`.
+    pub fn run<T, F>(self, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        self.cfg.run(f)
+    }
 }
 
-/// The simulated machine: spawns `np` ranks and runs `f` on each.
+impl Machine {
+    fn build(
+        np: u32,
+        sched: Arc<dyn Scheduler>,
+        faults: Option<FaultPlan>,
+        shape: CollectiveShape,
+    ) -> Arc<Machine> {
+        Arc::new(Machine {
+            np,
+            mailboxes: (0..np).map(|_| Mailbox::default()).collect(),
+            sched,
+            transport: faults.map(|plan| Transport::new(np, plan)),
+            shape,
+        })
+    }
+}
+
+/// How one rank's body ended.
+enum RankExit<T> {
+    /// Returned normally.
+    Done(T, TrafficStats),
+    /// Crash-stop kill fired: the rank vanished silently (no result).
+    Killed,
+    /// Any other panic; re-raised by [`finish`] after all ranks settle.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// The body every rank executes, identical across runtimes: run `f`,
+/// classify the exit, and guarantee the teardown discipline (`Comm::drop`
+/// runs under `panicking()` for real panics, under `killed` for
+/// crash-stops) regardless of how the rank ends.
+fn rank_main<T, F>(rank: u32, machine: &Arc<Machine>, f: &F) -> RankExit<T>
+where
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    machine.sched.rank_started(rank);
+    let mut comm = Comm {
+        rank,
+        machine: machine.clone(),
+        stats: TrafficStats::default(),
+        ops: 0,
+        killed: false,
+    };
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+    match out {
+        Ok(v) => {
+            let stats = comm.stats();
+            drop(comm);
+            RankExit::Done(v, stats)
+        }
+        Err(p) if p.downcast_ref::<RankKilled>().is_some() => {
+            // Crash-stop: silent teardown (Drop sees `killed`), no result,
+            // no propagation — detection is the survivors' job.
+            drop(comm);
+            RankExit::Killed
+        }
+        Err(p) => {
+            // Re-raise *while `comm` is still in scope* so the poison-
+            // teardown Drop observes `thread::panicking()`, then catch the
+            // unwind again at this frame: on the Events runtime it must
+            // not cross the fiber boundary, and on Threads deferring the
+            // propagation to `finish` keeps "lowest panicking rank wins"
+            // deterministic.
+            let p2 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let _comm = comm;
+                std::panic::resume_unwind(p)
+            }))
+            .expect_err("resume_unwind cannot return");
+            RankExit::Panicked(p2)
+        }
+    }
+}
+
+/// Threads runtime: one scoped OS thread per rank.
+fn run_threads<T, F>(
+    np: u32,
+    machine: &Arc<Machine>,
+    stack_size: usize,
+    f: &F,
+) -> RunOutput<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let exits: Vec<Mutex<Option<RankExit<T>>>> = (0..np).map(|_| Mutex::new(None)).collect();
+    // Host-side elapsed time for Gflop/s reporting; simulation logic
+    // never reads it. hot-lint: allow(wall-clock)
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for rank in 0..np {
+            let machine = machine.clone();
+            let slot = &exits[rank as usize];
+            std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(stack_size)
+                .spawn_scoped(scope, move || {
+                    let exit = rank_main(rank, &machine, f);
+                    *slot.lock().expect("exit slot") = Some(exit);
+                })
+                .expect("spawn rank thread");
+        }
+    });
+    finish(np, machine, exits, t0.elapsed())
+}
+
+/// Events runtime: every rank is a fiber; `workers` OS threads drive them
+/// through the [`EventSched`] executor.
+fn run_events<T, F>(
+    np: u32,
+    machine: &Arc<Machine>,
+    sched: &Arc<EventSched>,
+    workers: usize,
+    stack_size: usize,
+    f: &F,
+) -> RunOutput<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let exits: Vec<Mutex<Option<RankExit<T>>>> = (0..np).map(|_| Mutex::new(None)).collect();
+    // hot-lint: allow(wall-clock) — host-side elapsed only.
+    let t0 = Instant::now();
+    let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..np)
+        .map(|rank| {
+            let machine = machine.clone();
+            let slot = &exits[rank as usize];
+            Box::new(move || {
+                let exit = rank_main(rank, &machine, f);
+                *slot.lock().expect("exit slot") = Some(exit);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    sched.execute_scoped(bodies, workers, stack_size);
+    finish(np, machine, exits, t0.elapsed())
+}
+
+/// Shared epilogue: propagate panics (lowest rank first), audit undetected
+/// kills, sweep mailboxes for undrained traffic, and collect results.
+fn finish<T>(
+    np: u32,
+    machine: &Arc<Machine>,
+    exits: Vec<Mutex<Option<RankExit<T>>>>,
+    elapsed: Duration,
+) -> RunOutput<T> {
+    let mut collected = Vec::with_capacity(np as usize);
+    for (rank, slot) in exits.into_iter().enumerate() {
+        let exit = slot
+            .into_inner()
+            .expect("exit slot")
+            .unwrap_or_else(|| panic!("rank {rank} never ran to an exit"));
+        if let RankExit::Panicked(p) = exit {
+            std::panic::resume_unwind(p);
+        }
+        collected.push(exit);
+    }
+
+    // Undetected-kill invariant: if a crash-stop kill fired, some
+    // surviving rank must have aborted the step (its crash-stop panic
+    // propagated above and we never reach this line). Reaching here with
+    // dead ranks means every survivor ran to completion oblivious — a
+    // broken failure detector. The `hot-analyze kills` planted fixture
+    // relies on this firing.
+    if let Some(t) = &machine.transport {
+        let dead = t.dead_ranks();
+        if !dead.is_empty() {
+            panic!(
+                "crash-stop: rank(s) {dead:?} were killed mid-run but every \
+                 surviving rank completed without detecting the death — \
+                 undetected kill"
+            );
+        }
+    }
+
+    // Teardown audit. Without a transport this is a straight mailbox
+    // sweep; with one, leftover raw frames are unframed and cross-
+    // checked against the flow tables so lost-on-the-wire messages are
+    // reported too instead of vanishing silently.
+    let mut leftover = Vec::new();
+    for (at, mbox) in machine.mailboxes.iter().enumerate() {
+        for env in mbox.drain_all() {
+            leftover.push((at as u32, env));
+        }
+    }
+    let undrained = match &machine.transport {
+        Some(t) => t.teardown_undrained(&leftover),
+        None => leftover
+            .iter()
+            .filter(|(_, env)| env.tag != POISON_TAG)
+            .map(|(at, env)| Undrained::new(*at, env.src, env.tag, None))
+            .collect(),
+    };
+    let reliability = match &machine.transport {
+        Some(t) => (0..np).map(|r| t.stats(r)).collect(),
+        None => vec![ReliabilityStats::default(); np as usize],
+    };
+    let injected = machine.transport.as_ref().map(|t| t.plan.injected()).unwrap_or_default();
+
+    let mut out_results = Vec::with_capacity(np as usize);
+    let mut out_stats = Vec::with_capacity(np as usize);
+    for exit in collected {
+        match exit {
+            RankExit::Done(r, s) => {
+                out_results.push(r);
+                out_stats.push(s);
+            }
+            RankExit::Killed => unreachable!(
+                "a killed rank implies a crash-stop abort or the undetected-\
+                 kill audit; neither returns"
+            ),
+            RankExit::Panicked(_) => unreachable!("panics propagated above"),
+        }
+    }
+    RunOutput {
+        results: out_results,
+        stats: out_stats,
+        elapsed,
+        undrained,
+        reliability,
+        injected,
+    }
+}
+
+/// The simulated machine. The `World::run*` trio is the pre-event-runtime
+/// API, kept as thin shims for one release; new code goes through
+/// [`RunConfig::builder`].
 pub struct World;
 
 impl World {
     /// Run an SPMD closure on `np` ranks and gather results.
-    ///
-    /// Each rank runs on its own OS thread (with an enlarged stack — tree
-    /// walks and FFTs recurse). A panic on any rank poisons the others and
-    /// propagates out of `run`.
+    #[deprecated(note = "use RunConfig::builder().np(np).run(f)")]
     pub fn run<T, F>(np: u32, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        Self::run_config(np, RunConfig::default(), f)
+        RunConfig::builder().np(np).run(f)
     }
 
-    /// [`World::run`] under an explicit scheduling policy — the entry point
-    /// the `hot-analyze schedules` checker uses to permute interleavings.
+    /// [`World::run`] under an explicit scheduling policy.
+    #[deprecated(note = "use RunConfig::builder().np(np).scheduler(sched).run(f)")]
     pub fn run_with_scheduler<T, F>(np: u32, sched: Arc<dyn Scheduler>, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        Self::run_config(np, RunConfig { scheduler: Some(sched), faults: None }, f)
+        RunConfig::builder().np(np).scheduler(sched).run(f)
     }
 
-    /// [`World::run`] under full configuration — scheduling policy and/or
-    /// a fault plan. The `hot-analyze faults` checker crosses both.
+    /// [`World::run`] under a full [`RunConfig`]; `np` overrides the
+    /// config's rank count.
+    #[deprecated(note = "use RunConfig::builder().np(np)…run(f)")]
     pub fn run_config<T, F>(np: u32, cfg: RunConfig, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        assert!(np >= 1, "need at least one rank");
-        let kill_armed = cfg.faults.as_ref().is_some_and(FaultPlan::kill_armed);
-        let sched = cfg.scheduler.unwrap_or_else(|| {
-            if kill_armed {
-                // A dead rank never notifies: blocked receivers must wake on
-                // a timer to run failure-detection rounds. The period is the
-                // model-level detection tick — wall time only wakes the
-                // thread; every detection decision reads model clocks.
-                Arc::new(RealScheduler::timed(np, Duration::from_micros(DETECT_TICK_MICROS)))
-                    as Arc<dyn Scheduler>
-            } else {
-                Arc::new(RealScheduler::new(np)) as Arc<dyn Scheduler>
-            }
-        });
-        let machine = Arc::new(Machine {
-            np,
-            mailboxes: (0..np).map(|_| Mailbox::default()).collect(),
-            sched,
-            transport: cfg.faults.map(|plan| Transport::new(np, plan)),
-        });
-        let results: Vec<Mutex<Option<(T, TrafficStats)>>> =
-            (0..np).map(|_| Mutex::new(None)).collect();
-
-        // Host-side elapsed time for Gflop/s reporting; simulation logic
-        // never reads it. hot-lint: allow(wall-clock)
-        let t0 = Instant::now();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(np as usize);
-            for rank in 0..np {
-                let machine = machine.clone();
-                let f = &f;
-                let slot = &results[rank as usize];
-                let handle = std::thread::Builder::new()
-                    .name(format!("rank-{rank}"))
-                    .stack_size(16 << 20)
-                    .spawn_scoped(scope, move || {
-                        machine.sched.rank_started(rank);
-                        let mut comm = Comm {
-                            rank,
-                            machine: machine.clone(),
-                            stats: TrafficStats::default(),
-                            ops: 0,
-                            killed: false,
-                        };
-                        // Catch only the crash-stop unwind: a killed rank
-                        // vanishes silently (its slot stays `None`). Any
-                        // other panic is resumed *while `comm` is still in
-                        // scope*, so the poison-teardown Drop runs under
-                        // `thread::panicking()` exactly as before.
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || f(&mut comm),
-                        ));
-                        match out {
-                            Ok(v) => {
-                                let stats = comm.stats();
-                                // `comm` drops here, releasing the slot.
-                                drop(comm);
-                                *slot.lock().expect("result slot") = Some((v, stats));
-                            }
-                            Err(p) if p.downcast_ref::<RankKilled>().is_some() => {
-                                // Crash-stop: silent teardown (Drop sees
-                                // `killed`), no result, no propagation.
-                                drop(comm);
-                            }
-                            Err(p) => std::panic::resume_unwind(p),
-                        }
-                    })
-                    .expect("spawn rank thread");
-                handles.push(handle);
-            }
-            let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
-            for h in handles {
-                if let Err(p) = h.join() {
-                    panic_payload.get_or_insert(p);
-                }
-            }
-            if let Some(p) = panic_payload {
-                std::panic::resume_unwind(p);
-            }
-        });
-        let elapsed = t0.elapsed();
-
-        // Undetected-kill invariant: if a crash-stop kill fired, some
-        // surviving rank must have aborted the step (its crash-stop panic
-        // propagated above and we never reach this line). Reaching here with
-        // dead ranks means every survivor ran to completion oblivious — a
-        // broken failure detector. The `hot-analyze kills` planted fixture
-        // relies on this firing.
-        if let Some(t) = &machine.transport {
-            let dead = t.dead_ranks();
-            if !dead.is_empty() {
-                panic!(
-                    "crash-stop: rank(s) {dead:?} were killed mid-run but every \
-                     surviving rank completed without detecting the death — \
-                     undetected kill"
-                );
-            }
-        }
-
-        // Teardown audit. Without a transport this is a straight mailbox
-        // sweep; with one, leftover raw frames are unframed and cross-
-        // checked against the flow tables so lost-on-the-wire messages are
-        // reported too instead of vanishing silently.
-        let mut leftover = Vec::new();
-        for (at, mbox) in machine.mailboxes.iter().enumerate() {
-            for env in mbox.drain_all() {
-                leftover.push((at as u32, env));
-            }
-        }
-        let undrained = match &machine.transport {
-            Some(t) => t.teardown_undrained(&leftover),
-            None => leftover
-                .iter()
-                .filter(|(_, env)| env.tag != POISON_TAG)
-                .map(|(at, env)| Undrained::new(*at, env.src, env.tag, None))
-                .collect(),
-        };
-        let reliability = match &machine.transport {
-            Some(t) => (0..np).map(|r| t.stats(r)).collect(),
-            None => vec![ReliabilityStats::default(); np as usize],
-        };
-        let injected =
-            machine.transport.as_ref().map(|t| t.plan.injected()).unwrap_or_default();
-
-        let mut out_results = Vec::with_capacity(np as usize);
-        let mut out_stats = Vec::with_capacity(np as usize);
-        for slot in results {
-            let (r, s) = slot
-                .into_inner()
-                .expect("result slot")
-                .expect("rank finished without result");
-            out_results.push(r);
-            out_stats.push(s);
-        }
-        RunOutput {
-            results: out_results,
-            stats: out_stats,
-            elapsed,
-            undrained,
-            reliability,
-            injected,
-        }
+        let mut cfg = cfg;
+        cfg.np = np;
+        cfg.run(f)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::runtime::RunConfig;
     use super::*;
     use crate::fault::{DetectionPath, FaultConfig, FaultPlan};
     use crate::sched::FuzzScheduler;
@@ -765,7 +1087,7 @@ mod tests {
         let plan = FaultPlan::new(FaultConfig::clean(3)).with_rank_kill_at_op(1, 40);
         let monitor = plan.monitor();
         let result = std::panic::catch_unwind(|| {
-            World::run_config(4, RunConfig { scheduler: None, faults: Some(plan) }, chatty_ring);
+            RunConfig::builder().np(4).faults(plan).run(chatty_ring);
         });
         // The run must abort (crash-stop panic from a detecting survivor;
         // whichever join lands first may surface its poison instead).
@@ -787,11 +1109,7 @@ mod tests {
         let monitor = plan.monitor();
         let sched = Arc::new(FuzzScheduler::new(4, 11));
         let result = std::panic::catch_unwind(|| {
-            World::run_config(
-                4,
-                RunConfig { scheduler: Some(sched), faults: Some(plan) },
-                chatty_ring,
-            );
+            RunConfig::builder().np(4).scheduler(sched).faults(plan).run(chatty_ring);
         });
         let payload = result.expect_err("killed fuzz run completed");
         let msg = panic_text(&payload);
@@ -813,7 +1131,7 @@ mod tests {
         let plan = FaultPlan::new(FaultConfig::clean(1)).with_rank_kill_at_epoch(1, 0);
         let monitor = plan.monitor();
         let result = std::panic::catch_unwind(|| {
-            World::run_config(2, RunConfig { scheduler: None, faults: Some(plan) }, |c| {
+            RunConfig::builder().np(2).faults(plan).run(|c| {
                 c.kill_point(0);
                 u64::from(c.rank()) * 3
             });
@@ -831,14 +1149,10 @@ mod tests {
         // rounds) must not perturb logical results or traffic when no kill
         // actually fires: the recovery machinery is observable only through
         // ReliabilityStats.
-        let golden = World::run(4, chatty_ring);
+        let golden = RunConfig::builder().np(4).run(chatty_ring);
         let plan = FaultPlan::new(FaultConfig::clean(5)).with_rank_kill_at_epoch(3, u64::MAX);
         assert!(plan.kill_armed());
-        let out = World::run_config(
-            4,
-            RunConfig { scheduler: None, faults: Some(plan) },
-            chatty_ring,
-        );
+        let out = RunConfig::builder().np(4).faults(plan).run(chatty_ring);
         assert_eq!(out.results, golden.results);
         assert_eq!(out.stats, golden.stats);
         assert!(out.undrained.is_empty());
@@ -846,7 +1160,7 @@ mod tests {
 
     #[test]
     fn single_rank() {
-        let out = World::run(1, |c| {
+        let out = RunConfig::builder().np(1).run(|c| {
             assert_eq!(c.rank(), 0);
             assert_eq!(c.size(), 1);
             7u64
@@ -858,7 +1172,7 @@ mod tests {
 
     #[test]
     fn ping_pong() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             if c.rank() == 0 {
                 c.send(1, 5, &123u64);
                 c.recv::<u64>(1, 6)
@@ -876,7 +1190,7 @@ mod tests {
 
     #[test]
     fn tag_matching_out_of_order() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             if c.rank() == 0 {
                 // Send tag 2 first, then tag 1; receiver asks for 1 first.
                 c.send(1, 2, &20u32);
@@ -894,7 +1208,7 @@ mod tests {
 
     #[test]
     fn recv_any_source() {
-        let out = World::run(4, |c| {
+        let out = RunConfig::builder().np(4).run(|c| {
             if c.rank() == 0 {
                 let mut sum = 0u64;
                 for _ in 0..3 {
@@ -912,7 +1226,7 @@ mod tests {
 
     #[test]
     fn try_recv_polls() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             if c.rank() == 0 {
                 c.send(1, 3, &55u8);
                 0u8
@@ -932,7 +1246,7 @@ mod tests {
     #[test]
     fn sendrecv_ring() {
         let np = 5;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             let right = (c.rank() + 1) % c.size();
             let left = (c.rank() + c.size() - 1) % c.size();
             c.sendrecv::<u32>(right, left, 7, &c.rank())
@@ -944,7 +1258,7 @@ mod tests {
 
     #[test]
     fn traffic_stats_track_bytes() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             if c.rank() == 0 {
                 let payload = vec![0u64; 100];
                 c.send(1, 1, &payload);
@@ -961,7 +1275,7 @@ mod tests {
     #[test]
     fn panicking_rank_tears_down_machine() {
         let result = std::panic::catch_unwind(|| {
-            World::run(2, |c| {
+            RunConfig::builder().np(2).run(|c| {
                 if c.rank() == 0 {
                     // Would block forever without poison teardown.
                     let _: u64 = c.recv(1, 1);
@@ -981,7 +1295,7 @@ mod tests {
     #[test]
     fn poison_wakes_peer_blocked_behind_unmatched_traffic() {
         let result = std::panic::catch_unwind(|| {
-            World::run(2, |c| {
+            RunConfig::builder().np(2).run(|c| {
                 if c.rank() == 0 {
                     // Never-received noise, then death. Rank 1 also sent us
                     // a message we never receive: drain-on-panic consumes it.
@@ -1001,7 +1315,7 @@ mod tests {
 
     #[test]
     fn undrained_messages_reported_at_teardown() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             if c.rank() == 0 {
                 c.send(1, 9, &3u32); // never received
             }
@@ -1015,7 +1329,7 @@ mod tests {
 
     #[test]
     fn stats_since_snapshot() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             if c.rank() == 0 {
                 c.send(1, 1, &1u8);
                 let snap = c.stats();
@@ -1041,16 +1355,16 @@ mod tests {
             let v: u64 = c.recv(left, 1);
             v * 10 + c.rank() as u64
         };
-        let reference = World::run(4, body);
+        let reference = RunConfig::builder().np(4).run(body);
         for seed in 0..8 {
             let sched = Arc::new(FuzzScheduler::new(4, seed));
-            let out = World::run_with_scheduler(4, sched.clone(), body);
+            let out = RunConfig::builder().np(4).scheduler(sched.clone()).run(body);
             assert_eq!(out.results, reference.results, "seed {seed}");
             assert_eq!(out.stats, reference.stats, "seed {seed}");
             assert!(out.undrained.is_empty(), "seed {seed}");
             // Replay: the same seed yields the same schedule trace.
             let sched2 = Arc::new(FuzzScheduler::new(4, seed));
-            let _ = World::run_with_scheduler(4, sched2.clone(), body);
+            let _ = RunConfig::builder().np(4).scheduler(sched2.clone()).run(body);
             assert_eq!(sched.trace(), sched2.trace(), "seed {seed} replay");
         }
     }
@@ -1062,7 +1376,7 @@ mod tests {
         // and name both ranks' waits.
         let result = std::panic::catch_unwind(|| {
             let sched = Arc::new(FuzzScheduler::new(2, 1));
-            World::run_with_scheduler(2, sched, |c| {
+            RunConfig::builder().np(2).scheduler(sched).run(|c| {
                 let other = 1 - c.rank();
                 let v: u64 = c.recv(other, 5); // deadlock: nobody sends first
                 c.send(other, 5, &v);
@@ -1075,5 +1389,162 @@ mod tests {
             .unwrap_or_else(|| "non-string panic".into());
         assert!(msg.contains("deadlock"), "{msg}");
         assert!(msg.contains("tag=0x5"), "{msg}");
+    }
+
+    // ---- event runtime (fibers on a worker pool) ----
+
+    #[test]
+    fn event_runtime_matches_threads_bitwise() {
+        // The thread→fiber swap is below the Comm API: identical results,
+        // identical logical traffic, nothing left in any mailbox.
+        let golden = RunConfig::builder().np(8).run(chatty_ring);
+        let out = RunConfig::builder()
+            .np(8)
+            .runtime(Runtime::Events)
+            .run(chatty_ring);
+        assert_eq!(out.results, golden.results);
+        assert_eq!(out.stats, golden.stats);
+        assert!(out.undrained.is_empty());
+    }
+
+    #[test]
+    fn event_runtime_np_1024_smoke() {
+        // A thousand ranks on a handful of workers: barrier + allreduce +
+        // point-to-point ring, small stacks. This machine size is why the
+        // event runtime exists; Threads would need ~16 GiB of stacks.
+        let np = 1024u32;
+        let out = RunConfig::builder()
+            .np(np)
+            .runtime(Runtime::Events)
+            .stack_size(256 << 10)
+            .run(|c| {
+                c.barrier();
+                let sum = c.allreduce_sum_u64(u64::from(c.rank()));
+                let right = (c.rank() + 1) % c.size();
+                let left = (c.rank() + c.size() - 1) % c.size();
+                let from_left = c.sendrecv::<u64>(right, left, 3, &u64::from(c.rank()));
+                sum + from_left
+            });
+        let expect_sum = u64::from(np) * u64::from(np - 1) / 2;
+        for (r, &v) in out.results.iter().enumerate() {
+            let left = (r as u32 + np - 1) % np;
+            assert_eq!(v, expect_sum + u64::from(left), "rank {r}");
+        }
+        assert!(out.undrained.is_empty());
+    }
+
+    #[test]
+    fn event_seeded_trace_is_replayable() {
+        // Seeded serialized mode is the fiber analogue of FuzzScheduler:
+        // same seed → same grant trace and same output; different seeds
+        // explore different schedules but agree on results.
+        let body = |c: &mut Comm| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.send(right, 1, &u64::from(c.rank()));
+            let v: u64 = c.recv(left, 1);
+            v * 10 + u64::from(c.rank())
+        };
+        let run = |seed: u64| {
+            let sched = Arc::new(EventSched::seeded(4, seed));
+            let machine =
+                Machine::build(4, sched.clone() as Arc<dyn Scheduler>, None, CollectiveShape::Auto);
+            let out = run_events(4, &machine, &sched, 1, 256 << 10, &body);
+            (out.results, out.stats, sched.trace())
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a, b, "same seed must replay bit-for-bit");
+        let c = run(10);
+        assert_eq!(a.0, c.0, "results are schedule-independent");
+        assert_ne!(a.2, c.2, "seeds 9 and 10 should explore different schedules");
+    }
+
+    #[test]
+    fn event_runtime_proves_deadlock_at_quiescence() {
+        // Head-to-head recv: the production Fifo event pool must prove the
+        // deadlock once quiescent (no tick installed) instead of hanging —
+        // stronger than the thread runtime, which can only hang here.
+        for seeded in [false, true] {
+            let result = std::panic::catch_unwind(|| {
+                let b = RunConfig::builder().np(2).runtime(Runtime::Events);
+                let b = if seeded { b.event_seed(3) } else { b };
+                b.run(|c| {
+                    let other = 1 - c.rank();
+                    let v: u64 = c.recv(other, 5); // nobody sends first
+                    c.send(other, 5, &v);
+                });
+            });
+            let payload = result.expect_err("deadlock must panic");
+            let msg = panic_text(&payload);
+            assert!(msg.contains("deadlock"), "seeded={seeded}: {msg}");
+            assert!(msg.contains("tag=0x5"), "seeded={seeded}: {msg}");
+        }
+    }
+
+    #[test]
+    fn event_runtime_detects_kill_via_tick_rounds() {
+        // Kill-armed fault run on fibers: the quiescent pool's detection
+        // tick requeues blocked ranks so their failure-detection rounds
+        // run — the fiber analogue of RealScheduler::timed.
+        let plan = FaultPlan::new(FaultConfig::clean(3)).with_rank_kill_at_op(1, 40);
+        let monitor = plan.monitor();
+        let result = std::panic::catch_unwind(|| {
+            RunConfig::builder()
+                .np(4)
+                .runtime(Runtime::Events)
+                .faults(plan)
+                .run(chatty_ring);
+        });
+        assert!(result.is_err(), "killed event run completed");
+        let kills = monitor.kills();
+        assert_eq!(kills.len(), 1);
+        assert_eq!(kills[0].rank, 1);
+        let detections = monitor.detections();
+        assert!(
+            detections.iter().any(|d| d.dead == 1 && d.via == DetectionPath::Timeout),
+            "no survivor timeout-detected the dead rank on fibers: {detections:?}"
+        );
+    }
+
+    #[test]
+    fn event_armed_run_matches_unarmed_golden() {
+        // Arming the detector on the event runtime (tick-mode pool) must
+        // not perturb logical results or traffic when no kill fires.
+        let golden = RunConfig::builder().np(4).runtime(Runtime::Events).run(chatty_ring);
+        let plan = FaultPlan::new(FaultConfig::clean(5)).with_rank_kill_at_epoch(3, u64::MAX);
+        assert!(plan.kill_armed());
+        let out = RunConfig::builder()
+            .np(4)
+            .runtime(Runtime::Events)
+            .faults(plan)
+            .run(chatty_ring);
+        assert_eq!(out.results, golden.results);
+        assert_eq!(out.stats, golden.stats);
+        assert!(out.undrained.is_empty());
+    }
+
+    #[test]
+    fn event_runtime_panicking_rank_tears_down_machine() {
+        // A real (non-kill) panic on one fiber must poison the machine,
+        // wake every blocked peer, and re-raise out of run() — identical
+        // teardown discipline to the thread runtime.
+        let result = std::panic::catch_unwind(|| {
+            RunConfig::builder().np(4).runtime(Runtime::Events).run(|c| {
+                if c.rank() == 2 {
+                    panic!("rank 2 exploded");
+                }
+                // Everyone else blocks on a message only rank 2 would send.
+                c.recv::<u64>(2, 9)
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        // Lowest-rank panic wins: rank 0 died of rank 2's poison, so either
+        // the original panic or a poison-death naming rank 2 may surface.
+        let msg = panic_text(&payload);
+        assert!(
+            msg.contains("rank 2 exploded") || msg.contains("rank 2 died"),
+            "{msg}"
+        );
     }
 }

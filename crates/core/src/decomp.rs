@@ -196,9 +196,9 @@ pub fn decompose_traced<C: Wire + Copy + Send>(
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
     use hot_base::Aabb;
-    use hot_comm::World;
     use rand::{Rng, SeedableRng};
 
     fn make_bodies(rank: u32, n: usize, seed: u64) -> Vec<Body<f64>> {
@@ -242,7 +242,7 @@ mod tests {
     fn decompose_preserves_and_sorts() {
         for np in [1u32, 2, 4, 7] {
             let per_rank = 500;
-            let out = World::run(np, move |c| {
+            let out = RunConfig::builder().np(np).run(move |c| {
                 let bodies = make_bodies(c.rank(), per_rank, 42);
                 let (mine, iv) = decompose(c, bodies, 32);
                 // Sorted and all owned by me.
@@ -272,7 +272,7 @@ mod tests {
     fn uniform_work_is_balanced() {
         let np = 4u32;
         let per_rank = 2000;
-        let out = World::run(np, move |c| {
+        let out = RunConfig::builder().np(np).run(move |c| {
             let bodies = make_bodies(c.rank(), per_rank, 7);
             let (mine, _) = decompose(c, bodies, 64);
             mine.len()
@@ -293,7 +293,7 @@ mod tests {
         // that region should end up with substantially fewer bodies.
         let np = 4u32;
         let per_rank = 2000;
-        let out = World::run(np, move |c| {
+        let out = RunConfig::builder().np(np).run(move |c| {
             let mut bodies = make_bodies(c.rank(), per_rank, 3);
             for b in &mut bodies {
                 // Octant 0 of the root = top 3 digit bits are 000.
@@ -322,7 +322,7 @@ mod tests {
     fn empty_ranks_tolerated() {
         // Rank 0 holds everything initially.
         let np = 3u32;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             let bodies =
                 if c.rank() == 0 { make_bodies(0, 900, 5) } else { Vec::new() };
             let (mine, _) = decompose(c, bodies, 32);
@@ -341,7 +341,7 @@ mod tests {
         // Every body at the same point: splitters collapse; one rank owns
         // them all, nothing is lost, nobody deadlocks.
         let np = 3u32;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             let bodies: Vec<Body<f64>> = (0..100)
                 .map(|i| Body {
                     key: Key::from_point(Vec3::splat(0.5), &Aabb::unit()),

@@ -478,15 +478,15 @@ fn record_for_span<M: Moments>(
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
     use crate::decomp::{decompose, Body};
     use crate::moments::MassMoments;
     use hot_base::Aabb;
-    use hot_comm::World;
     use rand::{Rng, SeedableRng};
 
     fn build_dist(np: u32, n_per_rank: usize, seed: u64) -> Vec<DistInfo> {
-        let out = World::run(np, move |c| {
+        let out = RunConfig::builder().np(np).run(move |c| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + c.rank() as u64);
             let bodies: Vec<Body<f64>> = (0..n_per_rank)
                 .map(|i| {
@@ -586,7 +586,7 @@ mod tests {
 
     #[test]
     fn empty_universe() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             let (mine, iv) = decompose::<f64>(c, Vec::new(), 16);
             let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
             let q: Vec<f64> = mine.iter().map(|b| b.charge).collect();
@@ -602,7 +602,7 @@ mod tests {
 
     #[test]
     fn serving_children_and_bodies() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(c.rank() as u64);
             let bodies: Vec<Body<f64>> = (0..300)
                 .map(|i| {
@@ -641,7 +641,7 @@ mod tests {
     #[test]
     fn install_children_links_nodes() {
         // Single-rank scenario faking a remote install.
-        let out = World::run(1, |c| {
+        let out = RunConfig::builder().np(1).run(|c| {
             let pos: Vec<Vec3> = (0..50)
                 .map(|i| Vec3::new((i as f64 + 0.5) / 50.0, 0.5, 0.5))
                 .collect();

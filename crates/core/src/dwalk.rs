@@ -124,6 +124,40 @@ impl WalkConfig {
             ..WalkConfig::default()
         }
     }
+
+    // Per-field builders off `Default` (or `blocking()`), matching the
+    // `DistOptions` / `TreecodeOptions` / `FaultConfig` idiom.
+
+    /// Set the ABM batch capacity (flush threshold) in bytes.
+    #[must_use]
+    pub fn with_abm_batch(mut self, bytes: usize) -> Self {
+        self.abm_batch = bytes;
+        self
+    }
+
+    /// Enable or disable coalesced multi-key request rounds.
+    #[must_use]
+    pub fn with_coalesce(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Set prefetch depth (levels piggybacked per reply; 0 disables) and
+    /// the speculative-record byte budget per served request.
+    #[must_use]
+    pub fn with_prefetch(mut self, levels: u32, budget: usize) -> Self {
+        self.prefetch_levels = levels;
+        self.prefetch_budget = budget;
+        self
+    }
+
+    /// Apply finished interaction lists in poll-idle windows instead of
+    /// inline at walk completion.
+    #[must_use]
+    pub fn with_overlap_apply(mut self, on: bool) -> Self {
+        self.overlap_apply = on;
+        self
+    }
 }
 
 /// A reference into the hybrid tree: either a local cell or a global node.
@@ -834,13 +868,13 @@ fn make_handler<'h, M: Moments>(
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
     use crate::decomp::{decompose, Body};
     use crate::ilist::Segment;
     use crate::moments::MassMoments;
     use crate::tree::Tree;
     use hot_base::Aabb;
-    use hot_comm::World;
     use hot_morton::Key;
     use rand::{Rng, SeedableRng};
     use std::ops::Range;
@@ -898,7 +932,7 @@ mod tests {
     }
 
     fn coverage_run_with(np: u32, n_per: usize, theta: f64, clustered: bool, cfg: WalkConfig) {
-        let out = World::run(np, move |c| {
+        let out = RunConfig::builder().np(np).run(move |c| {
             let bodies = make_bodies(c, n_per, 1234, clustered);
             let (mine, iv) = decompose(c, bodies, 32);
             let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
@@ -998,7 +1032,7 @@ mod tests {
         type RankResult = (Vec<u64>, u64, u64, u64);
         let mut reference: Option<Vec<RankResult>> = None;
         for cfg in configs {
-            let out = World::run(4, move |c| {
+            let out = RunConfig::builder().np(4).run(move |c| {
                 let bodies = make_bodies(c, 350, 99, true);
                 let (mine, iv) = decompose(c, bodies, 32);
                 let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
@@ -1024,7 +1058,7 @@ mod tests {
     #[test]
     fn coalescing_reduces_request_messages() {
         let run = |cfg: WalkConfig| {
-            World::run(4, move |c| {
+            RunConfig::builder().np(4).run(move |c| {
                 let bodies = make_bodies(c, 350, 7, false);
                 let (mine, iv) = decompose(c, bodies, 32);
                 let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
@@ -1096,7 +1130,7 @@ mod tests {
         }
 
         let pos_clone = all_pos.clone();
-        let out = World::run(np, move |c| {
+        let out = RunConfig::builder().np(np).run(move |c| {
             let per = n_total / np as usize;
             let lo = c.rank() as usize * per;
             let hi = if c.rank() == np - 1 { n_total } else { lo + per };
@@ -1133,7 +1167,7 @@ mod tests {
     /// entries, minus exactly one self-pair per sink.
     #[test]
     fn listed_entries_reconcile_with_interactions() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(77 + c.rank() as u64);
             let bodies: Vec<Body<f64>> = (0..300)
                 .map(|i| {

@@ -37,7 +37,6 @@ use hot_base::flops::FlopCounter;
 use hot_base::Vec3;
 use hot_comm::{
     Comm, FaultConfig, FaultMonitor, FaultPlan, FuzzScheduler, NetworkModel, RunConfig, Scheduler,
-    World,
 };
 use hot_core::decomp::Body;
 use hot_gravity::dist::{distributed_accelerations_traced, DistOptions};
@@ -453,7 +452,7 @@ pub fn run_supervised(
         let da = cfg.da;
         let body_state = &state;
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            World::run_config(cfg.np, RunConfig { scheduler, faults: plan }, |c| {
+            RunConfig::builder().np(cfg.np).scheduler_opt(scheduler).faults_opt(plan).run(|c| {
                 let mut local = body_state.clone();
                 let counter = FlopCounter::new();
                 let mut trace = Ledger::scratch();

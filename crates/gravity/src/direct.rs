@@ -138,8 +138,8 @@ pub fn direct_ring(
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
-    use hot_comm::World;
     use rand::{Rng, SeedableRng};
 
     fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
@@ -181,7 +181,7 @@ mod tests {
             let counter = FlopCounter::new();
             let reference = direct_serial(&pos, &mass, 1e-6, &counter);
             let (pos_c, mass_c) = (pos.clone(), mass.clone());
-            let out = World::run(np, move |c| {
+            let out = RunConfig::builder().np(np).run(move |c| {
                 let per = n_total / np as usize;
                 let lo = c.rank() as usize * per;
                 let hi = if c.rank() == np - 1 { n_total } else { lo + per };

@@ -50,6 +50,61 @@ impl Default for DistOptions {
     }
 }
 
+impl DistOptions {
+    // Per-field builders off `Default`, matching the `WalkConfig` /
+    // `TreecodeOptions` / `FaultConfig` idiom.
+
+    /// Set the acceptance criterion.
+    #[must_use]
+    pub fn with_mac(mut self, mac: Mac) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Set the leaf bucket size.
+    #[must_use]
+    pub fn with_bucket(mut self, bucket: usize) -> Self {
+        self.bucket = bucket;
+        self
+    }
+
+    /// Set the sink-group bound.
+    #[must_use]
+    pub fn with_group_size(mut self, group_size: usize) -> Self {
+        self.group_size = group_size;
+        self
+    }
+
+    /// Set the Plummer softening squared.
+    #[must_use]
+    pub fn with_eps2(mut self, eps2: f64) -> Self {
+        self.eps2 = eps2;
+        self
+    }
+
+    /// Enable or disable the quadrupole term.
+    #[must_use]
+    pub fn with_quadrupole(mut self, on: bool) -> Self {
+        self.quadrupole = on;
+        self
+    }
+
+    /// Set the sample-sort oversampling factor.
+    #[must_use]
+    pub fn with_oversample(mut self, oversample: usize) -> Self {
+        self.oversample = oversample;
+        self
+    }
+
+    /// Install a walk pipeline configuration (data movement only; never
+    /// affects computed forces).
+    #[must_use]
+    pub fn with_walk(mut self, walk: WalkConfig) -> Self {
+        self.walk = walk;
+        self
+    }
+}
+
 /// Result of one distributed force evaluation on this rank.
 pub struct DistForces {
     /// This rank's bodies after decomposition, sorted by key; `work` fields
@@ -127,9 +182,9 @@ pub fn distributed_accelerations_traced(
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
     use crate::direct::direct_serial;
-    use hot_comm::World;
     use hot_morton::Key;
     use rand::{Rng, SeedableRng};
 
@@ -148,7 +203,7 @@ mod tests {
 
         for np in [1u32, 2, 4] {
             let (pos_c, mass_c, exact_c) = (all_pos.clone(), all_mass.clone(), exact.clone());
-            let out = World::run(np, move |c| {
+            let out = RunConfig::builder().np(np).run(move |c| {
                 let per = n_total / np as usize;
                 let lo = c.rank() as usize * per;
                 let hi = if c.rank() == np - 1 { n_total } else { lo + per };
@@ -223,7 +278,7 @@ mod tests {
         for np in [1u32, 2, 4] {
             let run = |levels: u32| {
                 let (pos_c, mass_c) = (all_pos.clone(), all_mass.clone());
-                World::run(np, move |c| {
+                RunConfig::builder().np(np).run(move |c| {
                     let per = n_total / np as usize;
                     let lo = c.rank() as usize * per;
                     let hi = if c.rank() == np - 1 { n_total } else { lo + per };
@@ -288,7 +343,7 @@ mod tests {
     #[test]
     fn work_feedback_round_trip() {
         let np = 3u32;
-        let out = World::run(np, |c| {
+        let out = RunConfig::builder().np(np).run(|c| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(c.rank() as u64);
             let bodies: Vec<Body<f64>> = (0..400)
                 .map(|i| {

@@ -51,6 +51,47 @@ impl Default for TreecodeOptions {
     }
 }
 
+impl TreecodeOptions {
+    // Per-field builders off `Default`, matching the `DistOptions` /
+    // `WalkConfig` / `FaultConfig` idiom.
+
+    /// Set the acceptance criterion.
+    #[must_use]
+    pub fn with_mac(mut self, mac: Mac) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Set the leaf bucket size.
+    #[must_use]
+    pub fn with_bucket(mut self, bucket: usize) -> Self {
+        self.bucket = bucket;
+        self
+    }
+
+    /// Set the Plummer softening squared.
+    #[must_use]
+    pub fn with_eps2(mut self, eps2: f64) -> Self {
+        self.eps2 = eps2;
+        self
+    }
+
+    /// Enable or disable the quadrupole term.
+    #[must_use]
+    pub fn with_quadrupole(mut self, on: bool) -> Self {
+        self.quadrupole = on;
+        self
+    }
+
+    /// Evaluate sink-group chunks on the rayon pool (bitwise identical to
+    /// serial evaluation).
+    #[must_use]
+    pub fn with_parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+}
+
 /// Result of a treecode force evaluation, in the *original* particle order.
 #[derive(Debug)]
 pub struct ForceResult {

@@ -265,8 +265,8 @@ pub fn run_lu(comm: &mut Comm, n: usize, steps: usize) -> BenchResult {
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
-    use hot_comm::World;
 
     #[test]
     fn thomas_solves_tridiagonal() {
@@ -287,7 +287,7 @@ mod tests {
     #[test]
     fn bt_sp_lu_verify() {
         for np in [1u32, 2, 4] {
-            let out = World::run(np, |c| {
+            let out = RunConfig::builder().np(np).run(|c| {
                 let bt = run_bt(c, 8, 2);
                 let sp = run_sp(c, 8, 2);
                 let lu = run_lu(c, 8, 2);
@@ -307,7 +307,7 @@ mod tests {
     fn lu_pipeline_really_pipelines() {
         // With 4 ranks the forward sweep is strictly ordered: rank 3 can't
         // finish before rank 0. Observable as nonzero traffic per step.
-        let out = World::run(4, |c| {
+        let out = RunConfig::builder().np(4).run(|c| {
             let r = run_lu(c, 8, 3);
             (r.verified, c.stats().sends)
         });

@@ -104,8 +104,8 @@ fn class_label(m: u32) -> &'static str {
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
-    use hot_comm::World;
 
     #[test]
     fn verifies_and_is_np_invariant() {
@@ -114,7 +114,7 @@ mod tests {
         // to reduction-order tolerance.
         let mut reference: Option<EpSums> = None;
         for np in [1u32, 2, 4, 5] {
-            let out = World::run(np, |c| run(c, 16));
+            let out = RunConfig::builder().np(np).run(|c| run(c, 16));
             let (res, sums) = &out.results[0];
             assert!(res.verified, "np={np} verification failed: {sums:?}");
             // Every rank agrees.
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn acceptance_near_pi_over_4() {
-        let out = World::run(2, |c| run(c, 16));
+        let out = RunConfig::builder().np(2).run(|c| run(c, 16));
         let (_, sums) = &out.results[0];
         let ratio = sums.accepted as f64 / (1u64 << 16) as f64;
         assert!((ratio - std::f64::consts::FRAC_PI_4).abs() < 0.01, "ratio {ratio}");

@@ -254,8 +254,8 @@ pub fn run(comm: &mut Comm, n: usize, steps: usize) -> BenchResult {
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
-    use hot_comm::World;
 
     #[test]
     fn line_fft_roundtrip() {
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn distributed_ft_verifies_all_np() {
         for np in [1u32, 2, 4] {
-            let out = World::run(np, |c| run(c, 16, 2));
+            let out = RunConfig::builder().np(np).run(|c| run(c, 16, 2));
             for r in &out.results {
                 assert!(r.verified, "np={np}: {r:?}");
                 assert!(r.ops > 0);
@@ -282,7 +282,7 @@ mod tests {
 
     #[test]
     fn ft_traffic_scales_with_grid() {
-        let out = World::run(2, |c| {
+        let out = RunConfig::builder().np(2).run(|c| {
             let r = run(c, 16, 1);
             (r.verified, c.stats().bytes_sent)
         });

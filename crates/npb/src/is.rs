@@ -72,13 +72,13 @@ pub fn run(comm: &mut Comm, m: u32, b: u32) -> BenchResult {
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
-    use hot_comm::World;
 
     #[test]
     fn sorts_and_verifies() {
         for np in [1u32, 2, 4, 7] {
-            let out = World::run(np, |c| run(c, 14, 16));
+            let out = RunConfig::builder().np(np).run(|c| run(c, 14, 16));
             for r in &out.results {
                 assert!(r.verified, "np={np}: {r:?}");
                 assert_eq!(r.ops, 1 << 14);
@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn is_moves_serious_traffic() {
         // The defining property: all-to-all traffic ~ the full key volume.
-        let out = World::run(4, |c| {
+        let out = RunConfig::builder().np(4).run(|c| {
             let r = run(c, 14, 16);
             (r, c.stats())
         });

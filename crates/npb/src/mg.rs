@@ -341,8 +341,8 @@ pub fn run_distributed(comm: &mut Comm, n: usize, cycles: usize) -> BenchResult 
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
-    use hot_comm::World;
 
     #[test]
     fn vcycle_reduces_residual_fast() {
@@ -375,7 +375,7 @@ mod tests {
     #[test]
     fn distributed_matches_and_verifies() {
         for np in [1u32, 2, 4] {
-            let out = World::run(np, |c| run_distributed(c, 16, 3));
+            let out = RunConfig::builder().np(np).run(|c| run_distributed(c, 16, 3));
             for r in &out.results {
                 assert!(r.verified, "np={np}: {r:?}");
             }

@@ -265,9 +265,9 @@ pub fn reduce(comm: &mut Comm, ledger: &crate::Ledger) -> RunReport {
 
 #[cfg(test)]
 mod tests {
+    use hot_comm::RunConfig;
     use super::*;
     use crate::{Ledger, ModelClock};
-    use hot_comm::World;
 
     fn sample_ledger(rank: u32, scale: u64) -> RankRecord {
         let mut l = Ledger::new(ModelClock::paper_loki());
@@ -321,7 +321,7 @@ mod tests {
 
     #[test]
     fn reduce_agrees_on_every_rank() {
-        let out = World::run(4, |comm| {
+        let out = RunConfig::builder().np(4).run(|comm| {
             let mut l = Ledger::new(ModelClock::paper_loki());
             l.span(Phase::Force, |l| {
                 l.add(Counter::PpInteractions, u64::from(comm.rank()) * 7 + 1);

@@ -5,9 +5,9 @@
 //!
 //! Run: `cargo run --release --example cluster_shootout [np] [n_per_rank]`
 
+use hot_comm::RunConfig;
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, Vec3, FLOPS_PER_GRAV_INTERACTION};
-use hot_comm::World;
 use hot_core::decomp::Body;
 use hot_gravity::dist::{distributed_accelerations, DistOptions};
 use hot_machine::cost::dollars_per_mflop;
@@ -25,7 +25,7 @@ fn main() {
     let per = arg(2, 4_000);
     println!("distributed treecode benchmark: {np} ranks x {per} bodies");
 
-    let out = World::run(np, move |c| {
+    let out = RunConfig::builder().np(np).run(move |c| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(c.rank() as u64);
         let bodies: Vec<Body<f64>> = (0..per)
             .map(|i| {

@@ -4,9 +4,9 @@
 //! statement that this reproduction's treecode computes the right physics
 //! on a message-passing machine.
 
+use hot97::comm::RunConfig;
 use hot97::base::flops::FlopCounter;
 use hot97::base::{Aabb, Vec3};
-use hot97::comm::World;
 use hot97::core::decomp::Body;
 use hot97::core::Mac;
 use hot97::gravity::direct::direct_serial;
@@ -40,7 +40,7 @@ fn run_case(np: u32, n: usize, clustered: bool, theta: f64, rms_budget: f64) {
     let exact = direct_serial(&pos, &mass, 1e-6, &counter);
     let (pos_c, mass_c, exact_c) = (pos.clone(), mass.clone(), exact.clone());
 
-    let out = World::run(np, move |c| {
+    let out = RunConfig::builder().np(np).run(move |c| {
         let per = n / np as usize;
         let lo = c.rank() as usize * per;
         let hi = if c.rank() == np - 1 { n } else { lo + per };
@@ -115,7 +115,7 @@ fn salmon_warren_distributed() {
     let counter = FlopCounter::new();
     let exact = direct_serial(&pos, &mass, 1e-6, &counter);
     let (pos_c, mass_c, exact_c) = (pos.clone(), mass.clone(), exact.clone());
-    let out = World::run(3, move |c| {
+    let out = RunConfig::builder().np(3).run(move |c| {
         let per = n / 3;
         let lo = c.rank() as usize * per;
         let hi = if c.rank() == 2 { n } else { lo + per };

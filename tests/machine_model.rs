@@ -3,7 +3,7 @@
 //! paper's *qualitative* rankings (Table 3's shape), and the headline
 //! price/performance arithmetic must come out as printed.
 
-use hot97::comm::World;
+use hot97::comm::RunConfig;
 use hot97::machine::cost::{dollars_per_mflop, loki_sept_1996};
 use hot97::machine::perf::{predict, PhaseCount};
 use hot97::machine::specs::{ASCI_RED_6800, JANUS_16, LOKI};
@@ -14,8 +14,8 @@ use hot97::machine::specs::{ASCI_RED_6800, JANUS_16, LOKI};
 #[test]
 fn table3_shape_is_worse_on_loki_than_ep() {
     let np = 8u32;
-    let is_out = World::run(np, |c| hot97::npb::is::run(c, 15, 16));
-    let ep_out = World::run(np, |c| hot97::npb::ep::run(c, 15).0);
+    let is_out = RunConfig::builder().np(np).run(|c| hot97::npb::is::run(c, 15, 16));
+    let ep_out = RunConfig::builder().np(np).run(|c| hot97::npb::ep::run(c, 15).0);
     assert!(is_out.results.iter().all(|r| r.verified));
     assert!(ep_out.results.iter().all(|r| r.verified));
 

@@ -14,8 +14,8 @@
 //! and review the golden's diff like any other code change.
 
 use hot_base::flops::FlopCounter;
+use hot_comm::{RunConfig, Runtime};
 use hot_base::{Aabb, Vec3};
-use hot_comm::World;
 use hot_core::decomp::Body;
 use hot_gravity::dist::{distributed_accelerations_traced, DistOptions};
 use hot_morton::Key;
@@ -45,7 +45,11 @@ fn seeded_bodies(rank: u32) -> Vec<Body<f64>> {
 
 /// Run the pipeline and return every rank's reduced report JSON.
 fn run_traced() -> Vec<String> {
-    let out = World::run(NP, |c| {
+    run_traced_on(Runtime::Threads)
+}
+
+fn run_traced_on(rt: Runtime) -> Vec<String> {
+    let out = RunConfig::builder().np(NP).runtime(rt).run(|c| {
         let bodies = seeded_bodies(c.rank());
         let counter = FlopCounter::new();
         let opts = DistOptions { eps2: 1e-6, ..Default::default() };
@@ -118,4 +122,27 @@ fn repeated_runs_are_bitwise_identical() {
     let a = run_traced();
     let b = run_traced();
     assert_eq!(a, b, "two identical runs produced different ledgers");
+}
+
+/// The thread→fiber substrate swap must be invisible to the ledger: the
+/// event runtime reproduces the *same* committed golden, bit for bit —
+/// the acceptance gate for the event-driven rank runtime.
+#[test]
+fn event_runtime_reproduces_the_same_golden() {
+    let threads = run_traced();
+    let events = run_traced_on(Runtime::Events);
+    assert_eq!(
+        threads, events,
+        "event-runtime ledger diverged from the thread-runtime ledger"
+    );
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        return; // ledger_matches_committed_golden owns the refresh
+    }
+    let expected = std::fs::read_to_string(golden_path()).expect("golden present");
+    assert!(
+        expected == events[0],
+        "event-runtime trace diverged from the committed golden
+{}",
+        first_diff(&expected, &events[0])
+    );
 }
