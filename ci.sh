@@ -73,6 +73,13 @@ echo "==> exp_event_scale smoke (np=1024 collectives + reduced treecode step on 
 cargo run -q --offline --release -p hot-bench --bin exp_event_scale -- 1024 256 16
 test -s results/BENCH_event_scale.json
 
+echo "==> exp_balance smoke (adaptive decomposition skew/migration gates + Hilbert cut surface)"
+# np=64 only: the np>=256 acceptance gates (>=25% flop-skew reduction,
+# amortized rebalance cost below walk time saved) run in the full
+# `exp_balance` invocation that backs results/BENCH_balance.json.
+cargo run -q --offline --release -p hot-bench --bin exp_balance -- 64
+test -s results/BENCH_balance.json
+
 echo "==> exp_recovery smoke (Daly cadence ≤ 5% overhead, bitwise recovery gate)"
 cargo run -q --offline --release -p hot-bench --bin exp_recovery -- 2 128 4
 

@@ -28,6 +28,7 @@ use hot_comm::{
     Comm, DetectionRecord, FaultConfig, FaultPlan, FuzzScheduler, RunConfig, Runtime,
     Scheduler,
 };
+use hot_core::decomp::DecompPolicy;
 use hot_cosmo::supervisor::{self, KillSpec, SupervisorConfig};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -215,6 +216,25 @@ fn boundary_kills(np: u32) -> [KillSpec; 3] {
 /// schedules ≥ 1 are fuzzed.
 #[must_use]
 pub fn check_recovery(np: u32, schedules: u64) -> KillSweepReport {
+    recovery_sweep("kill-recovery", np, schedules, DecompPolicy::Static)
+}
+
+/// [`check_recovery`] under `DecompPolicy::Adaptive`: the feedback-driven
+/// repartition state (cost-carrying bodies, interval history, tree cache)
+/// is rebuilt from the last checkpoint on rollback, so a killed adaptive
+/// run must still land on the adaptive golden bitwise — migration traffic
+/// and all.
+#[must_use]
+pub fn check_recovery_adaptive(np: u32, schedules: u64) -> KillSweepReport {
+    recovery_sweep("kill-recovery-adaptive", np, schedules, DecompPolicy::adaptive())
+}
+
+fn recovery_sweep(
+    name: &'static str,
+    np: u32,
+    schedules: u64,
+    policy: DecompPolicy,
+) -> KillSweepReport {
     const STEPS: u64 = 4;
     const EVERY: u64 = 2;
     let mut failures = Vec::new();
@@ -229,7 +249,16 @@ pub fn check_recovery(np: u32, schedules: u64) -> KillSweepReport {
     let state = || supervisor::demo_state(64, 0xC0);
     let golden = match supervisor::run_supervised(
         state(),
-        &SupervisorConfig::golden(np, STEPS, 0.01, EVERY, dir.join(format!("golden_np{np}.ckpt"))),
+        &SupervisorConfig {
+            policy,
+            ..SupervisorConfig::golden(
+                np,
+                STEPS,
+                0.01,
+                EVERY,
+                dir.join(format!("golden_{name}_np{np}.ckpt")),
+            )
+        },
     ) {
         Ok(rep) => Some(rep),
         Err(e) => {
@@ -252,12 +281,13 @@ pub fn check_recovery(np: u32, schedules: u64) -> KillSweepReport {
                     faults: Some(FaultConfig::clean(0xD1E ^ sched_seed)),
                     kills: vec![*spec],
                     fuzz_seed: (sched_seed > 0).then_some(sched_seed),
+                    policy,
                     ..SupervisorConfig::golden(
                         np,
                         STEPS,
                         0.01,
                         EVERY,
-                        dir.join(format!("kill_np{np}_{i}_{sched_seed}.ckpt")),
+                        dir.join(format!("kill_{name}_np{np}_{i}_{sched_seed}.ckpt")),
                     )
                 };
                 match supervisor::run_supervised(state(), &cfg) {
@@ -303,7 +333,7 @@ pub fn check_recovery(np: u32, schedules: u64) -> KillSweepReport {
     }
 
     KillSweepReport {
-        name: "kill-recovery",
+        name,
         plans: 3,
         schedules,
         failures,
@@ -375,6 +405,9 @@ pub fn check_all(kill_seeds: u64) -> Vec<KillSweepReport> {
     for np in [2, 4, 8] {
         reports.push(check_recovery(np, 2));
     }
+    // The adaptive policy adds migration + cached-tree state that rollback
+    // must reconstruct; one size keeps the sweep affordable.
+    reports.push(check_recovery_adaptive(4, 2));
     reports
 }
 
@@ -402,6 +435,14 @@ mod tests {
     #[test]
     fn recovery_sweep_passes_and_is_not_vacuous() {
         let rep = check_recovery(2, 2);
+        assert!(rep.passed(), "{:?}", rep.failures);
+        assert!(rep.kills_fired > 0);
+        assert!(rep.recoveries > 0);
+    }
+
+    #[test]
+    fn adaptive_recovery_sweep_passes_and_is_not_vacuous() {
+        let rep = check_recovery_adaptive(2, 1);
         assert!(rep.passed(), "{:?}", rep.failures);
         assert!(rep.kills_fired > 0);
         assert!(rep.recoveries > 0);

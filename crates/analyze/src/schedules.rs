@@ -224,6 +224,16 @@ pub fn check_traced_pipeline(np: u32, seeds: u64) -> WorkloadReport {
     check_workload("traced-pipeline", np, seeds, false, workloads::traced_pipeline)
 }
 
+/// Adaptive-rebalance pipeline (see [`workloads::rebalance_pipeline`]):
+/// the feedback-driven repartition — re-cost from the ledger, move the
+/// cuts, migrate the key-range diff — must produce bitwise identical
+/// accelerations, body ownership, trace reports and rebalance counters on
+/// every schedule, or the migration protocol has a schedule dependence.
+#[must_use]
+pub fn check_rebalance(np: u32, seeds: u64) -> WorkloadReport {
+    check_workload("rebalance-pipeline", np, seeds, false, workloads::rebalance_pipeline)
+}
+
 /// The full checker: all workloads at several machine sizes.
 #[must_use]
 pub fn check_all(seeds: u64) -> Vec<WorkloadReport> {
@@ -237,6 +247,9 @@ pub fn check_all(seeds: u64) -> Vec<WorkloadReport> {
     for np in [2, 3] {
         reports.push(check_traced_pipeline(np, seeds));
     }
+    // The rebalance pipeline runs three adaptive steps per seed; one
+    // multi-rank size exercises the migration protocol's receive ordering.
+    reports.push(check_rebalance(3, seeds));
     reports
 }
 
@@ -263,6 +276,19 @@ mod tests {
     fn traced_pipeline_ledger_is_schedule_independent() {
         let rep = check_traced_pipeline(2, 6);
         assert!(rep.passed(), "{:?}", rep.failures);
+    }
+
+    /// The adaptive rebalance — re-cost, move cuts, migrate the diff —
+    /// must be bitwise schedule-independent end to end, and the sweep is
+    /// only meaningful if the feedback loop actually fired.
+    #[test]
+    fn rebalance_pipeline_is_schedule_independent() {
+        let rep = check_rebalance(3, 4);
+        assert!(rep.passed(), "{:?}", rep.failures);
+        let out = hot_comm::RunConfig::builder().np(3).run(crate::workloads::rebalance_pipeline);
+        let (_, _, _, rebalances, migrated) = &out.results[0];
+        assert!(*rebalances > 0, "clustered workload never repartitioned");
+        assert!(*migrated > 0, "repartition moved no bodies");
     }
 
     /// Planted fixture 1: a two-rank head-to-head deadlock (both ranks

@@ -19,6 +19,11 @@ pub(crate) type CollectivesOut = (u64, u64, Vec<u64>, Vec<Vec<u64>>, u64, u64, u
 /// acceleration checksum, and the local body count after migration.
 pub(crate) type PipelineOut = (String, u64, usize);
 
+/// Output of [`rebalance_pipeline`]: the reduced trace-report JSON, an
+/// acceleration checksum, the local body count after the final step, and
+/// the run-total (rebalance steps, migrated bodies) counters.
+pub(crate) type RebalanceOut = (String, u64, usize, u64, u64);
+
 /// Collectives sweep: every collective the runtime offers, chained so that
 /// tag reuse across phases is also exercised. Deterministic by
 /// construction, so results *and* traffic must match bitwise across
@@ -105,4 +110,75 @@ pub(crate) fn traced_pipeline(c: &mut Comm) -> PipelineOut {
         h ^ a.x.to_bits() ^ a.y.to_bits().rotate_left(1) ^ a.z.to_bits().rotate_left(2)
     });
     (report.to_json(), checksum, res.bodies.len())
+}
+
+/// Adaptive-rebalance pipeline: a clustered multi-step run under
+/// `DecompPolicy::Adaptive` with a low skew threshold, so the feedback
+/// loop fires — step 0 bootstraps a count-quantile decomposition, later
+/// steps re-cost from the trace ledger, move the interval cuts and migrate
+/// the key-range diff over `TAG_MIGRATE`. A pass proves the rebalance
+/// protocol (including the new RebalanceSteps/MigratedBodies/MigratedBytes
+/// counters) is bitwise schedule-independent.
+pub(crate) fn rebalance_pipeline(c: &mut Comm) -> RebalanceOut {
+    use hot_base::flops::FlopCounter;
+    use hot_base::{Aabb, Vec3};
+    use hot_core::decomp::{Body, DecompPolicy};
+    use hot_gravity::dist::{distributed_step_traced, DecompState, DistOptions};
+    use hot_trace::Counter;
+    use rand::{Rng, SeedableRng};
+
+    let np = c.size();
+    let rank = c.rank();
+    let n_total = 240usize;
+    // Every rank draws the same global clustered point set and takes an
+    // index slice, so the initial (count-based) ownership is skewed.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4321);
+    let all: Vec<Vec3> = (0..n_total)
+        .map(|i| {
+            if i % 4 == 0 {
+                Vec3::new(rng.gen(), rng.gen(), rng.gen())
+            } else {
+                Vec3::new(
+                    0.2 + rng.gen::<f64>() * 0.02,
+                    0.7 + rng.gen::<f64>() * 0.02,
+                    0.4 + rng.gen::<f64>() * 0.02,
+                )
+            }
+        })
+        .collect();
+    let per = n_total / np as usize;
+    let lo = rank as usize * per;
+    let hi = if rank == np - 1 { n_total } else { lo + per };
+    let mut bodies: Vec<Body<f64>> = (lo..hi)
+        .map(|i| Body {
+            key: hot_morton::Key::from_point(all[i], &Aabb::unit()),
+            pos: all[i],
+            charge: 1.0,
+            work: 1.0,
+            id: i as u64,
+        })
+        .collect();
+    let counter = FlopCounter::new();
+    let opts = DistOptions { eps2: 1e-6, ..Default::default() }
+        .with_policy(DecompPolicy::Adaptive { threshold_milli: 1010, smoothing: 128 });
+    let mut trace = hot_trace::Ledger::new(hot_trace::ModelClock::paper_loki());
+    let mut state = DecompState::default();
+    let mut checksum = 0u64;
+    for _ in 0..3 {
+        let res =
+            distributed_step_traced(c, bodies, Aabb::unit(), &opts, &counter, &mut state, &mut trace);
+        checksum ^= res.acc.iter().fold(0u64, |h, a| {
+            h ^ a.x.to_bits() ^ a.y.to_bits().rotate_left(1) ^ a.z.to_bits().rotate_left(2)
+        });
+        bodies = res.bodies;
+    }
+    let report = hot_trace::reduce(c, &trace);
+    let t = trace.totals();
+    (
+        report.to_json(),
+        checksum,
+        bodies.len(),
+        t.get(Counter::RebalanceSteps),
+        t.get(Counter::MigratedBodies),
+    )
 }

@@ -17,7 +17,10 @@ use hot_comm::{RunConfig, Runtime};
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, FLOPS_PER_GRAV_INTERACTION};
 use hot_bench::{arg_usize, clustered_bodies, header, random_bodies};
-use hot_gravity::dist::{distributed_accelerations, DistOptions};
+use hot_core::decomp::DecompPolicy;
+use hot_gravity::dist::{
+    distributed_accelerations, distributed_step_traced, DecompState, DistOptions,
+};
 use hot_machine::specs::{
     ASCI_RED_4096, ASCI_RED_6800, ASCI_RED_TREE_EARLY_MFLOPS_PER_PROC,
     ASCI_RED_TREE_SUSTAINED_MFLOPS_PER_PROC,
@@ -85,6 +88,48 @@ fn run_at(np: u32, n_local: usize, clustered: bool, kernel_ns: f64, rt: Runtime)
         max_over_mean_work: max_inter as f64 / mean_inter.max(1.0),
         overhead: (wall / kernel_s.max(1e-12)).max(1.0),
     }
+}
+
+/// Clustered-stage imbalance under the feedback-driven adaptive
+/// decomposition: the same clumped ICs stepped three times under
+/// `DecompPolicy::adaptive()` so the cost loop converges, reporting the
+/// last step's max/mean walk-interaction skew next to the static
+/// one-shot's.
+fn clustered_adaptive_imbalance(np: u32, n_local: usize, rt: Runtime) -> f64 {
+    let stack = match rt {
+        Runtime::Events => 2 << 20,
+        Runtime::Threads => 16 << 20,
+    };
+    let out = RunConfig::builder().np(np).runtime(rt).stack_size(stack).run(move |c| {
+        let mut bodies = clustered_bodies(c.rank(), n_local, 99, 8);
+        let counter = FlopCounter::new();
+        let opts = DistOptions {
+            mac: hot_core::Mac::BarnesHut { theta: 0.55 },
+            eps2: 1e-8,
+            ..Default::default()
+        }
+        .with_policy(DecompPolicy::adaptive());
+        let mut state = DecompState::default();
+        let mut trace = hot_trace::Ledger::scratch();
+        let mut last = 0u64;
+        for _ in 0..3 {
+            let res = distributed_step_traced(
+                c,
+                bodies,
+                Aabb::unit(),
+                &opts,
+                &counter,
+                &mut state,
+                &mut trace,
+            );
+            last = res.stats.walk.interactions();
+            bodies = res.bodies;
+        }
+        last
+    });
+    let total: u64 = out.results.iter().sum();
+    let max = out.results.iter().copied().max().unwrap_or(0);
+    max as f64 / (total as f64 / f64::from(np)).max(1.0)
 }
 
 fn main() {
@@ -163,6 +208,11 @@ fn main() {
     println!(
         "  N = {:>7}:  {:>7.1} inter/particle   imbalance {:.2}   overhead x{:.2}",
         s.n, s.inter_per_particle, s.max_over_mean_work, s.overhead
+    );
+    let imb_ad = clustered_adaptive_imbalance(np, ladder[ladder.len() - 1], rt);
+    println!(
+        "  adaptive decomposition (3 steps, converged): imbalance {:.2} (static {:.2})",
+        imb_ad, s.max_over_mean_work
     );
     let ipp_cl = s.inter_per_particle / samples[samples.len() - 1].inter_per_particle * ipp;
     let inter_287 = ipp_cl * n322 * 287.0; // steps 150..437

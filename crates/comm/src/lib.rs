@@ -62,7 +62,7 @@ pub use reliable::{
 };
 pub use runtime::{
     Comm, Envelope, RankKilled, RunConfig, RunConfigBuilder, RunOutput, Runtime, TrafficStats,
-    Undrained, World, MAX_USER_TAG, POISON_TAG,
+    Undrained, MAX_USER_TAG, POISON_TAG,
 };
 pub use sched::{Deadlock, FuzzScheduler, RealScheduler, SchedOp, Scheduler, Want};
 pub use wire::{

@@ -110,7 +110,7 @@ struct Machine {
 }
 
 /// Panic payload of a rank whose [`FaultPlan`] kill fired: the crash-stop
-/// unwind. [`World::run_config`] recognizes it and lets the rank vanish
+/// unwind. [`RunConfig::run`] recognizes it and lets the rank vanish
 /// silently (no poison, no result) instead of treating it as a bug.
 #[derive(Debug)]
 pub struct RankKilled {
@@ -1015,45 +1015,10 @@ fn finish<T>(
     }
 }
 
-/// The simulated machine. The `World::run*` trio is the pre-event-runtime
-/// API, kept as thin shims for one release; new code goes through
-/// [`RunConfig::builder`].
-pub struct World;
-
-impl World {
-    /// Run an SPMD closure on `np` ranks and gather results.
-    #[deprecated(note = "use RunConfig::builder().np(np).run(f)")]
-    pub fn run<T, F>(np: u32, f: F) -> RunOutput<T>
-    where
-        T: Send,
-        F: Fn(&mut Comm) -> T + Sync,
-    {
-        RunConfig::builder().np(np).run(f)
-    }
-
-    /// [`World::run`] under an explicit scheduling policy.
-    #[deprecated(note = "use RunConfig::builder().np(np).scheduler(sched).run(f)")]
-    pub fn run_with_scheduler<T, F>(np: u32, sched: Arc<dyn Scheduler>, f: F) -> RunOutput<T>
-    where
-        T: Send,
-        F: Fn(&mut Comm) -> T + Sync,
-    {
-        RunConfig::builder().np(np).scheduler(sched).run(f)
-    }
-
-    /// [`World::run`] under a full [`RunConfig`]; `np` overrides the
-    /// config's rank count.
-    #[deprecated(note = "use RunConfig::builder().np(np)…run(f)")]
-    pub fn run_config<T, F>(np: u32, cfg: RunConfig, f: F) -> RunOutput<T>
-    where
-        T: Send,
-        F: Fn(&mut Comm) -> T + Sync,
-    {
-        let mut cfg = cfg;
-        cfg.np = np;
-        cfg.run(f)
-    }
-}
+// The pre-event-runtime `World::run*` trio lived here as deprecated shims
+// for one release after the `RunConfig::builder` redesign; the grace
+// period is over and they are gone. The `hot-analyze lint` runtime-API
+// rule still flags any attempt to reintroduce callers.
 
 #[cfg(test)]
 mod tests {

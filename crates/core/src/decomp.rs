@@ -15,6 +15,33 @@
 //! spread over more processors — the load-balancing mechanism the paper
 //! credits for surviving "probably more severe \[imbalance\] than any other
 //! conventional computational physics algorithm".
+//!
+//! # Feedback-driven adaptive decomposition
+//!
+//! The sample sort above re-sorts the whole key space from scratch every
+//! step and costs bodies with whatever `work` weight the caller left in
+//! them. The adaptive pipeline ([`DecompPolicy::Adaptive`]) closes the
+//! loop against the trace ledger instead:
+//!
+//! * [`CostModel`] — deterministic integer EWMA of per-body cost, fed from
+//!   the previous step's measured interactions + cells opened per sink
+//!   group. Costs are exact integers `1..=2^24` stored in `Body::work`
+//!   (exactly representable in the `f32`, so the wire format is unchanged
+//!   and `DecompPolicy::Static` stays bitwise identical).
+//! * [`rebalance_traced`] — the incremental repartition: first migrate the
+//!   *drift diff* (bodies whose keys left their owner's interval), then
+//!   compare the max/mean cost skew against the policy threshold. Below
+//!   threshold the old [`KeyIntervals`] are reused verbatim; above it,
+//!   [`cost_cut_bounds`] moves the interval cut points exactly (integer
+//!   cost prefix sums, no sampling) and [`migrate_traced`] ships only the
+//!   minimal key-range diff as coalesced per-peer [`Body`] batches on
+//!   [`TAG_MIGRATE`].
+//!
+//! Both cut computations are pure functions of the global `(key, cost)`
+//! multiset, so an incremental rebalance lands on bitwise the same
+//! intervals and per-rank body sets as a from-scratch
+//! [`decompose_costed_traced`] at the same costs (pinned by the property
+//! suite).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hot_base::Vec3;
@@ -194,6 +221,367 @@ pub fn decompose_traced<C: Wire + Copy + Send>(
     (mine, intervals)
 }
 
+/// Wire tag of the incremental key-range migration batches
+/// ([`migrate_traced`]): at most one `Vec<Body>` message per (source,
+/// destination) pair per migration epoch.
+pub const TAG_MIGRATE: u32 = 0x50;
+
+/// Upper bound on a per-body integer cost. `2^24` is the largest range of
+/// integers exactly representable in the `f32` `Body::work` carries on the
+/// wire — costs never leave that range, so adaptive costs round-trip
+/// bit-for-bit through the unchanged wire format.
+pub const COST_CAP: u64 = 1 << 24;
+
+/// How the decomposition reacts to measured load imbalance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DecompPolicy {
+    /// Full weighted sample sort every step, with whatever `work` weights
+    /// the caller supplies. The bitwise baseline: every existing golden is
+    /// recorded under this policy.
+    #[default]
+    Static,
+    /// Feedback-driven: re-cost bodies from the previous step's trace
+    /// ledger, repartition incrementally only when the max/mean cost skew
+    /// crosses the threshold, and migrate the minimal key-range diff.
+    Adaptive {
+        /// Skew trigger in milli-units, *relative to the achievable skew*:
+        /// repartition when `1000 · skew > threshold_milli · floor`, where
+        /// `floor = 1 + max_body_cost/mean_rank_cost` is the granularity
+        /// bound no contiguous cost-quantile split can beat (1150 ⇒ 15%
+        /// over achievable). At fine grain `floor ≈ 1`, recovering a plain
+        /// max/mean threshold; at coarse grain the relative form keeps the
+        /// loop from churning on imbalance that repartitioning cannot fix.
+        threshold_milli: u32,
+        /// EWMA weight on the *previous* cost, in 1/256 units
+        /// (0 ⇒ take the new measurement outright, 256 ⇒ never update).
+        smoothing: u32,
+    },
+}
+
+impl DecompPolicy {
+    /// The default adaptive policy: repartition at 15% over the achievable
+    /// skew, heavy smoothing (7/8 on the previous cost) so measured-cost
+    /// noise does not bounce the cut points.
+    pub fn adaptive() -> Self {
+        DecompPolicy::Adaptive { threshold_milli: 1150, smoothing: 224 }
+    }
+
+    /// True for [`DecompPolicy::Adaptive`].
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, DecompPolicy::Adaptive { .. })
+    }
+}
+
+/// Deterministic integer exponential smoothing of per-body costs.
+///
+/// All arithmetic is integer (scale 1/256) and clamped to `1..=`
+/// [`COST_CAP`], so blended costs are bitwise schedule-independent and
+/// survive the `f32` round-trip through [`Body::work`] exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Weight on the previous cost, in 1/256 units (clamped to 256).
+    pub smoothing: u32,
+}
+
+impl CostModel {
+    /// Model with the given smoothing weight (1/256 units).
+    pub fn new(smoothing: u32) -> Self {
+        CostModel { smoothing: smoothing.min(256) }
+    }
+
+    /// Blend the previous cost with a fresh measurement:
+    /// `(s·prev + (256−s)·measured) / 256`, clamped to `1..=COST_CAP`.
+    pub fn blend(&self, prev: u64, measured: u64) -> u64 {
+        let s = u64::from(self.smoothing);
+        ((s * prev.min(COST_CAP) + (256 - s) * measured.min(COST_CAP)) >> 8).clamp(1, COST_CAP)
+    }
+}
+
+/// A body's integer cost as the decomposition sees it: the `work` field
+/// truncated and clamped to `1..=`[`COST_CAP`]. For adaptive-maintained
+/// bodies the cast is exact (costs are integers ≤ `COST_CAP` by
+/// construction); for caller-supplied fractional weights it is the
+/// deterministic floor.
+pub fn body_cost<C>(b: &Body<C>) -> u64 {
+    (b.work as u64).clamp(1, COST_CAP)
+}
+
+/// Cost-quantile targets: rank `r` (1 ≤ r < np) splits at global cost
+/// prefix `ceil(total·r/np)`.
+fn cost_target(total: u64, np: usize, r: usize) -> u64 {
+    let t = (u128::from(total) * r as u128).div_ceil(np as u128);
+    t as u64
+}
+
+/// Exact integer cost cuts — the serial reference.
+///
+/// `items` is the *global* `(raw key, cost)` multiset sorted by key;
+/// returns the `np + 1` interval bounds that [`cost_cut_bounds`] computes
+/// distributively: bound `r` is one past the smallest key whose inclusive
+/// cost prefix reaches `ceil(total·r/np)`. Cuts fall only on key
+/// boundaries, so equal keys are never split across ranks.
+pub fn cost_cut_bounds_serial(items: &[(u64, u64)], np: usize) -> Vec<u64> {
+    debug_assert!(items.windows(2).all(|w| w[0].0 <= w[1].0), "items must be key-sorted");
+    let total: u64 = items.iter().map(|&(_, c)| c).sum();
+    let mut bounds = vec![u64::MAX; np + 1];
+    bounds[0] = 0;
+    if total > 0 {
+        let mut acc = 0u64;
+        let mut r = 1usize;
+        let mut i = 0usize;
+        while i < items.len() && r < np {
+            let k = items[i].0;
+            while i < items.len() && items[i].0 == k {
+                acc += items[i].1;
+                i += 1;
+            }
+            while r < np && cost_target(total, np, r) <= acc {
+                bounds[r] = k.saturating_add(1);
+                r += 1;
+            }
+        }
+    }
+    for i in 1..=np {
+        if bounds[i] < bounds[i - 1] {
+            bounds[i] = bounds[i - 1];
+        }
+    }
+    bounds[np] = u64::MAX;
+    bounds
+}
+
+/// Distributed exact integer cost cuts (collective).
+///
+/// Preconditions (both hold after any ownership-respecting exchange —
+/// [`decompose_traced`] or [`migrate_traced`]): `bodies` is key-sorted,
+/// every key lives wholly on one rank, and ranks hold ascending key
+/// ranges. `totals` is the allgathered per-rank cost sum (`totals[r]` =
+/// rank `r`'s [`body_cost`] sum), which the caller typically already has
+/// from the skew check.
+///
+/// Each rank resolves the cut targets that fall inside its own cost
+/// prefix range by scanning its equal-key groups, then one allgather
+/// assembles the bounds — no sampling, no bisection, and the result is a
+/// pure function of the global `(key, cost)` multiset (bitwise equal to
+/// [`cost_cut_bounds_serial`] on the gathered multiset; pinned by the
+/// property suite).
+pub fn cost_cut_bounds<C>(comm: &mut Comm, bodies: &[Body<C>], totals: &[u64]) -> KeyIntervals {
+    let np = comm.size() as usize;
+    let rank = comm.rank() as usize;
+    debug_assert_eq!(totals.len(), np);
+    let total: u64 = totals.iter().sum();
+    let offset: u64 = totals[..rank].iter().sum();
+
+    // Resolve the targets in (offset, offset + local] against the local
+    // inclusive cost prefix, advancing one equal-key group at a time so
+    // cuts land only on key boundaries.
+    let mut cands: Vec<(u32, u64)> = Vec::new();
+    if total > 0 {
+        let mut r = 1usize;
+        while r < np && cost_target(total, np, r) <= offset {
+            r += 1;
+        }
+        let mut acc = offset;
+        let mut i = 0usize;
+        while i < bodies.len() && r < np {
+            let k = bodies[i].key;
+            while i < bodies.len() && bodies[i].key == k {
+                acc += body_cost(&bodies[i]);
+                i += 1;
+            }
+            while r < np && cost_target(total, np, r) <= acc {
+                cands.push((r as u32, k.0.saturating_add(1)));
+                r += 1;
+            }
+        }
+    }
+
+    let all: Vec<Vec<(u32, u64)>> = comm.allgather(cands);
+    let mut bounds = vec![u64::MAX; np + 1];
+    bounds[0] = 0;
+    for (r, b) in all.into_iter().flatten() {
+        debug_assert_eq!(bounds[r as usize], u64::MAX, "cut {r} resolved twice");
+        bounds[r as usize] = b;
+    }
+    for i in 1..=np {
+        if bounds[i] < bounds[i - 1] {
+            bounds[i] = bounds[i - 1];
+        }
+    }
+    bounds[np] = u64::MAX;
+    KeyIntervals { bounds }
+}
+
+/// Migrate the minimal key-range diff (collective): every body already
+/// owned under `intervals` stays put; the rest move as one coalesced
+/// `Vec<Body>` batch per (source, destination) pair on [`TAG_MIGRATE`].
+///
+/// Receive sides are made deterministic by allgathering the per-pair
+/// batch counts first, then receiving from sources in ascending rank
+/// order — message arrival order can never reorder the merge. Returns
+/// this rank's bodies sorted by `(key, id)` and records
+/// [`Counter::MigratedBodies`] / [`Counter::MigratedBytes`] plus the raw
+/// traffic delta into the current span of `trace`.
+pub fn migrate_traced<C: Wire + Copy + Send>(
+    comm: &mut Comm,
+    bodies: Vec<Body<C>>,
+    intervals: &KeyIntervals,
+    trace: &mut Ledger,
+) -> Vec<Body<C>> {
+    let np = comm.size() as usize;
+    let rank = comm.rank();
+    let wire_before = comm.stats();
+
+    let mut keep: Vec<Body<C>> = Vec::with_capacity(bodies.len());
+    let mut out: Vec<Vec<Body<C>>> = (0..np).map(|_| Vec::new()).collect();
+    for b in bodies {
+        let owner = intervals.owner(b.key);
+        if owner == rank {
+            keep.push(b);
+        } else {
+            out[owner as usize].push(b);
+        }
+    }
+
+    // Fast path: one scalar allreduce detects the common steady-state case
+    // where no body anywhere changed owner, and skips the O(np²)-byte
+    // counts exchange entirely. In the adaptive pipeline most drift
+    // migrations move nothing, so this collective dominates Decomp cost.
+    let moving: u64 = out.iter().map(|v| v.len() as u64).sum();
+    if comm.allreduce_sum_u64(moving) == 0 {
+        keep.sort_unstable_by_key(|b| (b.key, b.id));
+        trace.add_traffic(&comm.stats().since(&wire_before));
+        return keep;
+    }
+
+    // Everyone learns every pair's batch size: receives become a fixed
+    // (source-ascending) schedule instead of an arrival race.
+    let my_counts: Vec<u64> = out.iter().map(|v| v.len() as u64).collect();
+    let counts: Vec<Vec<u64>> = comm.allgather(my_counts);
+    for (dst, batch) in out.into_iter().enumerate() {
+        if !batch.is_empty() {
+            comm.send(dst as u32, TAG_MIGRATE, &batch);
+        }
+    }
+    let mut migrated_bodies = 0u64;
+    let mut migrated_bytes = 0u64;
+    for src in 0..np as u32 {
+        if src == rank || counts[src as usize][rank as usize] == 0 {
+            continue;
+        }
+        let batch: Vec<Body<C>> = comm.recv(src, TAG_MIGRATE);
+        debug_assert_eq!(batch.len() as u64, counts[src as usize][rank as usize]);
+        migrated_bodies += batch.len() as u64;
+        migrated_bytes += batch.wire_size() as u64;
+        keep.extend(batch);
+    }
+    keep.sort_unstable_by_key(|b| (b.key, b.id));
+    trace.add(Counter::MigratedBodies, migrated_bodies);
+    trace.add(Counter::MigratedBytes, migrated_bytes);
+    trace.add_traffic(&comm.stats().since(&wire_before));
+    keep
+}
+
+/// Outcome of one [`rebalance_traced`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rebalance {
+    /// The skew trigger fired and the interval cuts moved.
+    pub repartitioned: bool,
+    /// Measured max/mean cost skew (milli-units) *before* any repartition,
+    /// after the drift migration. 1000 = perfectly balanced.
+    pub skew_milli: u64,
+}
+
+/// Incremental feedback-driven repartition (collective), recording one
+/// [`Phase::Decomp`] span.
+///
+/// 1. **Drift diff** — migrate bodies whose (re-keyed) positions left
+///    their owner's interval, so ownership matches `intervals` again.
+/// 2. **Skew check** — three scalar allreduces (cost sum, per-rank max,
+///    single-body max) compute the max/mean skew and the granularity
+///    floor `1 + max_body/mean` in milli-units; the full per-rank totals
+///    vector is *not* gathered here.
+/// 3. At `1000·skew ≤ threshold_milli·floor`: reuse `intervals`
+///    **verbatim** (the returned struct is bitwise the input). Above:
+///    allgather the totals (the cut-point search needs the vector), move
+///    the cut points with [`cost_cut_bounds`] and migrate the minimal
+///    diff, counting one [`Counter::RebalanceSteps`]. Comparing against
+///    the achievable floor rather than an absolute skew keeps the loop
+///    quiescent once it is within the threshold factor of the best any
+///    contiguous cost-quantile split can do — repartitioning past that
+///    point only churns bodies.
+pub fn rebalance_traced<C: Wire + Copy + Send>(
+    comm: &mut Comm,
+    bodies: Vec<Body<C>>,
+    intervals: KeyIntervals,
+    threshold_milli: u32,
+    trace: &mut Ledger,
+) -> (Vec<Body<C>>, KeyIntervals, Rebalance) {
+    trace.begin(Phase::Decomp);
+    let mine = migrate_traced(comm, bodies, &intervals, trace);
+
+    let wire_before = comm.stats();
+    let np = comm.size() as usize;
+    let local: u64 = mine.iter().map(body_cost).sum();
+    // The trigger needs only global scalars (cost sum, per-rank max,
+    // single-body max): three scalar allreduces instead of an
+    // O(np²)-byte allgather every step.
+    let total = comm.allreduce_sum_u64(local);
+    let max = comm.allreduce(local, u64::max);
+    let max_body = comm.allreduce(mine.iter().map(body_cost).max().unwrap_or(0), u64::max);
+    let milli_of = |v: u64| -> u64 {
+        if total == 0 {
+            1000
+        } else {
+            (u128::from(v) * 1000 * np as u128 / u128::from(total)) as u64
+        }
+    };
+    let skew_milli = milli_of(max);
+    // Any contiguous cost-quantile chunk is bounded by mean + one body, so
+    // no repartition can push the skew below ~1 + max_body/mean.
+    let floor_milli = if total == 0 { 1000 } else { 1000 + milli_of(max_body) };
+
+    let repartition =
+        u128::from(skew_milli) * 1000 > u128::from(threshold_milli) * u128::from(floor_milli);
+    let (mine, intervals) = if repartition {
+        let totals: Vec<u64> = comm.allgather(local);
+        let new_iv = cost_cut_bounds(comm, &mine, &totals);
+        trace.add(Counter::RebalanceSteps, 1);
+        trace.add_traffic(&comm.stats().since(&wire_before));
+        let mine = migrate_traced(comm, mine, &new_iv, trace);
+        (mine, new_iv)
+    } else {
+        trace.add_traffic(&comm.stats().since(&wire_before));
+        (mine, intervals)
+    };
+    trace.end();
+    (mine, intervals, Rebalance { repartitioned: repartition, skew_milli })
+}
+
+/// From-scratch decomposition at exact integer costs (collective): the
+/// sample sort co-locates equal keys, then [`cost_cut_bounds`] +
+/// [`migrate_traced`] land on the exact cost quantiles. This is the
+/// reference the incremental [`rebalance_traced`] must match bitwise at
+/// the same costs (property suite), and the adaptive pipeline's cold
+/// start.
+pub fn decompose_costed_traced<C: Wire + Copy + Send>(
+    comm: &mut Comm,
+    bodies: Vec<Body<C>>,
+    oversample: usize,
+    trace: &mut Ledger,
+) -> (Vec<Body<C>>, KeyIntervals) {
+    let (mine, _) = decompose_traced(comm, bodies, oversample, trace);
+    trace.begin(Phase::Decomp);
+    let wire_before = comm.stats();
+    let local: u64 = mine.iter().map(body_cost).sum();
+    let totals: Vec<u64> = comm.allgather(local);
+    let iv = cost_cut_bounds(comm, &mine, &totals);
+    trace.add_traffic(&comm.stats().since(&wire_before));
+    let mine = migrate_traced(comm, mine, &iv, trace);
+    trace.end();
+    (mine, iv)
+}
+
 #[cfg(test)]
 mod tests {
     use hot_comm::RunConfig;
@@ -334,6 +722,150 @@ mod tests {
         for &n in &out.results {
             assert!(n > 100, "rank starved: {:?}", out.results);
         }
+    }
+
+    #[test]
+    fn cost_model_blend_is_clamped_and_exact() {
+        let m = CostModel::new(128);
+        assert_eq!(m.blend(100, 200), 150);
+        assert_eq!(m.blend(0, 0), 1, "cost floor");
+        assert_eq!(m.blend(u64::MAX, u64::MAX), COST_CAP, "cost cap");
+        // smoothing 0 takes the measurement, 256 keeps the previous cost.
+        assert_eq!(CostModel::new(0).blend(7, 999), 999);
+        assert_eq!(CostModel::new(256).blend(7, 999), 7);
+        assert_eq!(CostModel::new(999).smoothing, 256, "smoothing clamps");
+        // Every blend result survives the f32 round-trip exactly.
+        for &(p, me) in &[(1u64, COST_CAP), (12345, 678), (COST_CAP, 1)] {
+            let c = m.blend(p, me);
+            assert_eq!(c as f32 as u64, c);
+        }
+    }
+
+    fn costed_bodies(rank: u32, n: usize, seed: u64) -> Vec<Body<f64>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + rank as u64);
+        let mut bodies = make_bodies(rank, n, seed);
+        for b in &mut bodies {
+            b.work = rng.gen_range(1u32..5000) as f32;
+        }
+        bodies
+    }
+
+    #[test]
+    fn distributed_cost_cuts_match_the_serial_reference() {
+        for np in [1u32, 2, 3, 5] {
+            let out = RunConfig::builder().np(np).run(move |c| {
+                let bodies = costed_bodies(c.rank(), 300, 11);
+                // Co-locate equal keys first (precondition).
+                let (mine, _) = decompose(c, bodies, 32);
+                let local: u64 = mine.iter().map(body_cost).sum();
+                let totals: Vec<u64> = c.allgather(local);
+                let iv = cost_cut_bounds(c, &mine, &totals);
+                let items: Vec<(u64, u64)> =
+                    mine.iter().map(|b| (b.key.0, body_cost(b))).collect();
+                (iv, c.allgather(items))
+            });
+            // Serial reference over the gathered global multiset.
+            let global: Vec<(u64, u64)> = {
+                let mut g: Vec<(u64, u64)> =
+                    out.results[0].1.iter().flatten().copied().collect();
+                g.sort_unstable();
+                g
+            };
+            let want = cost_cut_bounds_serial(&global, np as usize);
+            for (iv, _) in &out.results {
+                assert_eq!(iv.bounds, want, "np={np}");
+            }
+        }
+    }
+
+    #[test]
+    fn migration_moves_only_the_diff() {
+        let np = 4u32;
+        let out = RunConfig::builder().np(np).run(move |c| {
+            let bodies = costed_bodies(c.rank(), 400, 23);
+            let (mine, iv) = decompose(c, bodies, 32);
+            // Re-migrating to the same intervals is a no-op.
+            let before: Vec<u64> = mine.iter().map(|b| b.id).collect();
+            let mut trace = Ledger::scratch();
+            let again = migrate_traced(c, mine, &iv, &mut trace);
+            let moved = trace.totals().get(Counter::MigratedBodies);
+            let mut after: Vec<u64> = again.iter().map(|b| b.id).collect();
+            let mut sorted_before = before;
+            sorted_before.sort_unstable();
+            after.sort_unstable();
+            assert_eq!(sorted_before, after, "no-op migration changed ownership");
+            // Now shift every cut point and count what actually moves.
+            let mut shifted = iv.clone();
+            for b in &mut shifted.bounds[1..np as usize] {
+                *b = b.saturating_add(1 << 58);
+            }
+            let expect_moved: u64 =
+                again.iter().filter(|b| shifted.owner(b.key) != c.rank()).count() as u64;
+            let mut trace2 = Ledger::scratch();
+            let moved_in: u64 = {
+                let n0 = again.len() as u64;
+                let out2 = migrate_traced(c, again, &shifted, &mut trace2);
+                // arrivals = final − (initial − departures)
+                out2.len() as u64 + expect_moved - n0
+            };
+            assert_eq!(moved, 0, "no-op migration shipped bodies");
+            assert_eq!(
+                trace2.totals().get(Counter::MigratedBodies),
+                moved_in,
+                "migration counter disagrees with arrivals"
+            );
+            trace2.totals().get(Counter::MigratedBodies)
+        });
+        // At least one rank must actually have received something.
+        assert!(out.results.iter().sum::<u64>() > 0, "shifted cuts moved nothing");
+    }
+
+    #[test]
+    fn rebalance_below_threshold_reuses_intervals_verbatim() {
+        let np = 3u32;
+        let out = RunConfig::builder().np(np).run(move |c| {
+            let bodies = make_bodies(c.rank(), 500, 31); // uniform work = 1
+            let (mine, iv) = decompose(c, bodies, 64);
+            let mut trace = Ledger::scratch();
+            let (mine2, iv2, r) =
+                rebalance_traced(c, mine, iv.clone(), 2000, &mut trace);
+            assert!(!r.repartitioned, "uniform costs must not trigger at 2x threshold");
+            assert_eq!(iv2, iv, "intervals must be reused verbatim");
+            assert!(r.skew_milli >= 1000, "max/mean is at least 1");
+            assert_eq!(trace.totals().get(Counter::RebalanceSteps), 0);
+            mine2.len()
+        });
+        assert_eq!(out.results.iter().sum::<usize>(), 3 * 500);
+    }
+
+    #[test]
+    fn incremental_rebalance_matches_from_scratch_bitwise() {
+        let np = 4u32;
+        let run_incremental = RunConfig::builder().np(np).run(move |c| {
+            let bodies = costed_bodies(c.rank(), 350, 47);
+            // Start from a deliberately bad partition: equal key ranges.
+            let step = u64::MAX / np as u64;
+            let iv = KeyIntervals {
+                bounds: (0..np as u64)
+                    .map(|r| r * step)
+                    .chain(std::iter::once(u64::MAX))
+                    .collect(),
+            };
+            let mut trace = Ledger::scratch();
+            // Threshold 0 always fires.
+            let (mine, iv2, r) = rebalance_traced(c, bodies, iv, 0, &mut trace);
+            assert!(r.repartitioned);
+            let ids: Vec<(u64, u64)> = mine.iter().map(|b| (b.key.0, b.id)).collect();
+            (ids, iv2)
+        });
+        let run_scratch = RunConfig::builder().np(np).run(move |c| {
+            let bodies = costed_bodies(c.rank(), 350, 47);
+            let (mine, iv) =
+                decompose_costed_traced(c, bodies, 32, &mut Ledger::scratch());
+            let ids: Vec<(u64, u64)> = mine.iter().map(|b| (b.key.0, b.id)).collect();
+            (ids, iv)
+        });
+        assert_eq!(run_incremental.results, run_scratch.results);
     }
 
     #[test]

@@ -111,6 +111,25 @@ pub struct DNode<M> {
 /// Owner tag for shared top-tree nodes.
 pub const SHARED: u32 = u32::MAX;
 
+/// Previous step's branch exchange, kept between steps so
+/// [`DistTree::build_cached_traced`] can skip the allgather on
+/// inactive-majority steps (nothing crossed a branch boundary anywhere).
+#[derive(Clone, Debug)]
+pub struct BranchCache<M> {
+    /// This rank's branch records from the last exchange.
+    pub mine: Vec<CellRecord<M>>,
+    /// The full key-sorted gathered record set from the last exchange.
+    pub records: Vec<CellRecord<M>>,
+    /// Intervals the cached records were extracted under.
+    pub intervals: Option<KeyIntervals>,
+}
+
+impl<M> Default for BranchCache<M> {
+    fn default() -> Self {
+        BranchCache { mine: Vec::new(), records: Vec::new(), intervals: None }
+    }
+}
+
 /// The global tree view of one rank.
 #[derive(Debug)]
 pub struct DistTree<M: Moments> {
@@ -158,7 +177,62 @@ impl<M: Moments> DistTree<M> {
         let all: Vec<Vec<CellRecord<M>>> = comm.allgather(my_branches);
         let mut records: Vec<CellRecord<M>> = all.into_iter().flatten().collect();
         records.sort_unstable_by_key(|r| r.key);
+        Self::assemble(rank, local, intervals, &records)
+    }
 
+    /// [`DistTree::build`] with the previous step's branch exchange cached:
+    /// when *every* rank's branch records (and the intervals) are unchanged
+    /// — decided by a cheap `allreduce` — the branch allgather is skipped
+    /// and the top tree is re-assembled from the cached records. The
+    /// resulting node set is bitwise identical either way (assembly is a
+    /// pure function of the sorted record set); only the traffic pattern
+    /// differs, which is why the adaptive decomposition policy opts in and
+    /// `Static` never takes this path.
+    ///
+    /// Returns the tree plus whether the allgather was skipped.
+    pub fn build_cached_traced(
+        comm: &mut Comm,
+        local: Tree<M>,
+        intervals: KeyIntervals,
+        cache: &mut BranchCache<M>,
+        trace: &mut hot_trace::Ledger,
+    ) -> (Self, bool)
+    where
+        M: PartialEq,
+    {
+        let wire_before = comm.stats();
+        let rank = comm.rank();
+        let my_branches = branch_records(&local, &intervals, rank);
+        let unchanged = cache.intervals.as_ref() == Some(&intervals)
+            && my_branches == cache.mine;
+        let np = comm.size() as u64;
+        let all_unchanged = comm.allreduce_sum_u64(u64::from(unchanged)) == np;
+        let dt = if all_unchanged {
+            Self::assemble(rank, local, intervals, &cache.records)
+        } else {
+            let all: Vec<Vec<CellRecord<M>>> = comm.allgather(my_branches.clone());
+            let mut records: Vec<CellRecord<M>> = all.into_iter().flatten().collect();
+            records.sort_unstable_by_key(|r| r.key);
+            let dt = Self::assemble(rank, local, intervals, &records);
+            cache.mine = my_branches;
+            cache.records = records;
+            cache.intervals = Some(dt.intervals.clone());
+            dt
+        };
+        trace.add(hot_trace::Counter::CellsBuilt, dt.nodes.len() as u64);
+        trace.add_traffic(&comm.stats().since(&wire_before));
+        (dt, all_unchanged)
+    }
+
+    /// Build the top tree from an already-gathered, key-sorted record set.
+    /// Pure local computation — every rank holding the same records builds
+    /// the same nodes.
+    fn assemble(
+        rank: u32,
+        local: Tree<M>,
+        intervals: KeyIntervals,
+        records: &[CellRecord<M>],
+    ) -> Self {
         let mut dt = DistTree {
             rank,
             local,
@@ -186,7 +260,7 @@ impl<M: Moments> DistTree<M> {
 
         // Insert branch nodes.
         let mut frontier: Vec<u32> = Vec::with_capacity(records.len());
-        for r in &records {
+        for r in records {
             let children = if r.owner == rank {
                 DChildren::LocalSubtree
             } else if r.is_leaf {
@@ -566,6 +640,72 @@ mod tests {
                 assert!(info.n_nodes >= np as usize, "np={np}");
             }
         }
+    }
+
+    #[test]
+    fn cached_build_skips_allgather_when_unchanged() {
+        let out = RunConfig::builder().np(3).run(|c| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(41 + c.rank() as u64);
+            let bodies: Vec<Body<f64>> = (0..250)
+                .map(|i| {
+                    let pos = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+                    Body {
+                        key: Key::from_point(pos, &Aabb::unit()),
+                        pos,
+                        charge: 1.0,
+                        work: 1.0,
+                        id: c.rank() as u64 * 1_000_000 + i,
+                    }
+                })
+                .collect();
+            let (mine, iv) = decompose(c, bodies, 32);
+            let pos: Vec<Vec3> = mine.iter().map(|b| b.pos).collect();
+            let q: Vec<f64> = mine.iter().map(|b| b.charge).collect();
+            let build_tree = || Tree::<MassMoments>::build(Aabb::unit(), &pos, &q, 8);
+
+            let mut cache = BranchCache::default();
+            let mut trace = hot_trace::Ledger::scratch();
+            let (dt1, skipped1) = DistTree::build_cached_traced(
+                c,
+                build_tree(),
+                iv.clone(),
+                &mut cache,
+                &mut trace,
+            );
+            assert!(!skipped1, "cold cache must allgather");
+            let sent_after_first = c.stats().bytes_sent;
+            let (dt2, skipped2) = DistTree::build_cached_traced(
+                c,
+                build_tree(),
+                iv.clone(),
+                &mut cache,
+                &mut trace,
+            );
+            assert!(skipped2, "unchanged branches must skip the allgather");
+            let sent_after_second = c.stats().bytes_sent;
+            // Node sets must be identical across the two paths.
+            assert_eq!(dt1.nodes.len(), dt2.nodes.len());
+            for (a, b) in dt1.nodes.iter().zip(&dt2.nodes) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.owner, b.owner);
+                assert_eq!(a.n, b.n);
+                assert_eq!(a.wsum.to_bits(), b.wsum.to_bits());
+                assert_eq!(a.moments.mass.to_bits(), b.moments.mass.to_bits());
+            }
+            // A reference build for traffic comparison: the cached rebuild
+            // must move less data than a full exchange.
+            let full = DistTree::build(c, build_tree(), iv.clone());
+            let sent_after_full = c.stats().bytes_sent;
+            assert_eq!(full.nodes.len(), dt2.nodes.len());
+            let cached_bytes = sent_after_second - sent_after_first;
+            let full_bytes = sent_after_full - sent_after_second;
+            assert!(
+                cached_bytes < full_bytes,
+                "cached rebuild must be cheaper: {cached_bytes} vs {full_bytes}"
+            );
+            1u8
+        });
+        assert_eq!(out.results.len(), 3);
     }
 
     #[test]

@@ -192,10 +192,17 @@ enum Want {
 }
 
 /// Statistics of one rank's distributed walk.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DwalkStats {
     /// Interaction counts (paper units), including the list-entry counts.
     pub walk: WalkStats,
+    /// Cells opened per sink group, as `(group cell index, opened)` sorted
+    /// by group index. Each group's walk — and so its opened count — is a
+    /// pure function of the tree (schedule-independent); only the
+    /// *completion* order varies, which the sort erases. This is the
+    /// traversal-cost half of the adaptive decomposition's feedback (the
+    /// interaction half rides in the per-sink `work` tally).
+    pub group_costs: Vec<(u32, u64)>,
     /// Distinct cell-children keys requested.
     pub cell_requests: u64,
     /// Distinct leaf-body keys requested.
@@ -441,6 +448,7 @@ fn dwalk_pipelined<M: Moments, C: ListConsumer<M>>(
     stats.prefetch_hits = pf.hits;
     stats.prefetch_wasted_bytes = pf.unused.values().sum();
     stats.abm = abm.stats();
+    stats.group_costs.sort_unstable();
     stats
 }
 
@@ -521,6 +529,7 @@ fn dwalk_blocking<M: Moments, C: ListConsumer<M>>(
     }
     debug_assert!(active.is_empty() && parked.is_empty());
     stats.abm = abm.stats();
+    stats.group_costs.sort_unstable();
     stats
 }
 
@@ -538,6 +547,7 @@ fn pin_walk<M: Moments>(dt: &DistTree<M>, w: &mut GroupWalk<M>, stats: &mut Dwal
     w.stats.listed_pp = w.list.pp_entries();
     w.stats.listed_pc = w.list.pc_entries();
     stats.walk.merge(&w.stats);
+    stats.group_costs.push((w.gi, w.stats.opened));
 }
 
 /// Hand a finished walk's list to the consumer (the apply stage). Sink

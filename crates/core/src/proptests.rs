@@ -119,3 +119,73 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case spins up an np-rank simulated machine; keep the case count
+    // moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole balance invariant, fuzzed: starting from an arbitrary
+    /// count-based partition, a forced incremental rebalance (threshold 0)
+    /// must land on body sets and `KeyIntervals` bitwise identical to a
+    /// from-scratch cost-exact decomposition at the same costs — for
+    /// arbitrary positions, cost vectors and rank counts. Both reduce to
+    /// the same pure function of the global (key, cost) multiset.
+    #[test]
+    fn incremental_rebalance_equals_from_scratch(
+        pts in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 1u32..100_000),
+            8..120,
+        ),
+        np in 1u32..6,
+        dup in 0usize..6,
+    ) {
+        use crate::decomp::{decompose, decompose_costed_traced, rebalance_traced, Body};
+        use hot_comm::RunConfig;
+        use hot_trace::Ledger;
+
+        // Duplicate a few entries so equal keys with different costs hit
+        // the equal-key-group cut logic.
+        let mut pts = pts;
+        for k in 0..dup.min(pts.len()) {
+            let p = pts[k];
+            pts.push(p);
+        }
+        let pts_c = pts.clone();
+        let out = RunConfig::builder().np(np).run(move |c| {
+            let bodies: Vec<Body<f64>> = pts_c
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i as u32 % np == c.rank())
+                .map(|(i, &(x, y, z, w))| {
+                    let pos = Vec3::new(x, y, z);
+                    Body {
+                        key: Key::from_point(pos, &Aabb::unit()),
+                        pos,
+                        charge: 1.0,
+                        work: w as f32,
+                        id: i as u64,
+                    }
+                })
+                .collect();
+            // Arbitrary (count-quantile) starting partition.
+            let (mine, iv) = decompose(c, bodies, 16);
+            // Incremental: force a repartition from wherever we are.
+            let mut t1 = Ledger::scratch();
+            let (inc_bodies, inc_iv, reb) =
+                rebalance_traced(c, mine.clone(), iv, 0, &mut t1);
+            assert!(reb.repartitioned, "threshold 0 must always repartition");
+            // From scratch at the same costs.
+            let mut t2 = Ledger::scratch();
+            let (fs_bodies, fs_iv) = decompose_costed_traced(c, mine, 16, &mut t2);
+            let ids = |v: &[Body<f64>]| -> Vec<(u64, u64)> {
+                v.iter().map(|b| (b.key.0, b.id)).collect()
+            };
+            (ids(&inc_bodies), ids(&fs_bodies), inc_iv, fs_iv)
+        });
+        for (inc, fs, inc_iv, fs_iv) in out.results {
+            prop_assert_eq!(inc, fs, "body sets diverged");
+            prop_assert_eq!(inc_iv, fs_iv, "intervals diverged");
+        }
+    }
+}

@@ -38,8 +38,8 @@ use hot_base::Vec3;
 use hot_comm::{
     Comm, FaultConfig, FaultMonitor, FaultPlan, FuzzScheduler, NetworkModel, RunConfig, Scheduler,
 };
-use hot_core::decomp::Body;
-use hot_gravity::dist::{distributed_accelerations_traced, DistOptions};
+use hot_core::decomp::{Body, DecompPolicy};
+use hot_gravity::dist::{distributed_step_traced, DecompState, DistOptions};
 use hot_morton::Key;
 use hot_trace::{CounterSet, Ledger, Phase};
 use std::collections::BTreeSet;
@@ -149,6 +149,13 @@ pub struct SupervisorConfig {
     pub fuzz_seed: Option<u64>,
     /// Abort the run if recovery is attempted more than this many times.
     pub max_recoveries: u32,
+    /// Domain-decomposition policy for the distributed force evaluations.
+    /// `Static` is the bitwise baseline; `Adaptive` re-costs bodies from
+    /// the measured walk work and repartitions incrementally. Adaptive
+    /// state is segment-local (reset at every checkpoint boundary), so
+    /// rollback-rerun recovery stays bitwise against the same-policy
+    /// golden.
+    pub policy: DecompPolicy,
 }
 
 impl SupervisorConfig {
@@ -166,6 +173,7 @@ impl SupervisorConfig {
             kills: Vec::new(),
             fuzz_seed: None,
             max_recoveries: 8,
+            policy: DecompPolicy::Static,
         }
     }
 }
@@ -275,52 +283,96 @@ pub fn state_digest(sim: &CosmoSim) -> u64 {
 // The replicated-state distributed step.
 // ---------------------------------------------------------------------------
 
-fn dist_options(sim: &CosmoSim) -> DistOptions {
+fn dist_options(sim: &CosmoSim, policy: DecompPolicy) -> DistOptions {
     DistOptions {
         mac: sim.opts.mac,
         bucket: sim.opts.bucket,
         eps2: sim.opts.eps2,
         quadrupole: sim.opts.quadrupole,
+        policy,
         ..DistOptions::default()
     }
 }
 
+/// Segment-local adaptive-decomposition state: the decomposition policy,
+/// the cross-step [`DecompState`], plus this rank's persistent body set (so
+/// smoothed costs and ownership survive between force evaluations instead
+/// of being recreated from the index partition each time). Dropped and
+/// rebuilt at every segment boundary, which keeps rollback-rerun recovery
+/// bitwise.
+struct AdaptiveSeg {
+    policy: DecompPolicy,
+    state: DecompState,
+    bodies: Option<Vec<Body<f64>>>,
+}
+
+impl AdaptiveSeg {
+    fn new(policy: DecompPolicy) -> Self {
+        Self { policy, state: DecompState::default(), bodies: None }
+    }
+}
+
 /// Peculiar accelerations of the *full* replicated state, computed
-/// cooperatively: this rank contributes its index partition to the
-/// distributed treecode, then an element-wise `allreduce` (each body owned
-/// by exactly one rank, so the sum is exact) rebuilds the complete array
-/// everywhere, and the uniform-background correction is applied
-/// identically on every replica (collective call).
+/// cooperatively: this rank contributes its partition to the distributed
+/// treecode, then an element-wise `allreduce` (each body owned by exactly
+/// one rank, so the sum is exact) rebuilds the complete array everywhere,
+/// and the uniform-background correction is applied identically on every
+/// replica (collective call).
+///
+/// Under `Static` the contribution is the index partition, recreated each
+/// call — bitwise identical to earlier releases. Under `Adaptive` the rank
+/// keeps the bodies it owned after the previous evaluation's migration,
+/// refreshing their positions from the replicated state (every rank holds
+/// all of it), so ownership evolves by interval diff and the smoothed
+/// costs stay attached.
 fn replicated_accelerations(
     c: &mut Comm,
     sim: &CosmoSim,
+    seg: &mut AdaptiveSeg,
     counter: &FlopCounter,
     trace: &mut Ledger,
 ) -> Vec<Vec3> {
+    let policy = seg.policy;
     let n = sim.pos.len();
     let np = c.size() as usize;
     let rank = c.rank() as usize;
-    let per = n / np;
-    let lo = rank * per;
-    let hi = if rank == np - 1 { n } else { lo + per };
     let domain = domain_for(&sim.pos);
-    let bodies: Vec<Body<f64>> = (lo..hi)
-        .map(|i| Body {
-            key: Key::from_point(sim.pos[i], &domain),
-            pos: sim.pos[i],
-            charge: sim.mass[i],
-            work: 1.0,
-            id: i as u64,
-        })
-        .collect();
-    let res =
-        distributed_accelerations_traced(c, bodies, domain, &dist_options(sim), counter, trace);
+    let bodies: Vec<Body<f64>> = match seg.bodies.take() {
+        Some(mut prev) if policy.is_adaptive() => {
+            for b in &mut prev {
+                let i = b.id as usize;
+                b.pos = sim.pos[i];
+                b.key = Key::from_point(sim.pos[i], &domain);
+                b.charge = sim.mass[i];
+            }
+            prev
+        }
+        _ => {
+            let per = n / np;
+            let lo = rank * per;
+            let hi = if rank == np - 1 { n } else { lo + per };
+            (lo..hi)
+                .map(|i| Body {
+                    key: Key::from_point(sim.pos[i], &domain),
+                    pos: sim.pos[i],
+                    charge: sim.mass[i],
+                    work: 1.0,
+                    id: i as u64,
+                })
+                .collect()
+        }
+    };
+    let opts = dist_options(sim, policy);
+    let res = distributed_step_traced(c, bodies, domain, &opts, counter, &mut seg.state, trace);
     let mut flat = vec![0.0f64; 3 * n];
     for (b, a) in res.bodies.iter().zip(&res.acc) {
         let i = b.id as usize * 3;
         flat[i] = a.x;
         flat[i + 1] = a.y;
         flat[i + 2] = a.z;
+    }
+    if policy.is_adaptive() {
+        seg.bodies = Some(res.bodies);
     }
     let all = c.allreduce_sum_vec_f64(flat);
     let k = 4.0 * std::f64::consts::PI / 3.0 * RHO_BAR;
@@ -340,6 +392,7 @@ fn step_replicated(
     sim: &mut CosmoSim,
     da: f64,
     step: u64,
+    seg: &mut AdaptiveSeg,
     counter: &FlopCounter,
     trace: &mut Ledger,
 ) {
@@ -352,7 +405,7 @@ fn step_replicated(
     let dt = t1 - t0;
     let a_mid = ((t0 + 0.5 * dt) * 1.5).powf(2.0 / 3.0);
 
-    let f0 = replicated_accelerations(c, sim, counter, trace);
+    let f0 = replicated_accelerations(c, sim, seg, counter, trace);
     for (w, acc) in sim.mom.iter_mut().zip(&f0) {
         *w += *acc * (0.5 * dt / a0);
     }
@@ -362,7 +415,7 @@ fn step_replicated(
     }
     sim.a = a1;
     c.kill_point(step * 2 + 1);
-    let f1 = replicated_accelerations(c, sim, counter, trace);
+    let f1 = replicated_accelerations(c, sim, seg, counter, trace);
     for (w, acc) in sim.mom.iter_mut().zip(&f1) {
         *w += *acc * (0.5 * dt / a1);
     }
@@ -456,8 +509,11 @@ pub fn run_supervised(
                 let mut local = body_state.clone();
                 let counter = FlopCounter::new();
                 let mut trace = Ledger::scratch();
+                // Fresh per attempt: a rerun after rollback starts from the
+                // same cold adaptive state the aborted attempt did.
+                let mut seg = AdaptiveSeg::new(cfg.policy);
                 for s in step..seg_end {
-                    step_replicated(c, &mut local, da, s, &counter, &mut trace);
+                    step_replicated(c, &mut local, da, s, &mut seg, &counter, &mut trace);
                 }
                 SegmentOut {
                     digest: state_digest(&local),
@@ -658,6 +714,68 @@ mod tests {
             assert_eq!(rep.totals, golden.totals, "kill {spec:?}: trace totals diverged");
             assert_eq!(rep.sim.a.to_bits(), golden.sim.a.to_bits());
         }
+    }
+
+    /// Adaptive decomposition composes with crash-stop recovery: a kill
+    /// mid-run under `DecompPolicy::Adaptive` must recover to the
+    /// bitwise-identical state and trace totals of the adaptive fault-free
+    /// golden (adaptive state is segment-local, so a rerun restarts from
+    /// the same cold state the aborted attempt did).
+    #[test]
+    fn adaptive_killed_rank_recovers_to_bitwise_golden() {
+        let np = 2;
+        let steps = 4;
+        let adaptive = DecompPolicy::adaptive();
+        let golden = run_supervised(
+            demo_state(80, 3),
+            &SupervisorConfig {
+                policy: adaptive,
+                ..SupervisorConfig::golden(np, steps, 0.01, 2, tmp("ad_golden.ckpt"))
+            },
+        )
+        .expect("adaptive golden");
+        // Adaptive must count its own machinery in the trace.
+        assert!(
+            golden.totals.get(hot_trace::Counter::MigratedBodies) > 0,
+            "adaptive run never migrated"
+        );
+        let spec = KillSpec { rank: 1, step: 2, mid_step: true };
+        let cfg = SupervisorConfig {
+            faults: Some(FaultConfig::clean(11)),
+            kills: vec![spec],
+            policy: adaptive,
+            ..SupervisorConfig::golden(np, steps, 0.01, 2, tmp("ad_killed.ckpt"))
+        };
+        let rep = run_supervised(demo_state(80, 3), &cfg).expect("supervised adaptive run");
+        assert_eq!(rep.kills_fired, 1, "kill never fired");
+        assert_eq!(rep.recoveries, 1);
+        assert_eq!(rep.state_digest, golden.state_digest, "state diverged from golden");
+        assert_eq!(rep.totals, golden.totals, "trace totals diverged from golden");
+    }
+
+    /// `policy: Static` through the supervisor is byte-identical to the
+    /// pre-policy behavior: same digest and totals as the plain golden
+    /// config (which defaults to `Static`).
+    #[test]
+    fn static_policy_is_the_bitwise_baseline() {
+        let a = run_supervised(
+            demo_state(64, 6),
+            &SupervisorConfig::golden(2, 2, 0.01, 2, tmp("st_a.ckpt")),
+        )
+        .expect("baseline");
+        let b = run_supervised(
+            demo_state(64, 6),
+            &SupervisorConfig {
+                policy: DecompPolicy::Static,
+                ..SupervisorConfig::golden(2, 2, 0.01, 2, tmp("st_b.ckpt"))
+            },
+        )
+        .expect("explicit static");
+        assert_eq!(a.state_digest, b.state_digest);
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.totals.get(hot_trace::Counter::RebalanceSteps), 0);
+        assert_eq!(a.totals.get(hot_trace::Counter::MigratedBodies), 0);
+        assert_eq!(a.totals.get(hot_trace::Counter::MigratedBytes), 0);
     }
 
     #[test]

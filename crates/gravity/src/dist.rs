@@ -7,8 +7,11 @@ use crate::evaluator::{record_force_phase, GravityEvaluator};
 use hot_base::flops::FlopCounter;
 use hot_base::{Aabb, Vec3};
 use hot_comm::Comm;
-use hot_core::decomp::{decompose_traced, Body, KeyIntervals};
-use hot_core::dtree::DistTree;
+use hot_core::decomp::{
+    body_cost, decompose_costed_traced, decompose_traced, rebalance_traced, Body, CostModel,
+    DecompPolicy, KeyIntervals, Rebalance,
+};
+use hot_core::dtree::{BranchCache, DistTree};
 use hot_core::dwalk::{dwalk_with_traced, DwalkStats, WalkConfig};
 use hot_core::moments::MassMoments;
 use hot_core::tree::Tree;
@@ -34,6 +37,12 @@ pub struct DistOptions {
     /// overlapped apply). Never affects the computed forces — only how the
     /// remote data moves.
     pub walk: WalkConfig,
+    /// Domain-decomposition policy for the step entry
+    /// ([`distributed_step_traced`]). `Static` keeps the sample-sort
+    /// decomposition bitwise identical to earlier releases; `Adaptive`
+    /// re-costs bodies from the previous step's measured walk work and
+    /// moves interval cut points incrementally.
+    pub policy: DecompPolicy,
 }
 
 impl Default for DistOptions {
@@ -46,6 +55,7 @@ impl Default for DistOptions {
             quadrupole: true,
             oversample: 64,
             walk: WalkConfig::default(),
+            policy: DecompPolicy::Static,
         }
     }
 }
@@ -103,6 +113,27 @@ impl DistOptions {
         self.walk = walk;
         self
     }
+
+    /// Set the domain-decomposition policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DecompPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Cross-step state for [`DecompPolicy::Adaptive`]: the intervals, local
+/// tree and branch exchange of the previous step, which the next step
+/// diffs against. `Default` is the cold state; `Static` runs never touch
+/// it.
+#[derive(Default)]
+pub struct DecompState {
+    /// Key ownership after the previous step (None before the first).
+    pub intervals: Option<KeyIntervals>,
+    /// The previous step's local tree, for the octant-graft rebuild.
+    pub tree: Option<Tree<MassMoments>>,
+    /// The previous step's branch exchange, for skipping the allgather.
+    pub branches: BranchCache<MassMoments>,
 }
 
 /// Result of one distributed force evaluation on this rank.
@@ -116,6 +147,10 @@ pub struct DistForces {
     pub stats: DwalkStats,
     /// Key ownership after this decomposition.
     pub intervals: KeyIntervals,
+    /// Outcome of the skew-triggered rebalance, when this step went
+    /// through [`distributed_step_traced`] with an adaptive policy and a
+    /// warm state (`None` on static or bootstrap steps).
+    pub rebalance: Option<Rebalance>,
 }
 
 /// Decompose, build, exchange and walk: compute accelerations for all
@@ -177,7 +212,106 @@ pub fn distributed_accelerations_traced(
         acc[orig as usize] = acc_sorted[sorted_i];
         bodies_out[orig as usize].work = work_sorted[sorted_i].max(1.0);
     }
-    DistForces { bodies: bodies_out, acc, stats, intervals }
+    DistForces { bodies: bodies_out, acc, stats, intervals, rebalance: None }
+}
+
+/// One distributed force step under a [`DecompPolicy`], carrying state
+/// across steps (collective call).
+///
+/// * `Static` delegates to [`distributed_accelerations_traced`] untouched —
+///   bitwise identical traffic, counters and forces to earlier releases —
+///   and ignores `state`.
+/// * `Adaptive` bootstraps with a cost-exact decomposition on the first
+///   call, then each later step: (1) re-costs every body by blending the
+///   previous smoothed cost with this step's measured walk work
+///   (interactions from the evaluator's work array plus a per-sink share
+///   of the group's cells opened — all integer arithmetic, so costs are
+///   bitwise schedule-independent); (2) runs the skew-triggered
+///   incremental rebalance, moving cut points and migrating only the
+///   key-range diff; (3) rebuilds the local tree by octant graft and the
+///   distributed tree through the branch cache.
+pub fn distributed_step_traced(
+    comm: &mut Comm,
+    bodies: Vec<Body<f64>>,
+    domain: Aabb,
+    opts: &DistOptions,
+    counter: &FlopCounter,
+    state: &mut DecompState,
+    trace: &mut Ledger,
+) -> DistForces {
+    let DecompPolicy::Adaptive { threshold_milli, smoothing } = opts.policy else {
+        return distributed_accelerations_traced(comm, bodies, domain, opts, counter, trace);
+    };
+    let (bodies, intervals, rebalance) = match state.intervals.take() {
+        Some(prev) => {
+            let (b, iv, r) = rebalance_traced(comm, bodies, prev, threshold_milli, trace);
+            (b, iv, Some(r))
+        }
+        None => {
+            let (b, iv) = decompose_costed_traced(comm, bodies, opts.oversample, trace);
+            (b, iv, None)
+        }
+    };
+    let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
+    let mass: Vec<f64> = bodies.iter().map(|b| b.charge).collect();
+    trace.begin(Phase::TreeBuild);
+    let tree = match &state.tree {
+        Some(prev) => Tree::build_with_reuse(domain, &pos, &mass, opts.bucket, prev).0,
+        None => Tree::<MassMoments>::build(domain, &pos, &mass, opts.bucket),
+    };
+    tree.record_build(trace);
+    let (mut dt, _cached) =
+        DistTree::build_cached_traced(comm, tree, intervals.clone(), &mut state.branches, trace);
+    trace.end();
+
+    let n = dt.local.n_particles();
+    let mut acc_sorted = vec![Vec3::ZERO; n];
+    let mut work_sorted = vec![0.0f32; n];
+    let flops_before = counter.report().flops();
+    let stats = {
+        let mut ev = GravityEvaluator {
+            acc: &mut acc_sorted,
+            pot: None,
+            eps2: opts.eps2,
+            quadrupole: opts.quadrupole,
+            counter,
+            work: &mut work_sorted,
+            base: 0,
+        };
+        dwalk_with_traced(comm, &mut dt, &opts.mac, &mut ev, opts.group_size, &opts.walk, trace)
+    };
+    record_force_phase(trace, &stats.walk, counter.report().flops() - flops_before);
+
+    // Spread each sink group's cells-opened count over its sinks (integer
+    // share, remainder to the leading sinks) so traversal cost lands in
+    // the per-body measurement alongside the interaction count.
+    let mut opened = vec![0u64; n];
+    for &(gi, op) in &stats.group_costs {
+        let span = dt.local.cells[gi as usize].span();
+        let len = span.len() as u64;
+        if len == 0 {
+            continue;
+        }
+        let share = op / len;
+        let rem = (op % len) as usize;
+        for (j, i) in span.enumerate() {
+            opened[i] += share + u64::from(j < rem);
+        }
+    }
+
+    // Map tree order back to body order; blend the smoothed cost.
+    let model = CostModel::new(smoothing);
+    let mut bodies_out = bodies;
+    let mut acc = vec![Vec3::ZERO; n];
+    for (sorted_i, &orig) in dt.local.order.iter().enumerate() {
+        acc[orig as usize] = acc_sorted[sorted_i];
+        let prev = body_cost(&bodies_out[orig as usize]);
+        let measured = work_sorted[sorted_i] as u64 + opened[sorted_i];
+        bodies_out[orig as usize].work = model.blend(prev, measured) as f32;
+    }
+    state.intervals = Some(intervals.clone());
+    state.tree = Some(dt.local);
+    DistForces { bodies: bodies_out, acc, stats, intervals, rebalance }
 }
 
 #[cfg(test)]
@@ -335,6 +469,211 @@ mod tests {
             if np >= 2 {
                 assert!(hits > 0, "np={np}: prefetch never hit");
             }
+        }
+    }
+
+    /// Clustered bodies, split across ranks so the static decomposition
+    /// starts unbalanced.
+    fn clustered_bodies(rank: u32, np: u32, n_total: usize, seed: u64) -> Vec<Body<f64>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let all: Vec<Vec3> = (0..n_total)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Vec3::new(rng.gen(), rng.gen(), rng.gen())
+                } else {
+                    // Tight clump: 3/4 of the matter in ~1e-2 of the box.
+                    Vec3::new(
+                        0.2 + rng.gen::<f64>() * 0.02,
+                        0.7 + rng.gen::<f64>() * 0.02,
+                        0.4 + rng.gen::<f64>() * 0.02,
+                    )
+                }
+            })
+            .collect();
+        let per = n_total / np as usize;
+        let lo = rank as usize * per;
+        let hi = if rank == np - 1 { n_total } else { lo + per };
+        (lo..hi)
+            .map(|i| Body {
+                key: Key::from_point(all[i], &Aabb::unit()),
+                pos: all[i],
+                charge: 1.0,
+                work: 1.0,
+                id: i as u64,
+            })
+            .collect()
+    }
+
+    /// Adaptive decomposition may move owners, never physics: across a
+    /// multi-step sequence the adaptive forces must agree with static to
+    /// treecode-grouping tolerance, conserve momentum identically, and
+    /// keep the interaction counters in a narrow band. (Exact bitwise
+    /// equality is not expected: sink groups derive from each rank's
+    /// *local* tree, so moving a cut regroups boundary sinks and flips
+    /// individual MAC decisions within the accuracy envelope.)
+    #[test]
+    fn adaptive_physics_matches_static() {
+        use hot_trace::Counter;
+        let np = 4u32;
+        let n_total = 1200usize;
+        let steps = 3usize;
+        let run = |policy: DecompPolicy| {
+            RunConfig::builder().np(np).run(move |c| {
+                let mut bodies = clustered_bodies(c.rank(), np, n_total, 99);
+                let counter = FlopCounter::new();
+                let opts = DistOptions {
+                    mac: Mac::BarnesHut { theta: 0.5 },
+                    eps2: 1e-6,
+                    ..Default::default()
+                }
+                .with_policy(policy);
+                let mut state = DecompState::default();
+                let mut trace = hot_trace::Ledger::scratch();
+                let mut acc_by_id: Vec<(u64, Vec3)> = Vec::new();
+                let mut momentum = Vec3::ZERO;
+                for _ in 0..steps {
+                    let res = distributed_step_traced(
+                        c,
+                        bodies,
+                        Aabb::unit(),
+                        &opts,
+                        &counter,
+                        &mut state,
+                        &mut trace,
+                    );
+                    acc_by_id =
+                        res.bodies.iter().zip(&res.acc).map(|(b, a)| (b.id, *a)).collect();
+                    momentum =
+                        res.bodies.iter().zip(&res.acc).fold(Vec3::ZERO, |s, (b, a)| {
+                            s + *a * b.charge
+                        });
+                    bodies = res.bodies;
+                }
+                let gross: f64 =
+                    acc_by_id.iter().map(|(_, a)| a.norm()).sum();
+                let t = trace.totals();
+                (
+                    acc_by_id,
+                    momentum,
+                    t.get(Counter::PpInteractions) + t.get(Counter::PcInteractions),
+                    t.get(Counter::RebalanceSteps),
+                    t.get(Counter::MigratedBodies),
+                    gross,
+                )
+            })
+        };
+        let st = run(DecompPolicy::Static);
+        // A low threshold forces repartitions so the migration path runs.
+        let ad = run(DecompPolicy::Adaptive { threshold_milli: 1010, smoothing: 128 });
+
+        // Collect final-step accelerations by body id.
+        type RankResult = (Vec<(u64, Vec3)>, Vec3, u64, u64, u64, f64);
+        let gather = |out: &Vec<RankResult>| {
+            let mut v: Vec<(u64, Vec3)> =
+                out.iter().flat_map(|r| r.0.iter().copied()).collect();
+            v.sort_unstable_by_key(|&(id, _)| id);
+            v
+        };
+        let sa = gather(&st.results);
+        let aa = gather(&ad.results);
+        assert_eq!(sa.len(), n_total, "static lost bodies");
+        assert_eq!(aa.len(), n_total, "adaptive lost bodies");
+        let mut worst = 0.0f64;
+        for ((ia, a), (ib, b)) in sa.iter().zip(&aa) {
+            assert_eq!(ia, ib, "ownership must cover the same ids");
+            let rel = (*a - *b).norm() / a.norm().max(1e-12);
+            worst = worst.max(rel);
+        }
+        assert!(worst < 2e-2, "adaptive forces diverged from static: {worst}");
+        // Net momentum flux vanishes only to treecode accuracy: compare it
+        // against the gross acceleration magnitude, and require static and
+        // adaptive to sit at the same (small) level.
+        let ps: Vec3 = st.results.iter().map(|r| r.1).fold(Vec3::ZERO, |a, b| a + b);
+        let pa: Vec3 = ad.results.iter().map(|r| r.1).fold(Vec3::ZERO, |a, b| a + b);
+        let gross: f64 = st.results.iter().map(|r| r.5).sum();
+        assert!(ps.norm() < 1e-3 * gross, "static momentum {} vs {gross}", ps.norm());
+        assert!(pa.norm() < 1e-3 * gross, "adaptive momentum {} vs {gross}", pa.norm());
+        // Interaction volume stays in a narrow band: same physics, only
+        // grouping differences at ownership boundaries.
+        let si: u64 = st.results.iter().map(|r| r.2).sum();
+        let ai: u64 = ad.results.iter().map(|r| r.2).sum();
+        let ratio = ai as f64 / si as f64;
+        assert!((0.85..1.15).contains(&ratio), "interaction band broken: {ratio}");
+        // The adaptive run must actually have exercised the machinery.
+        let rebalances: u64 = ad.results.iter().map(|r| r.3).sum();
+        let migrated: u64 = ad.results.iter().map(|r| r.4).sum();
+        assert!(rebalances > 0, "low threshold must trigger repartitions");
+        assert!(migrated > 0, "repartition must migrate the diff");
+        for r in &st.results {
+            assert_eq!(r.3, 0, "static run must never count rebalance steps");
+            assert_eq!(r.4, 0, "static run must never migrate");
+        }
+    }
+
+    /// With frozen positions and a huge threshold, the adaptive path
+    /// settles: after the bootstrap step the intervals are reused
+    /// verbatim, nothing migrates, and repeated runs are bitwise
+    /// reproducible.
+    #[test]
+    fn adaptive_noop_rebalance_is_stable() {
+        use hot_trace::Counter;
+        let np = 3u32;
+        let run = || {
+            RunConfig::builder().np(np).run(|c| {
+                let mut bodies = clustered_bodies(c.rank(), np, 600, 7);
+                let counter = FlopCounter::new();
+                let opts = DistOptions::default()
+                    .with_policy(DecompPolicy::Adaptive { threshold_milli: u32::MAX, smoothing: 128 });
+                let mut state = DecompState::default();
+                let mut trace = hot_trace::Ledger::scratch();
+                let mut ivs = Vec::new();
+                let mut acc_bits: Vec<(u64, [u64; 3])> = Vec::new();
+                let mut migrated_after_bootstrap = 0;
+                for step in 0..3 {
+                    let res = distributed_step_traced(
+                        c,
+                        bodies,
+                        Aabb::unit(),
+                        &opts,
+                        &counter,
+                        &mut state,
+                        &mut trace,
+                    );
+                    if step == 0 {
+                        migrated_after_bootstrap =
+                            trace.totals().get(Counter::MigratedBodies);
+                    }
+                    ivs.push(res.intervals.clone());
+                    acc_bits = res
+                        .bodies
+                        .iter()
+                        .zip(&res.acc)
+                        .map(|(b, a)| (b.id, [a.x.to_bits(), a.y.to_bits(), a.z.to_bits()]))
+                        .collect();
+                    if let Some(r) = &res.rebalance {
+                        assert!(!r.repartitioned, "huge threshold must never repartition");
+                    }
+                    bodies = res.bodies;
+                }
+                assert_eq!(ivs[1], ivs[0], "intervals must be reused verbatim");
+                assert_eq!(ivs[2], ivs[0], "intervals must be reused verbatim");
+                let t = trace.totals();
+                assert_eq!(t.get(Counter::RebalanceSteps), 0);
+                // The bootstrap redistribution counts; steps 2–3 must not
+                // add a single migrated body (frozen positions, huge
+                // threshold).
+                assert_eq!(
+                    t.get(Counter::MigratedBodies),
+                    migrated_after_bootstrap,
+                    "frozen positions must not drift"
+                );
+                acc_bits
+            })
+        };
+        let a = run();
+        let b = run();
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            assert_eq!(ra, rb, "adaptive steps must be bitwise reproducible");
         }
     }
 

@@ -1,0 +1,264 @@
+//! Hilbert-curve ordering over the key lattice.
+//!
+//! The paper keys particles by Morton order; a Hilbert curve visits the
+//! same `2^d × 2^d × 2^d` lattice but every consecutive pair of cells is
+//! face-adjacent, so contiguous key ranges have smaller surface area. This
+//! module provides the rank transform so the decomposition experiments can
+//! compare cut-surface/ghost traffic under both orderings; the tree itself
+//! stays Morton-keyed (Hilbert ranks do not nest by octant digit, so they
+//! cannot drive the hashed-tree key algebra).
+//!
+//! The transform is Skilling's transpose algorithm (J. Skilling, *Programming
+//! the Hilbert curve*, AIP Conf. Proc. 707, 2004): integer-only, no lookup
+//! tables, exact inverse.
+
+use crate::dilate::{deinterleave3, interleave3};
+use crate::key::MAX_DEPTH;
+use crate::Key;
+
+/// Convert lattice axes to Skilling "transpose" form in place: after the
+/// call, the Hilbert index bits are distributed across the three words,
+/// most-significant first (`x[0]` holds bits 3k+2 of the index, …).
+fn axes_to_transpose(x: &mut [u64; 3], bits: u32) {
+    let m = 1u64 << (bits - 1);
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..3 {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..3 {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0;
+    let mut q = m;
+    while q > 1 {
+        if x[2] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Inverse of [`axes_to_transpose`].
+fn transpose_to_axes(x: &mut [u64; 3], bits: u32) {
+    let n = 2u64 << (bits - 1);
+    // Gray decode by H ^ (H/2).
+    let t = x[2] >> 1;
+    for i in (1..3).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u64;
+    while q != n {
+        let p = q - 1;
+        for i in (0..3).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Hilbert index of the lattice point `(x, y, z)` on a `2^bits` grid.
+/// `bits` must be in `1..=MAX_DEPTH`; coordinates must fit in `bits` bits.
+/// The result occupies the low `3*bits` bits.
+pub fn index_from_coords(x: u64, y: u64, z: u64, bits: u32) -> u64 {
+    debug_assert!((1..=MAX_DEPTH).contains(&bits));
+    debug_assert!(x < (1 << bits) && y < (1 << bits) && z < (1 << bits));
+    let mut ax = [x, y, z];
+    axes_to_transpose(&mut ax, bits);
+    // The transpose stores index bits MSB-first across the words: per
+    // level, X[0] holds the most significant of the three bits.
+    // `interleave3` puts its *third* argument in the high bit of each
+    // digit, hence the reversed order.
+    interleave3(ax[2], ax[1], ax[0])
+}
+
+/// Lattice point of Hilbert index `h` on a `2^bits` grid — exact inverse of
+/// [`index_from_coords`].
+pub fn coords_from_index(h: u64, bits: u32) -> (u64, u64, u64) {
+    debug_assert!((1..=MAX_DEPTH).contains(&bits));
+    debug_assert!(bits == MAX_DEPTH || h < (1 << (3 * bits)));
+    // Inverse of the reversed interleave in `index_from_coords`.
+    let (w2, w1, w0) = deinterleave3(h);
+    let mut ax = [w0, w1, w2];
+    transpose_to_axes(&mut ax, bits);
+    (ax[0], ax[1], ax[2])
+}
+
+/// Hilbert rank of a max-depth particle [`Key`]: the position of the key's
+/// lattice cell along the Hilbert curve at [`MAX_DEPTH`], usable as an
+/// alternative sort key for domain decomposition. Morton keys sorted by
+/// `hilbert_rank` traverse space in Hilbert order.
+pub fn hilbert_rank(key: Key) -> u64 {
+    debug_assert_eq!(key.level(), MAX_DEPTH, "hilbert_rank needs a particle key");
+    let (x, y, z) = key.coords();
+    index_from_coords(x, y, z, MAX_DEPTH)
+}
+
+/// Max-depth [`Key`] whose cell sits at Hilbert rank `h` — inverse of
+/// [`hilbert_rank`].
+pub fn key_from_rank(h: u64) -> Key {
+    let (x, y, z) = coords_from_index(h, MAX_DEPTH);
+    Key((1u64 << 63) | interleave3(x, y, z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_base::{Aabb, Vec3};
+    use proptest::prelude::*;
+
+    #[test]
+    fn order_one_visits_all_octants_adjacently() {
+        // At bits=1 the curve is the canonical 8-corner Hilbert cell: a
+        // Hamiltonian path on the cube graph starting at the origin.
+        let mut seen = [false; 8];
+        let mut prev: Option<(u64, u64, u64)> = None;
+        for h in 0..8u64 {
+            let (x, y, z) = coords_from_index(h, 1);
+            assert!(x < 2 && y < 2 && z < 2);
+            let slot = (x | (y << 1) | (z << 2)) as usize;
+            assert!(!seen[slot], "corner revisited");
+            seen[slot] = true;
+            if let Some((px, py, pz)) = prev {
+                let d = x.abs_diff(px) + y.abs_diff(py) + z.abs_diff(pz);
+                assert_eq!(d, 1, "steps {h} are not face-adjacent");
+            }
+            prev = Some((x, y, z));
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(coords_from_index(0, 1), (0, 0, 0));
+    }
+
+    #[test]
+    fn consecutive_ranks_are_face_adjacent_deep() {
+        // The defining locality property, spot-checked at depth 4 across
+        // the whole curve (4096 cells).
+        let bits = 4;
+        let mut prev = coords_from_index(0, bits);
+        for h in 1..(1u64 << (3 * bits)) {
+            let c = coords_from_index(h, bits);
+            let d = c.0.abs_diff(prev.0) + c.1.abs_diff(prev.1) + c.2.abs_diff(prev.2);
+            assert_eq!(d, 1, "rank {h} jumps");
+            prev = c;
+        }
+    }
+
+    /// The reason Hilbert ordering exists here: contiguous equal-count
+    /// chunks of a dense lattice cut fewer faces than Morton chunks when
+    /// the chunk count is not a power of eight (at powers of eight both
+    /// orderings produce perfect octant blocks and tie). This is the
+    /// cut-surface/ghost-traffic property the decomposition experiments
+    /// measure; pinning it here catches a locality-destroying regression
+    /// in the transform.
+    #[test]
+    fn hilbert_chunks_cut_fewer_faces_than_morton() {
+        use crate::dilate::interleave3;
+        let bits = 3u32;
+        let side = 1u64 << bits;
+        let faces = |index: &dyn Fn(u64, u64, u64) -> u64, chunks: u64| -> u64 {
+            let mut cells: Vec<(u64, u64, u64)> = (0..side)
+                .flat_map(|x| (0..side).flat_map(move |y| (0..side).map(move |z| (x, y, z))))
+                .collect();
+            cells.sort_unstable_by_key(|&(x, y, z)| index(x, y, z));
+            let n = cells.len() as u64;
+            let per = n.div_ceil(chunks);
+            let owner: std::collections::HashMap<(u64, u64, u64), u64> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u64 / per))
+                .collect();
+            let mut f = 0;
+            for &(x, y, z) in &cells {
+                for (dx, dy, dz) in [(1, 0, 0), (0, 1, 0), (0, 0, 1)] {
+                    if let Some(o) = owner.get(&(x + dx, y + dy, z + dz)) {
+                        if *o != owner[&(x, y, z)] {
+                            f += 1;
+                        }
+                    }
+                }
+            }
+            f
+        };
+        for chunks in [7u64, 13, 24] {
+            let m = faces(&|x, y, z| interleave3(x, y, z), chunks);
+            let h = faces(&|x, y, z| index_from_coords(x, y, z, bits), chunks);
+            assert!(h < m, "{chunks} chunks: hilbert {h} faces !< morton {m}");
+        }
+        // Power-of-eight chunk counts give perfect octant blocks either
+        // way — the two orderings must tie exactly.
+        let m = faces(&|x, y, z| interleave3(x, y, z), 8);
+        let h = faces(&|x, y, z| index_from_coords(x, y, z, bits), 8);
+        assert_eq!(h, m, "8 aligned chunks should tie");
+    }
+
+    #[test]
+    fn rank_key_roundtrip_at_max_depth() {
+        for p in [
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(0.9, 0.9, 0.9),
+            Vec3::ZERO,
+            Vec3::splat(0.5),
+        ] {
+            let k = Key::from_point(p, &Aabb::unit());
+            assert_eq!(key_from_rank(hilbert_rank(k)), k);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn index_roundtrips(x in 0u64..1 << MAX_DEPTH,
+                            y in 0u64..1 << MAX_DEPTH,
+                            z in 0u64..1 << MAX_DEPTH) {
+            let h = index_from_coords(x, y, z, MAX_DEPTH);
+            prop_assert_eq!(coords_from_index(h, MAX_DEPTH), (x, y, z));
+        }
+
+        #[test]
+        fn index_roundtrips_shallow(x in 0u64..16, y in 0u64..16, z in 0u64..16,
+                                    bits in 4u32..9) {
+            let h = index_from_coords(x, y, z, bits);
+            prop_assert!(h < 1 << (3 * bits));
+            prop_assert_eq!(coords_from_index(h, bits), (x, y, z));
+        }
+
+        #[test]
+        fn curve_is_injective(a in 0u64..4096, b in 0u64..4096) {
+            if a != b {
+                prop_assert_ne!(coords_from_index(a, 4), coords_from_index(b, 4));
+            }
+        }
+
+        #[test]
+        fn nearby_ranks_are_nearby_in_space(h in 0u64..(1 << 12) - 8) {
+            // Weak locality bound: 8 consecutive cells of a 2^4 grid span
+            // at most two octant cells, so coordinates stay within a small
+            // ball. (Morton order violates this at every power-of-two seam.)
+            let (x0, y0, z0) = coords_from_index(h, 4);
+            let (x1, y1, z1) = coords_from_index(h + 7, 4);
+            let d = x0.abs_diff(x1).max(y0.abs_diff(y1)).max(z0.abs_diff(z1));
+            prop_assert!(d <= 7);
+        }
+    }
+}

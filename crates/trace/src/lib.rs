@@ -100,10 +100,19 @@ pub enum Counter {
     PrefetchHits,
     /// Wire bytes of prefetched cell records the walk never opened.
     PrefetchWastedBytes,
+    /// Steps on which the adaptive decomposition actually moved interval
+    /// cut points (the skew trigger fired). Zero under `DecompPolicy::Static`.
+    RebalanceSteps,
+    /// Bodies received through the incremental key-range migration (the
+    /// minimal diff between old and new intervals — the adaptive analogue
+    /// of [`Counter::BodiesExchanged`]).
+    MigratedBodies,
+    /// Wire bytes received in migration batches.
+    MigratedBytes,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 19;
+pub const COUNTER_COUNT: usize = 22;
 
 /// Every counter, in canonical (schema) order.
 pub const COUNTERS: [Counter; COUNTER_COUNT] = [
@@ -126,6 +135,9 @@ pub const COUNTERS: [Counter; COUNTER_COUNT] = [
     Counter::PrefetchedCells,
     Counter::PrefetchHits,
     Counter::PrefetchWastedBytes,
+    Counter::RebalanceSteps,
+    Counter::MigratedBodies,
+    Counter::MigratedBytes,
 ];
 
 impl Counter {
@@ -152,6 +164,9 @@ impl Counter {
             Counter::PrefetchedCells => 16,
             Counter::PrefetchHits => 17,
             Counter::PrefetchWastedBytes => 18,
+            Counter::RebalanceSteps => 19,
+            Counter::MigratedBodies => 20,
+            Counter::MigratedBytes => 21,
         }
     }
 
@@ -177,11 +192,14 @@ impl Counter {
             Counter::PrefetchedCells => "prefetched_cells",
             Counter::PrefetchHits => "prefetch_hits",
             Counter::PrefetchWastedBytes => "prefetch_wasted_bytes",
+            Counter::RebalanceSteps => "rebalance_steps",
+            Counter::MigratedBodies => "migrated_bodies",
+            Counter::MigratedBytes => "migrated_bytes",
         }
     }
 }
 
-/// A fixed-width vector of the 19 [`Counter`] values.
+/// A fixed-width vector of the 22 [`Counter`] values.
 ///
 /// Merging is componentwise addition, so it is associative and commutative
 /// (the property suite pins this) — a `CounterSet` can be reduced across
